@@ -1,0 +1,2 @@
+//! Placeholder — replaced by the reproduction harness binary.
+fn main() {}

@@ -1,0 +1,1 @@
+//! Placeholder — replaced by the benchmark harness library.

@@ -1,0 +1,467 @@
+//! BFT replicated counter built on TNIC (paper §7, §C.3, Algorithm 3).
+//!
+//! A leader-based state-machine-replication protocol over `N = 2f + 1`
+//! replicas (instead of the classical `3f + 1`): clients send increment
+//! requests to the leader; the leader executes, attests a *proof of execution*
+//! (PoE) and multicasts it to the followers; followers validate the leader's
+//! claimed output against their own deterministic state machine, apply the
+//! command, attest their own PoE and reply. A client accepts a result once it
+//! has `f + 1` identical replies.
+//!
+//! Equivocation is impossible: the leader's PoE carries a TNIC counter, so two
+//! conflicting messages for the same round would need the same counter, which
+//! the attestation kernel never issues twice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tnic_core::api::{Cluster, NodeId};
+use tnic_core::error::CoreError;
+use tnic_core::transform::{CounterMachine, StateMachine};
+use tnic_core::{Baseline, NetworkStackKind};
+use tnic_crypto::ed25519::Signature;
+use tnic_sim::time::SimInstant;
+
+/// A proof-of-execution message: the client request batch, the executing
+/// replica's output and its state digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofOfExecution {
+    /// Identifier of the round (leader-assigned).
+    pub round: u64,
+    /// The batched client request payloads.
+    pub requests: Vec<Vec<u8>>,
+    /// The executing replica's output (final counter value of the batch).
+    pub output: u64,
+    /// Digest of the replica state after execution.
+    pub state_digest: [u8; 32],
+}
+
+impl ProofOfExecution {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&(self.requests.len() as u32).to_le_bytes());
+        for r in &self.requests {
+            out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+            out.extend_from_slice(r);
+        }
+        out.extend_from_slice(&self.output.to_le_bytes());
+        out.extend_from_slice(&self.state_digest);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
+        let err = || CoreError::TransformViolation("malformed proof of execution");
+        if bytes.len() < 12 {
+            return Err(err());
+        }
+        let round = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let mut off = 12;
+        let mut requests = Vec::with_capacity(count);
+        for _ in 0..count {
+            if bytes.len() < off + 4 {
+                return Err(err());
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            if bytes.len() < off + len {
+                return Err(err());
+            }
+            requests.push(bytes[off..off + len].to_vec());
+            off += len;
+        }
+        if bytes.len() != off + 8 + 32 {
+            return Err(err());
+        }
+        let output = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let mut state_digest = [0u8; 32];
+        state_digest.copy_from_slice(&bytes[off + 8..]);
+        Ok(ProofOfExecution {
+            round,
+            requests,
+            output,
+            state_digest,
+        })
+    }
+}
+
+/// A reply delivered to the client, signed with the replica's client-facing
+/// key (clients cannot hold the shared session keys, Appendix C.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReply {
+    /// The replying replica.
+    pub replica: NodeId,
+    /// The committed counter value.
+    pub value: u64,
+    /// The round the value was committed in.
+    pub round: u64,
+    /// Signature over `round ‖ value`.
+    pub signature: Signature,
+}
+
+/// The result of one committed round, as observed by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitResult {
+    /// The committed counter value.
+    pub value: u64,
+    /// How many identical replies the client collected.
+    pub matching_replies: usize,
+    /// The replies themselves.
+    pub replies: Vec<ClientReply>,
+}
+
+#[derive(Debug)]
+struct Replica {
+    machine: CounterMachine,
+    applied_rounds: HashMap<u64, u64>,
+    detected_faults: Vec<String>,
+}
+
+impl Replica {
+    fn new() -> Self {
+        Replica {
+            machine: CounterMachine::new(),
+            applied_rounds: HashMap::new(),
+            detected_faults: Vec::new(),
+        }
+    }
+}
+
+/// Configuration of the BFT counter deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BftConfig {
+    /// Number of tolerated Byzantine replicas; the deployment has `2f + 1`.
+    pub f: u32,
+    /// Network batching factor (requests per round), as swept in Figure 10.
+    pub batch_size: usize,
+}
+
+impl Default for BftConfig {
+    fn default() -> Self {
+        BftConfig { f: 1, batch_size: 1 }
+    }
+}
+
+/// The replicated-counter deployment: one leader plus `2f` followers.
+#[derive(Debug)]
+pub struct BftCounter {
+    cluster: Cluster,
+    config: BftConfig,
+    leader: NodeId,
+    followers: Vec<NodeId>,
+    replicas: HashMap<NodeId, Replica>,
+    round: u64,
+    leader_byzantine: bool,
+}
+
+impl BftCounter {
+    /// Builds a `2f + 1`-replica deployment over the given attestation
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/session errors.
+    pub fn new(
+        baseline: Baseline,
+        stack: NetworkStackKind,
+        config: BftConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let n = 2 * config.f + 1;
+        let mut cluster = Cluster::fully_connected(n, baseline, stack, seed);
+        let leader = NodeId(0);
+        let followers: Vec<NodeId> = (1..n).map(NodeId).collect();
+        cluster.establish_group(leader, &followers)?;
+        for &f in &followers {
+            let peers: Vec<NodeId> = (0..n).map(NodeId).filter(|&p| p != f).collect();
+            cluster.establish_group(f, &peers)?;
+        }
+        let replicas = (0..n).map(|i| (NodeId(i), Replica::new())).collect();
+        Ok(BftCounter {
+            cluster,
+            config,
+            leader,
+            followers,
+            replicas,
+            round: 0,
+            leader_byzantine: false,
+        })
+    }
+
+    /// Number of replicas in the deployment.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.followers.len() + 1
+    }
+
+    /// Marks the leader as Byzantine: it will report a wrong output in its
+    /// proofs of execution (used by fault-injection tests).
+    pub fn make_leader_byzantine(&mut self) {
+        self.leader_byzantine = true;
+    }
+
+    /// Virtual time elapsed so far.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.cluster.now()
+    }
+
+    /// The committed counter value at a given replica.
+    #[must_use]
+    pub fn replica_value(&self, node: NodeId) -> u64 {
+        self.replicas.get(&node).map_or(0, |r| r.machine.value())
+    }
+
+    /// Faults detected by followers so far.
+    #[must_use]
+    pub fn detected_faults(&self) -> Vec<String> {
+        self.replicas
+            .values()
+            .flat_map(|r| r.detected_faults.iter().cloned())
+            .collect()
+    }
+
+    /// Executes one client round: the batch of `batch_size` increment
+    /// requests flows leader → followers → client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation errors; a Byzantine leader does not produce an
+    /// error but fails to gather a quorum (see [`CommitResult`]).
+    pub fn client_increment(&mut self) -> Result<CommitResult, CoreError> {
+        let round = self.round;
+        self.round += 1;
+        let requests: Vec<Vec<u8>> = (0..self.config.batch_size)
+            .map(|i| {
+                let mut r = Vec::with_capacity(12);
+                r.extend_from_slice(&round.to_le_bytes());
+                r.extend_from_slice(&(i as u32).to_le_bytes());
+                r
+            })
+            .collect();
+
+        // Leader executes the batch and multicasts its proof of execution.
+        let leader_id = self.leader;
+        let leader_replica = self.replicas.get_mut(&leader_id).expect("leader exists");
+        let mut leader_output = 0;
+        for request in &requests {
+            let out = leader_replica.machine.execute(request);
+            leader_output = u64::from_le_bytes(out[..8].try_into().unwrap());
+        }
+        let reported_output = if self.leader_byzantine {
+            leader_output + 100
+        } else {
+            leader_output
+        };
+        let poe = ProofOfExecution {
+            round,
+            requests: requests.clone(),
+            output: reported_output,
+            state_digest: leader_replica.machine.state_digest(),
+        };
+        let followers = self.followers.clone();
+        self.cluster
+            .multicast(leader_id, &followers, &poe.encode())?;
+
+        // Followers validate, apply, and reply to the client.
+        let mut replies = Vec::new();
+        for follower in followers {
+            let delivered = self.cluster.poll(follower)?;
+            for d in delivered {
+                let poe = ProofOfExecution::decode(&d.message.payload)?;
+                let replica = self.replicas.get_mut(&follower).expect("replica exists");
+                if replica.applied_rounds.contains_key(&poe.round) {
+                    continue;
+                }
+                // Simulate the leader's execution to validate its output.
+                let mut expected = 0;
+                for request in &poe.requests {
+                    let out = replica.machine.execute(request);
+                    expected = u64::from_le_bytes(out[..8].try_into().unwrap());
+                }
+                if expected != poe.output {
+                    replica.detected_faults.push(format!(
+                        "round {}: leader claimed output {} but specification gives {}",
+                        poe.round, poe.output, expected
+                    ));
+                    continue;
+                }
+                replica.applied_rounds.insert(poe.round, expected);
+                let mut reply_payload = Vec::with_capacity(16);
+                reply_payload.extend_from_slice(&poe.round.to_le_bytes());
+                reply_payload.extend_from_slice(&expected.to_le_bytes());
+                let signature = self.cluster.sign_reply(follower, &reply_payload)?;
+                replies.push(ClientReply {
+                    replica: follower,
+                    value: expected,
+                    round: poe.round,
+                    signature,
+                });
+            }
+        }
+
+        // The (honest) leader also replies.
+        if !self.leader_byzantine {
+            let mut reply_payload = Vec::with_capacity(16);
+            reply_payload.extend_from_slice(&round.to_le_bytes());
+            reply_payload.extend_from_slice(&leader_output.to_le_bytes());
+            let signature = self.cluster.sign_reply(leader_id, &reply_payload)?;
+            replies.push(ClientReply {
+                replica: leader_id,
+                value: leader_output,
+                round,
+                signature,
+            });
+        }
+
+        // Client side: verify signatures and count identical replies.
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for reply in &replies {
+            let mut payload = Vec::with_capacity(16);
+            payload.extend_from_slice(&reply.round.to_le_bytes());
+            payload.extend_from_slice(&reply.value.to_le_bytes());
+            if self
+                .cluster
+                .verify_reply(reply.replica, &payload, &reply.signature)
+            {
+                *counts.entry(reply.value).or_insert(0) += 1;
+            }
+        }
+        let (value, matching) = counts
+            .into_iter()
+            .max_by_key(|(_, c)| *c)
+            .unwrap_or((0, 0));
+        Ok(CommitResult {
+            value,
+            matching_replies: matching,
+            replies,
+        })
+    }
+
+    /// Whether a commit result is accepted by the client (`f + 1` identical
+    /// replies).
+    #[must_use]
+    pub fn is_committed(&self, result: &CommitResult) -> bool {
+        result.matching_replies >= (self.config.f as usize) + 1
+    }
+
+    /// Access to the underlying cluster (for trace checking in tests).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_core::TraceChecker;
+
+    fn bft(batch: usize) -> BftCounter {
+        BftCounter::new(
+            Baseline::Tnic,
+            NetworkStackKind::Tnic,
+            BftConfig {
+                f: 1,
+                batch_size: batch,
+            },
+            11,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deployment_uses_2f_plus_1_replicas() {
+        let system = bft(1);
+        assert_eq!(system.replica_count(), 3);
+    }
+
+    #[test]
+    fn honest_rounds_commit_with_quorum() {
+        let mut system = bft(1);
+        for expected in 1..=5u64 {
+            let result = system.client_increment().unwrap();
+            assert_eq!(result.value, expected);
+            assert!(system.is_committed(&result));
+            assert_eq!(result.matching_replies, 3, "all replicas agree");
+        }
+        // All replicas converge to the same state.
+        assert_eq!(system.replica_value(NodeId(0)), 5);
+        assert_eq!(system.replica_value(NodeId(1)), 5);
+        assert_eq!(system.replica_value(NodeId(2)), 5);
+        assert!(TraceChecker::check(system.cluster().trace()).holds());
+    }
+
+    #[test]
+    fn batching_commits_batch_size_increments_per_round() {
+        let mut system = bft(8);
+        let result = system.client_increment().unwrap();
+        assert_eq!(result.value, 8);
+        assert!(system.is_committed(&result));
+        let result = system.client_increment().unwrap();
+        assert_eq!(result.value, 16);
+    }
+
+    #[test]
+    fn byzantine_leader_is_detected_and_cannot_commit() {
+        let mut system = bft(1);
+        system.make_leader_byzantine();
+        let result = system.client_increment().unwrap();
+        // Followers detect the lie; the client never sees f+1 matching replies
+        // for the forged value.
+        assert!(!system.is_committed(&result));
+        let faults = system.detected_faults();
+        assert_eq!(faults.len(), 2, "both followers detect the faulty leader");
+        assert!(faults[0].contains("leader claimed output"));
+    }
+
+    #[test]
+    fn replies_carry_valid_signatures() {
+        let mut system = bft(1);
+        let result = system.client_increment().unwrap();
+        assert!(result.replies.len() >= 2);
+        // Signatures were already checked during quorum counting; a forged
+        // reply would not count.
+        assert_eq!(result.matching_replies, result.replies.len());
+    }
+
+    #[test]
+    fn works_over_tee_baselines_but_slower() {
+        let mut tnic = BftCounter::new(
+            Baseline::Tnic,
+            NetworkStackKind::Tnic,
+            BftConfig::default(),
+            3,
+        )
+        .unwrap();
+        let mut sgx = BftCounter::new(
+            Baseline::Sgx,
+            NetworkStackKind::DrctIo,
+            BftConfig::default(),
+            3,
+        )
+        .unwrap();
+        for _ in 0..5 {
+            tnic.client_increment().unwrap();
+            sgx.client_increment().unwrap();
+        }
+        assert_eq!(tnic.replica_value(NodeId(1)), 5);
+        assert_eq!(sgx.replica_value(NodeId(1)), 5);
+        assert!(sgx.now() > tnic.now(), "SGX-based deployment is slower");
+    }
+
+    #[test]
+    fn proof_of_execution_round_trips() {
+        let poe = ProofOfExecution {
+            round: 42,
+            requests: vec![b"a".to_vec(), b"bb".to_vec()],
+            output: 7,
+            state_digest: [9u8; 32],
+        };
+        assert_eq!(ProofOfExecution::decode(&poe.encode()).unwrap(), poe);
+        assert!(ProofOfExecution::decode(&[1, 2]).is_err());
+    }
+}

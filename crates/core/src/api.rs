@@ -1,0 +1,789 @@
+//! The TNIC programming API (paper §6.1, Table 1).
+//!
+//! The API mirrors the paper's RDMA-flavoured interface: connections are set
+//! up with `ibv_qp_conn`/`alloc_mem`/`init_lqueue`/`ibv_sync` (wrapped here in
+//! [`Cluster::connect`]), and the network APIs are `local_send`/`local_verify`,
+//! `auth_send`, `poll` and `rem_read`/`rem_write`. A [`Cluster`] owns one
+//! [`Endpoint`] per node, the shared virtual clock and the recorded action
+//! facts used by the lemma checker.
+//!
+//! Every message flows through an attestation [`Provider`], so the same
+//! application code runs over TNIC hardware or any of the TEE baselines —
+//! the paper's §8.3 methodology.
+
+use crate::error::CoreError;
+use crate::provider::Provider;
+use crate::verification::{ActionFact, TraceLog};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use tnic_crypto::ed25519::{Keypair, Signature, VerifyingKey};
+use tnic_crypto::sha256::sha256;
+use tnic_device::attestation::AttestedMessage;
+use tnic_device::dma::DmaRegion;
+use tnic_device::types::{DeviceId, SessionId};
+use tnic_net::stack::NetworkStackKind;
+use tnic_sim::clock::SimClock;
+use tnic_sim::rng::DetRng;
+use tnic_sim::time::{SimDuration, SimInstant};
+use tnic_tee::profile::Baseline;
+
+/// Identifier of a logical node (machine) in a TNIC deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl NodeId {
+    /// The device identity backing this node.
+    #[must_use]
+    pub fn device(self) -> DeviceId {
+        DeviceId(self.0)
+    }
+}
+
+/// A message delivered to a node's inbox after successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The node whose attestation the message carries.
+    pub from: NodeId,
+    /// The verified attested message.
+    pub message: AttestedMessage,
+    /// Virtual time of delivery.
+    pub at: SimInstant,
+}
+
+/// Per-node state: the attestation provider, client-facing signing key,
+/// registered memory and the inbox filled by `auth_send`.
+#[derive(Debug)]
+pub struct Endpoint {
+    node: NodeId,
+    provider: Provider,
+    signer: Keypair,
+    memory: DmaRegion,
+    inbox: VecDeque<Delivered>,
+}
+
+impl Endpoint {
+    /// The node this endpoint belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The attestation provider backing this endpoint.
+    #[must_use]
+    pub fn provider(&self) -> &Provider {
+        &self.provider
+    }
+
+    /// Number of messages waiting in the inbox.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+/// Aggregate timing statistics of a cluster run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Messages sent with `auth_send` (including multicast copies).
+    pub messages_sent: u64,
+    /// Messages rejected at verification.
+    pub messages_rejected: u64,
+    /// Remote reads/writes executed.
+    pub remote_ops: u64,
+}
+
+/// A set of TNIC nodes wired together over a (modelled) network stack.
+pub struct Cluster {
+    baseline: Baseline,
+    stack: NetworkStackKind,
+    clock: SimClock,
+    rng: DetRng,
+    endpoints: BTreeMap<NodeId, Endpoint>,
+    sessions: HashMap<(NodeId, NodeId), SessionId>,
+    group_sessions: HashMap<NodeId, SessionId>,
+    local_sessions: HashMap<NodeId, SessionId>,
+    client_keys: HashMap<NodeId, VerifyingKey>,
+    next_session: u32,
+    trace: TraceLog,
+    stats: ClusterStats,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("baseline", &self.baseline)
+            .field("stack", &self.stack)
+            .field("nodes", &self.endpoints.len())
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster whose attestations are produced by `baseline`
+    /// and whose messages travel over `stack`.
+    #[must_use]
+    pub fn new(baseline: Baseline, stack: NetworkStackKind, seed: u64) -> Self {
+        Cluster {
+            baseline,
+            stack,
+            clock: SimClock::new(),
+            rng: DetRng::new(seed),
+            endpoints: BTreeMap::new(),
+            sessions: HashMap::new(),
+            group_sessions: HashMap::new(),
+            local_sessions: HashMap::new(),
+            client_keys: HashMap::new(),
+            next_session: 1,
+            trace: TraceLog::new(),
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// A cluster of `n` nodes (ids 0..n), fully connected.
+    #[must_use]
+    pub fn fully_connected(
+        n: u32,
+        baseline: Baseline,
+        stack: NetworkStackKind,
+        seed: u64,
+    ) -> Self {
+        let mut cluster = Cluster::new(baseline, stack, seed);
+        for i in 0..n {
+            cluster.add_node(NodeId(i));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                cluster.connect(NodeId(i), NodeId(j)).expect("nodes exist");
+            }
+        }
+        cluster
+    }
+
+    /// The attestation baseline in use.
+    #[must_use]
+    pub fn baseline(&self) -> Baseline {
+        self.baseline
+    }
+
+    /// The network stack model in use.
+    #[must_use]
+    pub fn stack(&self) -> NetworkStackKind {
+        self.stack
+    }
+
+    /// The shared virtual clock.
+    #[must_use]
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// The node ids currently in the cluster.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.endpoints.keys().copied().collect()
+    }
+
+    /// The recorded action-fact trace (input to the lemma checker).
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Adds a node with a fresh endpoint.
+    pub fn add_node(&mut self, node: NodeId) {
+        let seed = self.rng.next_u64();
+        let mut signer_seed = [0u8; 32];
+        signer_seed[..8].copy_from_slice(&seed.to_le_bytes());
+        signer_seed[8..12].copy_from_slice(&node.0.to_le_bytes());
+        let signer = Keypair::from_seed(&signer_seed);
+        self.client_keys.insert(node, signer.verifying);
+        self.endpoints.insert(
+            node,
+            Endpoint {
+                node,
+                provider: Provider::new(self.baseline, node.device(), seed),
+                signer,
+                memory: DmaRegion::new(1 << 20),
+                inbox: VecDeque::new(),
+            },
+        );
+    }
+
+    fn endpoint_mut(&mut self, node: NodeId) -> Result<&mut Endpoint, CoreError> {
+        self.endpoints
+            .get_mut(&node)
+            .ok_or(CoreError::UnknownNode(node.0))
+    }
+
+    fn endpoint(&self, node: NodeId) -> Result<&Endpoint, CoreError> {
+        self.endpoints
+            .get(&node)
+            .ok_or(CoreError::UnknownNode(node.0))
+    }
+
+    fn fresh_session(&mut self) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        id
+    }
+
+    /// Establishes a connection between `a` and `b`: the ibv handshake
+    /// (`ibv_qp_conn`, `alloc_mem`, `init_lqueue`, `ibv_sync`) plus the
+    /// installation of the shared session key on both devices (done by the
+    /// system designer / attestation protocol, never by untrusted software).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if either node does not exist.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> Result<SessionId, CoreError> {
+        if !self.endpoints.contains_key(&a) {
+            return Err(CoreError::UnknownNode(a.0));
+        }
+        if !self.endpoints.contains_key(&b) {
+            return Err(CoreError::UnknownNode(b.0));
+        }
+        let session = self.fresh_session();
+        let key = self.rng.bytes32();
+        self.endpoint_mut(a)?.provider.install_session_key(session, key);
+        self.endpoint_mut(b)?.provider.install_session_key(session, key);
+        self.sessions.insert((a, b), session);
+        self.sessions.insert((b, a), session);
+        Ok(session)
+    }
+
+    /// Establishes a one-to-many group session rooted at `sender` (used for
+    /// the equivocation-free multicast of §6.1/§8.2: the same attested message
+    /// is unicast to every member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if any node does not exist.
+    pub fn establish_group(
+        &mut self,
+        sender: NodeId,
+        receivers: &[NodeId],
+    ) -> Result<SessionId, CoreError> {
+        let session = self.fresh_session();
+        let key = self.rng.bytes32();
+        self.endpoint_mut(sender)?
+            .provider
+            .install_session_key(session, key);
+        for &receiver in receivers {
+            self.endpoint_mut(receiver)?
+                .provider
+                .install_session_key(session, key);
+        }
+        self.group_sessions.insert(sender, session);
+        Ok(session)
+    }
+
+    /// Establishes a node-local session used by `local_send`/`local_verify`
+    /// (single-node use cases such as the A2M log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if the node does not exist.
+    pub fn establish_local(&mut self, node: NodeId) -> Result<SessionId, CoreError> {
+        if let Some(existing) = self.local_sessions.get(&node) {
+            return Ok(*existing);
+        }
+        let session = self.fresh_session();
+        let key = self.rng.bytes32();
+        self.endpoint_mut(node)?
+            .provider
+            .install_session_key(session, key);
+        self.local_sessions.insert(node, session);
+        Ok(session)
+    }
+
+    /// The session shared by `a` and `b`, if connected.
+    #[must_use]
+    pub fn session_between(&self, a: NodeId, b: NodeId) -> Option<SessionId> {
+        self.sessions.get(&(a, b)).copied()
+    }
+
+    /// The group session rooted at `sender`, if established.
+    #[must_use]
+    pub fn group_session(&self, sender: NodeId) -> Option<SessionId> {
+        self.group_sessions.get(&sender).copied()
+    }
+
+    fn record_sent(&mut self, node: NodeId, msg: &AttestedMessage) {
+        let at = self.clock.now();
+        self.trace.record(
+            at,
+            ActionFact::Sent {
+                endpoint: node.device(),
+                session: msg.session,
+                counter: msg.counter,
+                digest: sha256(&msg.payload),
+            },
+        );
+    }
+
+    fn record_accepted(&mut self, node: NodeId, msg: &AttestedMessage) {
+        let at = self.clock.now();
+        self.trace.record(
+            at,
+            ActionFact::Accepted {
+                endpoint: node.device(),
+                session: msg.session,
+                sender: msg.device,
+                counter: msg.counter,
+                digest: sha256(&msg.payload),
+            },
+        );
+    }
+
+    /// `local_send()`: generates an attested message bound to `node`'s local
+    /// session without transmitting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSession`] if [`Cluster::establish_local`] was not
+    /// called, or a device error.
+    pub fn local_send(
+        &mut self,
+        node: NodeId,
+        payload: &[u8],
+    ) -> Result<AttestedMessage, CoreError> {
+        let session = self
+            .local_sessions
+            .get(&node)
+            .copied()
+            .ok_or(CoreError::NoSession {
+                from: node.0,
+                to: node.0,
+            })?;
+        let endpoint = self.endpoint_mut(node)?;
+        let (msg, cost) = endpoint.provider.attest(session, payload)?;
+        self.clock.advance(cost);
+        self.record_sent(node, &msg);
+        Ok(msg)
+    }
+
+    /// `local_verify()`: verifies the binding of a locally generated attested
+    /// message (out-of-order verification allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the attestation does not verify.
+    pub fn local_verify(&mut self, node: NodeId, message: &AttestedMessage) -> Result<(), CoreError> {
+        let endpoint = self.endpoint_mut(node)?;
+        let cost = endpoint.provider.verify_binding(message)?;
+        self.clock.advance(cost);
+        Ok(())
+    }
+
+    fn network_latency(&mut self, payload_len: usize) -> SimDuration {
+        // One-way latency of the configured stack for this message size, with
+        // a little jitter so runs are not perfectly deterministic in time.
+        let base = self.stack.send_latency(payload_len);
+        let jitter = self.rng.range(0, 1 + base.as_nanos() / 20);
+        base + SimDuration::from_nanos(jitter)
+    }
+
+    /// `auth_send()`: attests `payload` at `from`, ships it over the network
+    /// stack and verifies it at `to`; on success the message lands in `to`'s
+    /// inbox (to be fetched with [`Cluster::poll`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSession`] if the nodes are not connected, or the
+    /// verification error if the receiver rejects the message.
+    pub fn auth_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+    ) -> Result<AttestedMessage, CoreError> {
+        let session = self
+            .sessions
+            .get(&(from, to))
+            .copied()
+            .ok_or(CoreError::NoSession {
+                from: from.0,
+                to: to.0,
+            })?;
+        let (msg, attest_cost) = self.endpoint_mut(from)?.provider.attest(session, payload)?;
+        self.clock.advance(attest_cost);
+        self.record_sent(from, &msg);
+        self.stats.messages_sent += 1;
+        let latency = self.network_latency(msg.wire_len());
+        self.clock.advance(latency);
+        self.deliver(from, to, msg.clone())?;
+        Ok(msg)
+    }
+
+    /// Delivers an already-attested message to `to`, verifying it there. Used
+    /// for forwarding (transferable authentication) and by adversarial tests
+    /// that inject tampered or replayed messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verification error if the receiver rejects the message.
+    pub fn deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: AttestedMessage,
+    ) -> Result<(), CoreError> {
+        let verify_result = {
+            let endpoint = self.endpoint_mut(to)?;
+            endpoint.provider.verify(&message)
+        };
+        match verify_result {
+            Ok(cost) => {
+                self.clock.advance(cost);
+                self.record_accepted(to, &message);
+                let at = self.clock.now();
+                self.endpoint_mut(to)?.inbox.push_back(Delivered {
+                    from,
+                    message,
+                    at,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.messages_rejected += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Equivocation-free multicast (§6.1): the same attested message generated
+    /// on the sender's group session is unicast to every receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSession`] if no group session exists, or the
+    /// first verification error encountered.
+    pub fn multicast(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        payload: &[u8],
+    ) -> Result<AttestedMessage, CoreError> {
+        let session = self
+            .group_sessions
+            .get(&from)
+            .copied()
+            .ok_or(CoreError::NoSession {
+                from: from.0,
+                to: from.0,
+            })?;
+        let (msg, attest_cost) = self.endpoint_mut(from)?.provider.attest(session, payload)?;
+        self.clock.advance(attest_cost);
+        self.record_sent(from, &msg);
+        for &to in receivers {
+            self.stats.messages_sent += 1;
+            let latency = self.network_latency(msg.wire_len());
+            self.clock.advance(latency);
+            self.deliver(from, to, msg.clone())?;
+        }
+        Ok(msg)
+    }
+
+    /// Verifies a forwarded attested message at `node` without consuming a
+    /// receive counter (transferable authentication for third parties).
+    ///
+    /// # Errors
+    ///
+    /// Returns the verification error on MAC mismatch.
+    pub fn verify_forwarded(
+        &mut self,
+        node: NodeId,
+        message: &AttestedMessage,
+    ) -> Result<(), CoreError> {
+        let endpoint = self.endpoint_mut(node)?;
+        let cost = endpoint.provider.verify_binding(message)?;
+        self.clock.advance(cost);
+        Ok(())
+    }
+
+    /// `poll()`: drains `node`'s inbox of verified messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn poll(&mut self, node: NodeId) -> Result<Vec<Delivered>, CoreError> {
+        let endpoint = self.endpoint_mut(node)?;
+        Ok(endpoint.inbox.drain(..).collect())
+    }
+
+    /// `rem_write()`: writes into the remote node's registered memory over an
+    /// attested one-sided operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session, verification and bounds errors.
+    pub fn rem_write(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), CoreError> {
+        let mut payload = Vec::with_capacity(8 + data.len());
+        payload.extend_from_slice(&(offset as u64).to_le_bytes());
+        payload.extend_from_slice(data);
+        self.auth_send(from, to, &payload)?;
+        // Consume the delivered message and apply the write.
+        let delivered = self.endpoint_mut(to)?.inbox.pop_back().expect("just delivered");
+        let body = &delivered.message.payload[8..];
+        self.endpoint_mut(to)?
+            .memory
+            .write(offset, body)
+            .map_err(CoreError::Device)?;
+        self.stats.remote_ops += 1;
+        Ok(())
+    }
+
+    /// `rem_read()`: reads from the remote node's registered memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session and bounds errors.
+    pub fn rem_read(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, CoreError> {
+        // The read request travels attested; the response is a DMA from the
+        // target's registered memory.
+        let mut payload = [0u8; 16];
+        payload[..8].copy_from_slice(&(offset as u64).to_le_bytes());
+        payload[8..].copy_from_slice(&(len as u64).to_le_bytes());
+        self.auth_send(from, to, &payload)?;
+        let _ = self.endpoint_mut(to)?.inbox.pop_back();
+        let data = self
+            .endpoint(to)?
+            .memory
+            .read(offset, len)
+            .map_err(CoreError::Device)?;
+        let latency = self.network_latency(data.len());
+        self.clock.advance(latency);
+        self.stats.remote_ops += 1;
+        Ok(data)
+    }
+
+    /// Writes directly into a node's own registered memory (host access).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds errors.
+    pub fn write_local_memory(
+        &mut self,
+        node: NodeId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), CoreError> {
+        self.endpoint_mut(node)?
+            .memory
+            .write(offset, data)
+            .map_err(CoreError::Device)
+    }
+
+    /// Signs `payload` with `node`'s client-facing key (Appendix C.1: replies
+    /// to Byzantine clients are signed because clients cannot hold the shared
+    /// session keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn sign_reply(&mut self, node: NodeId, payload: &[u8]) -> Result<Signature, CoreError> {
+        let endpoint = self.endpoint(node)?;
+        Ok(endpoint.signer.signing.sign(payload))
+    }
+
+    /// Verifies a client-facing signature produced by `node`.
+    #[must_use]
+    pub fn verify_reply(&self, node: NodeId, payload: &[u8], signature: &Signature) -> bool {
+        self.client_keys
+            .get(&node)
+            .map(|key| key.verify(payload, signature).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Access to a node's endpoint (read-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn endpoint_of(&self, node: NodeId) -> Result<&Endpoint, CoreError> {
+        self.endpoint(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verification::TraceChecker;
+    use tnic_device::error::DeviceError;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::fully_connected(n, Baseline::Tnic, NetworkStackKind::Tnic, 42)
+    }
+
+    #[test]
+    fn auth_send_delivers_verified_messages() {
+        let mut c = cluster(2);
+        c.auth_send(NodeId(0), NodeId(1), b"hello").unwrap();
+        c.auth_send(NodeId(0), NodeId(1), b"world").unwrap();
+        let delivered = c.poll(NodeId(1)).unwrap();
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].message.payload, b"hello");
+        assert_eq!(delivered[1].message.payload, b"world");
+        assert_eq!(delivered[0].from, NodeId(0));
+        assert!(c.now() > SimInstant::EPOCH, "time advances");
+    }
+
+    #[test]
+    fn trace_of_honest_run_satisfies_lemmas() {
+        let mut c = cluster(3);
+        for i in 0..5 {
+            c.auth_send(NodeId(0), NodeId(1), format!("m{i}").as_bytes()).unwrap();
+            c.auth_send(NodeId(1), NodeId(2), format!("f{i}").as_bytes()).unwrap();
+        }
+        let report = TraceChecker::check(c.trace());
+        assert!(report.holds(), "{:?}", report.violations);
+        assert_eq!(report.sends, 10);
+        assert_eq!(report.accepts, 10);
+    }
+
+    #[test]
+    fn replayed_message_rejected_and_not_double_delivered() {
+        let mut c = cluster(2);
+        let msg = c.auth_send(NodeId(0), NodeId(1), b"pay").unwrap();
+        let err = c.deliver(NodeId(0), NodeId(1), msg).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Device(DeviceError::CounterMismatch { .. })
+        ));
+        assert_eq!(c.poll(NodeId(1)).unwrap().len(), 1);
+        assert_eq!(c.stats().messages_rejected, 1);
+        assert!(TraceChecker::check(c.trace()).holds());
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut c = cluster(2);
+        let mut msg = c.auth_send(NodeId(0), NodeId(1), b"a").unwrap();
+        let _ = c.poll(NodeId(1)).unwrap();
+        msg.payload = b"b".to_vec();
+        msg.counter = 1;
+        assert!(matches!(
+            c.deliver(NodeId(0), NodeId(1), msg),
+            Err(CoreError::Device(DeviceError::BadAttestation))
+        ));
+    }
+
+    #[test]
+    fn multicast_delivers_same_counter_to_all() {
+        let mut c = cluster(3);
+        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)]).unwrap();
+        let msg = c.multicast(NodeId(0), &[NodeId(1), NodeId(2)], b"bcast").unwrap();
+        assert_eq!(msg.counter, 0);
+        for node in [NodeId(1), NodeId(2)] {
+            let delivered = c.poll(node).unwrap();
+            assert_eq!(delivered.len(), 1);
+            assert_eq!(delivered[0].message.counter, 0);
+            assert_eq!(delivered[0].message.payload, b"bcast");
+        }
+        assert!(TraceChecker::check(c.trace()).holds());
+    }
+
+    #[test]
+    fn forwarded_message_verifies_via_binding() {
+        let mut c = cluster(3);
+        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)]).unwrap();
+        let msg = c.multicast(NodeId(0), &[NodeId(1)], b"to-forward").unwrap();
+        // Node 2 never received it directly but can verify the forwarded copy.
+        c.verify_forwarded(NodeId(2), &msg).unwrap();
+    }
+
+    #[test]
+    fn local_send_verify_for_logs() {
+        let mut c = cluster(1);
+        c.establish_local(NodeId(0)).unwrap();
+        let e0 = c.local_send(NodeId(0), b"entry 0").unwrap();
+        let e1 = c.local_send(NodeId(0), b"entry 1").unwrap();
+        assert_eq!(e0.counter, 0);
+        assert_eq!(e1.counter, 1);
+        c.local_verify(NodeId(0), &e1).unwrap();
+        c.local_verify(NodeId(0), &e0).unwrap();
+    }
+
+    #[test]
+    fn rem_write_and_read_round_trip() {
+        let mut c = cluster(2);
+        c.rem_write(NodeId(0), NodeId(1), 64, b"remote value").unwrap();
+        let data = c.rem_read(NodeId(0), NodeId(1), 64, 12).unwrap();
+        assert_eq!(data, b"remote value");
+        assert_eq!(c.stats().remote_ops, 2);
+    }
+
+    #[test]
+    fn client_reply_signatures() {
+        let mut c = cluster(2);
+        let sig = c.sign_reply(NodeId(0), b"result=5").unwrap();
+        assert!(c.verify_reply(NodeId(0), b"result=5", &sig));
+        assert!(!c.verify_reply(NodeId(0), b"result=6", &sig));
+        assert!(!c.verify_reply(NodeId(1), b"result=5", &sig));
+    }
+
+    #[test]
+    fn unconnected_nodes_cannot_auth_send() {
+        let mut c = Cluster::new(Baseline::Tnic, NetworkStackKind::Tnic, 1);
+        c.add_node(NodeId(0));
+        c.add_node(NodeId(1));
+        assert!(matches!(
+            c.auth_send(NodeId(0), NodeId(1), b"x"),
+            Err(CoreError::NoSession { .. })
+        ));
+        assert!(matches!(
+            c.auth_send(NodeId(0), NodeId(9), b"x"),
+            Err(CoreError::NoSession { .. }) | Err(CoreError::UnknownNode(9))
+        ));
+    }
+
+    #[test]
+    fn all_baselines_work_with_the_same_code() {
+        for baseline in Baseline::ALL {
+            let mut c = Cluster::fully_connected(2, baseline, NetworkStackKind::Tnic, 7);
+            c.auth_send(NodeId(0), NodeId(1), b"generic").unwrap();
+            assert_eq!(c.poll(NodeId(1)).unwrap().len(), 1, "{baseline}");
+        }
+    }
+
+    #[test]
+    fn tee_baseline_is_slower_than_tnic() {
+        let mut tnic = Cluster::fully_connected(2, Baseline::Tnic, NetworkStackKind::Tnic, 7);
+        let mut sev = Cluster::fully_connected(2, Baseline::AmdSev, NetworkStackKind::DrctIo, 7);
+        for _ in 0..20 {
+            tnic.auth_send(NodeId(0), NodeId(1), &[0u8; 64]).unwrap();
+            sev.auth_send(NodeId(0), NodeId(1), &[0u8; 64]).unwrap();
+        }
+        assert!(sev.now() > tnic.now());
+    }
+}

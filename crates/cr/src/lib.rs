@@ -1,0 +1,514 @@
+//! Byzantine chain replication of a key-value store built on TNIC (paper §7,
+//! §C.4, Algorithm 4).
+//!
+//! Replicas are arranged in a chain (head → middle… → tail) with the same
+//! `f + 1` replication factor as the CFT original. The head orders and
+//! executes each client request and creates an attested *proof of execution*
+//! (PoE); every subsequent node validates the accumulated PoE (simulating the
+//! previous nodes' outputs), executes the request, appends its own output and
+//! forwards. Unlike CFT chain replication, reads cannot be served by the tail
+//! alone in a Byzantine setting, so every operation traverses the whole chain
+//! and the client waits for identical replies from all chained nodes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use tnic_core::api::{Cluster, NodeId};
+use tnic_core::error::CoreError;
+use tnic_core::{Baseline, NetworkStackKind};
+use tnic_crypto::ed25519::Signature;
+use tnic_crypto::sha256::sha256;
+use tnic_sim::time::SimInstant;
+
+/// A client operation against the replicated key-value store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvOperation {
+    /// Store `value` under `key`.
+    Put {
+        /// The key (the paper's workload uses 60 B request contexts).
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Read the value stored under `key`.
+    Get {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+impl KvOperation {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            KvOperation::Put { key, value } => {
+                let mut out = vec![0u8];
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(value);
+                out
+            }
+            KvOperation::Get { key } => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
+        let err = || CoreError::TransformViolation("malformed kv operation");
+        if bytes.len() < 5 {
+            return Err(err());
+        }
+        let key_len = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+        if bytes.len() < 5 + key_len {
+            return Err(err());
+        }
+        let key = bytes[5..5 + key_len].to_vec();
+        match bytes[0] {
+            0 => Ok(KvOperation::Put {
+                key,
+                value: bytes[5 + key_len..].to_vec(),
+            }),
+            1 => Ok(KvOperation::Get { key }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A simple in-memory key-value store — the substrate being replicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Applies an operation deterministically and returns its output.
+    pub fn apply(&mut self, op: &KvOperation) -> Vec<u8> {
+        match op {
+            KvOperation::Put { key, value } => {
+                self.map.insert(key.clone(), value.clone());
+                b"ok".to_vec()
+            }
+            KvOperation::Get { key } => self.map.get(key).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the store holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Digest of the full store contents.
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        let mut bytes = Vec::new();
+        for (k, v) in &self.map {
+            bytes.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(k);
+            bytes.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(v);
+        }
+        sha256(&bytes)
+    }
+}
+
+/// The accumulated proof of execution flowing down the chain: the original
+/// request plus each node's output and commit index so far.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainedProof {
+    /// The client request.
+    pub operation: Vec<u8>,
+    /// The commit index assigned by the head.
+    pub commit_index: u64,
+    /// Output of every node that has executed the request so far, in chain
+    /// order.
+    pub outputs: Vec<Vec<u8>>,
+}
+
+impl ChainedProof {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.operation.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.operation);
+        out.extend_from_slice(&self.commit_index.to_le_bytes());
+        out.extend_from_slice(&(self.outputs.len() as u32).to_le_bytes());
+        for o in &self.outputs {
+            out.extend_from_slice(&(o.len() as u32).to_le_bytes());
+            out.extend_from_slice(o);
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
+        let err = || CoreError::TransformViolation("malformed chained proof");
+        if bytes.len() < 4 {
+            return Err(err());
+        }
+        let op_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let mut off = 4;
+        if bytes.len() < off + op_len + 12 {
+            return Err(err());
+        }
+        let operation = bytes[off..off + op_len].to_vec();
+        off += op_len;
+        let commit_index = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        off += 8;
+        let count = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        let mut outputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            if bytes.len() < off + 4 {
+                return Err(err());
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            if bytes.len() < off + len {
+                return Err(err());
+            }
+            outputs.push(bytes[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(ChainedProof {
+            operation,
+            commit_index,
+            outputs,
+        })
+    }
+}
+
+/// One node's signed reply to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainReply {
+    /// The replying node.
+    pub node: NodeId,
+    /// The node's output for the request.
+    pub output: Vec<u8>,
+    /// Signature over `commit_index ‖ output`.
+    pub signature: Signature,
+}
+
+/// The client-observable result of one chain operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainResult {
+    /// The output accepted by the client (identical across replies), if any.
+    pub output: Option<Vec<u8>>,
+    /// Replies from every node in the chain.
+    pub replies: Vec<ChainReply>,
+    /// Whether all chained nodes replied identically with valid signatures.
+    pub committed: bool,
+}
+
+/// The chain-replication deployment.
+#[derive(Debug)]
+pub struct ChainReplication {
+    cluster: Cluster,
+    chain: Vec<NodeId>,
+    stores: HashMap<NodeId, KvStore>,
+    commit_index: u64,
+    byzantine_node: Option<NodeId>,
+}
+
+impl ChainReplication {
+    /// Builds a chain of `nodes` replicas (head first, tail last).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn new(
+        nodes: u32,
+        baseline: Baseline,
+        stack: NetworkStackKind,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        assert!(nodes >= 2, "a chain needs at least a head and a tail");
+        let cluster = Cluster::fully_connected(nodes, baseline, stack, seed);
+        let chain: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        let stores = chain.iter().map(|&n| (n, KvStore::new())).collect();
+        Ok(ChainReplication {
+            cluster,
+            chain,
+            stores,
+            commit_index: 0,
+            byzantine_node: None,
+        })
+    }
+
+    /// The chain order (head first).
+    #[must_use]
+    pub fn chain(&self) -> &[NodeId] {
+        &self.chain
+    }
+
+    /// Marks a middle node as Byzantine: it will corrupt its output before
+    /// forwarding (fault-injection tests).
+    pub fn make_node_byzantine(&mut self, node: NodeId) {
+        self.byzantine_node = Some(node);
+    }
+
+    /// Virtual time elapsed so far.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.cluster.now()
+    }
+
+    /// The store contents digest at one replica.
+    #[must_use]
+    pub fn store_digest(&self, node: NodeId) -> [u8; 32] {
+        self.stores.get(&node).map_or([0u8; 32], KvStore::digest)
+    }
+
+    /// Executes one client operation through the whole chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors. Byzantine behaviour does not
+    /// error; it surfaces as `committed == false`.
+    pub fn execute(&mut self, operation: &KvOperation) -> Result<ChainResult, CoreError> {
+        let commit_index = self.commit_index;
+        self.commit_index += 1;
+        let op_bytes = operation.encode();
+
+        // Head executes and builds the initial proof of execution.
+        let head = self.chain[0];
+        let head_output = self
+            .stores
+            .get_mut(&head)
+            .expect("head store")
+            .apply(operation);
+        let mut proof = ChainedProof {
+            operation: op_bytes.clone(),
+            commit_index,
+            outputs: vec![head_output.clone()],
+        };
+        let mut replies = vec![self.reply(head, commit_index, &head_output)?];
+
+        // Forward along the chain.
+        let mut detected_fault = false;
+        for window in 0..self.chain.len() - 1 {
+            let from = self.chain[window];
+            let to = self.chain[window + 1];
+            self.cluster.auth_send(from, to, &proof.encode())?;
+            let delivered = self.cluster.poll(to)?;
+            let mut received =
+                ChainedProof::decode(&delivered.last().expect("delivered").message.payload)?;
+            // Validate the previous nodes' outputs by simulating the request
+            // on our own deterministic store.
+            let op = KvOperation::decode(&received.operation)?;
+            let our_output = self.stores.get_mut(&to).expect("store").apply(&op);
+            if received.commit_index != commit_index
+                || received.outputs.iter().any(|o| *o != our_output)
+            {
+                detected_fault = true;
+            }
+            // A Byzantine node corrupts its own output before forwarding.
+            let forwarded_output = if self.byzantine_node == Some(to) {
+                b"corrupted".to_vec()
+            } else {
+                our_output.clone()
+            };
+            received.outputs.push(forwarded_output.clone());
+            proof = received;
+            replies.push(self.reply(to, commit_index, &forwarded_output)?);
+        }
+
+        // Client: verify every signature and require identical outputs from
+        // all chained nodes.
+        let mut verified_outputs = Vec::new();
+        for reply in &replies {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&commit_index.to_le_bytes());
+            payload.extend_from_slice(&reply.output);
+            if self.cluster.verify_reply(reply.node, &payload, &reply.signature) {
+                verified_outputs.push(reply.output.clone());
+            }
+        }
+        let all_match = verified_outputs.len() == self.chain.len()
+            && verified_outputs.windows(2).all(|w| w[0] == w[1]);
+        let committed = all_match && !detected_fault;
+        Ok(ChainResult {
+            output: if committed {
+                Some(verified_outputs[0].clone())
+            } else {
+                None
+            },
+            replies,
+            committed,
+        })
+    }
+
+    fn reply(
+        &mut self,
+        node: NodeId,
+        commit_index: u64,
+        output: &[u8],
+    ) -> Result<ChainReply, CoreError> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&commit_index.to_le_bytes());
+        payload.extend_from_slice(output);
+        let signature = self.cluster.sign_reply(node, &payload)?;
+        Ok(ChainReply {
+            node,
+            output: output.to_vec(),
+            signature,
+        })
+    }
+
+    /// Convenience: replicated put.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChainReplication::execute`].
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<ChainResult, CoreError> {
+        self.execute(&KvOperation::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+    }
+
+    /// Convenience: replicated get (traverses the whole chain, §C.4).
+    ///
+    /// # Errors
+    ///
+    /// See [`ChainReplication::execute`].
+    pub fn get(&mut self, key: &[u8]) -> Result<ChainResult, CoreError> {
+        self.execute(&KvOperation::Get { key: key.to_vec() })
+    }
+
+    /// Access to the underlying cluster (trace checking in tests).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_core::TraceChecker;
+
+    fn chain() -> ChainReplication {
+        ChainReplication::new(3, Baseline::Tnic, NetworkStackKind::Tnic, 5).unwrap()
+    }
+
+    #[test]
+    fn put_and_get_commit_through_the_chain() {
+        let mut cr = chain();
+        let put = cr.put(b"key-1", b"value-1").unwrap();
+        assert!(put.committed);
+        assert_eq!(put.output.unwrap(), b"ok");
+        assert_eq!(put.replies.len(), 3);
+        let get = cr.get(b"key-1").unwrap();
+        assert!(get.committed);
+        assert_eq!(get.output.unwrap(), b"value-1");
+        assert!(TraceChecker::check(cr.cluster().trace()).holds());
+    }
+
+    #[test]
+    fn replicas_converge_to_identical_stores() {
+        let mut cr = chain();
+        for i in 0..10u32 {
+            cr.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let digests: Vec<[u8; 32]> = cr.chain().iter().map(|&n| cr.store_digest(n)).collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn missing_key_reads_empty_value() {
+        let mut cr = chain();
+        let get = cr.get(b"absent").unwrap();
+        assert!(get.committed);
+        assert_eq!(get.output.unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn byzantine_middle_node_prevents_commit() {
+        let mut cr = chain();
+        cr.put(b"k", b"v").unwrap();
+        cr.make_node_byzantine(NodeId(1));
+        let result = cr.put(b"k2", b"v2").unwrap();
+        assert!(!result.committed, "client must not accept mismatched replies");
+        assert!(result.output.is_none());
+    }
+
+    #[test]
+    fn chain_requires_at_least_two_nodes() {
+        assert!(ChainReplication::new(2, Baseline::Tnic, NetworkStackKind::Tnic, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a head and a tail")]
+    fn single_node_chain_panics() {
+        let _ = ChainReplication::new(1, Baseline::Tnic, NetworkStackKind::Tnic, 1);
+    }
+
+    #[test]
+    fn kv_operation_and_proof_round_trip() {
+        let op = KvOperation::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        };
+        assert_eq!(KvOperation::decode(&op.encode()).unwrap(), op);
+        let get = KvOperation::Get { key: b"k".to_vec() };
+        assert_eq!(KvOperation::decode(&get.encode()).unwrap(), get);
+        assert!(KvOperation::decode(&[9]).is_err());
+
+        let proof = ChainedProof {
+            operation: op.encode(),
+            commit_index: 3,
+            outputs: vec![b"ok".to_vec(), b"ok".to_vec()],
+        };
+        assert_eq!(ChainedProof::decode(&proof.encode()).unwrap(), proof);
+        assert!(ChainedProof::decode(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn works_over_tee_baselines_but_slower() {
+        let mut tnic = ChainReplication::new(3, Baseline::Tnic, NetworkStackKind::Tnic, 9).unwrap();
+        let mut sev =
+            ChainReplication::new(3, Baseline::AmdSev, NetworkStackKind::DrctIo, 9).unwrap();
+        for i in 0..5u32 {
+            tnic.put(&i.to_le_bytes(), b"v").unwrap();
+            sev.put(&i.to_le_bytes(), b"v").unwrap();
+        }
+        assert!(sev.now() > tnic.now());
+    }
+
+    #[test]
+    fn kv_store_digest_tracks_contents() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        assert_eq!(a.digest(), b.digest());
+        a.apply(&KvOperation::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        assert_ne!(a.digest(), b.digest());
+        b.apply(&KvOperation::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

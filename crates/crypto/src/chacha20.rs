@@ -1,0 +1,174 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used by [`crate::secretbox`] to protect the configuration bitstream and the
+//! session secrets that the IP vendor ships to a TNIC device during remote
+//! attestation (paper §4.3, steps 8–9).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn initial_state(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    state
+}
+
+/// Produces one 64-byte keystream block for the given block `counter`.
+#[must_use]
+pub fn chacha20_block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+    let initial = initial_state(key, nonce, counter);
+    let mut working = initial;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR with the keystream), starting at
+/// block `initial_counter`.
+pub fn chacha20_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    for (block_index, chunk) in data.chunks_mut(64).enumerate() {
+        let counter = initial_counter.wrapping_add(block_index as u32);
+        let keystream = chacha20_block(key, nonce, counter);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience wrapper returning a new buffer rather than mutating in place.
+#[must_use]
+pub fn chacha20_apply(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &[u8],
+) -> Vec<u8> {
+    let mut out = data.to_vec();
+    chacha20_xor(key, nonce, initial_counter, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn key_rfc() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key = key_rfc();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let block = chacha20_block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key = key_rfc();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let ciphertext = chacha20_apply(&key, &nonce, 1, plaintext);
+        assert_eq!(
+            hex(&ciphertext[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Round trip.
+        let decrypted = chacha20_apply(&key, &nonce, 1, &ciphertext);
+        assert_eq!(decrypted, plaintext);
+    }
+
+    #[test]
+    fn xor_is_involution_for_any_length() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let enc = chacha20_apply(&key, &nonce, 0, &data);
+            let dec = chacha20_apply(&key, &nonce, 0, &enc);
+            assert_eq!(dec, data, "len {len}");
+            if len > 0 {
+                assert_ne!(enc, data, "ciphertext should differ, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [1u8; 32];
+        let a = chacha20_block(&key, &[0u8; 12], 0);
+        let b = chacha20_block(&key, &[1u8; 12], 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,413 @@
+//! Arithmetic in the prime field GF(2²⁵⁵ − 19) used by Curve25519.
+//!
+//! Field elements are kept in canonical (fully reduced) form after every
+//! operation; the representation is four little-endian 64-bit limbs. The
+//! implementation favours simplicity and auditability over speed — this is a
+//! simulation substrate, not a production curve library.
+
+/// The field prime p = 2²⁵⁵ − 19 as little-endian limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2²⁵⁵ − 19), always stored fully reduced (`< p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldElement(pub(crate) [u64; 4]);
+
+impl Default for FieldElement {
+    fn default() -> Self {
+        FieldElement::ZERO
+    }
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0]);
+
+    /// The Edwards curve constant d = −121665/121666.
+    pub const D: FieldElement = FieldElement([
+        0x75eb_4dca_1359_78a3,
+        0x0070_0a4d_4141_d8ab,
+        0x8cc7_4079_7779_e898,
+        0x5203_6cee_2b6f_fe73,
+    ]);
+    /// 2·d.
+    pub const D2: FieldElement = FieldElement([
+        0xebd6_9b94_26b2_f159,
+        0x00e0_149a_8283_b156,
+        0x198e_80f2_eef3_d130,
+        0x2406_d9dc_56df_fce7,
+    ]);
+    /// A square root of −1 (used during point decompression).
+    pub const SQRT_M1: FieldElement = FieldElement([
+        0xc4ee_1b27_4a0e_a0b0,
+        0x2f43_1806_ad2f_e478,
+        0x2b4d_0099_3dfb_d7a7,
+        0x2b83_2480_4fc1_df0b,
+    ]);
+
+    /// Constructs a field element from little-endian limbs, reducing mod p.
+    #[must_use]
+    pub fn from_limbs(limbs: [u64; 4]) -> Self {
+        FieldElement(limbs).canonicalize()
+    }
+
+    /// Constructs a small field element from a `u64`.
+    #[must_use]
+    pub fn from_u64(value: u64) -> Self {
+        FieldElement([value, 0, 0, 0])
+    }
+
+    /// Decodes 32 little-endian bytes, ignoring the top bit (bit 255), and
+    /// reduces the result mod p.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes([
+                bytes[i * 8],
+                bytes[i * 8 + 1],
+                bytes[i * 8 + 2],
+                bytes[i * 8 + 3],
+                bytes[i * 8 + 4],
+                bytes[i * 8 + 5],
+                bytes[i * 8 + 6],
+                bytes[i * 8 + 7],
+            ]);
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        FieldElement(limbs).canonicalize()
+    }
+
+    /// Encodes the canonical value as 32 little-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if this element is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Returns `true` if the canonical encoding has its least-significant bit
+    /// set (the "negative" convention used by Ed25519 point compression).
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    fn canonicalize(self) -> Self {
+        let mut v = self;
+        // The value is always < 2^256 < 3p, so at most two subtractions.
+        for _ in 0..2 {
+            let (reduced, borrow) = v.sub_p();
+            if borrow == 0 {
+                v = reduced;
+            }
+        }
+        v
+    }
+
+    fn sub_p(&self) -> (FieldElement, u64) {
+        let mut out = [0u64; 4];
+        let mut borrow: u64 = 0;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(P[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) | u64::from(b2);
+        }
+        (FieldElement(out), borrow)
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, other: &FieldElement) -> FieldElement {
+        let mut out = [0u64; 4];
+        let mut carry: u64 = 0;
+        for i in 0..4 {
+            let v = (self.0[i] as u128) + (other.0[i] as u128) + (carry as u128);
+            out[i] = v as u64;
+            carry = (v >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0, "sum of two reduced elements fits in 256 bits");
+        FieldElement(out).canonicalize()
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &FieldElement) -> FieldElement {
+        let mut out = [0u64; 4];
+        let mut borrow: u64 = 0;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) | u64::from(b2);
+        }
+        if borrow != 0 {
+            // Add p back.
+            let mut carry: u64 = 0;
+            for i in 0..4 {
+                let v = (out[i] as u128) + (P[i] as u128) + (carry as u128);
+                out[i] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+        }
+        FieldElement(out)
+    }
+
+    /// Additive inverse.
+    #[must_use]
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &FieldElement) -> FieldElement {
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = (t[i + j] as u128)
+                    + (self.0[i] as u128) * (other.0[j] as u128)
+                    + carry;
+                t[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        reduce_wide(&t)
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Raises this element to the power given by `exponent` (little-endian
+    /// limbs) using square-and-multiply.
+    #[must_use]
+    pub fn pow(&self, exponent: &[u64; 4]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        // Process from the most significant bit downwards.
+        for limb_index in (0..4).rev() {
+            for bit in (0..64).rev() {
+                result = result.square();
+                if (exponent[limb_index] >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse (returns zero for zero).
+    #[must_use]
+    pub fn invert(&self) -> FieldElement {
+        // p - 2 = 2^255 - 21.
+        const P_MINUS_2: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow(&P_MINUS_2)
+    }
+
+    /// Computes x such that `x² · v = u`, if it exists.
+    ///
+    /// This is the square-root-of-ratio operation used for Ed25519 point
+    /// decompression. Returns `None` when `u/v` is not a square.
+    #[must_use]
+    pub fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> Option<FieldElement> {
+        // (p - 5) / 8 = 2^252 - 3.
+        const P_MINUS_5_DIV_8: [u64; 4] = [
+            0xffff_ffff_ffff_fffd,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x0fff_ffff_ffff_ffff,
+        ];
+        if v.is_zero() {
+            return if u.is_zero() { Some(FieldElement::ZERO) } else { None };
+        }
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow(&P_MINUS_5_DIV_8));
+        let check = v.mul(&x.square());
+        let neg_u = u.neg();
+        if check == *u {
+            Some(x)
+        } else if check == neg_u {
+            x = x.mul(&FieldElement::SQRT_M1);
+            Some(x)
+        } else {
+            None
+        }
+    }
+
+    /// Selects `other` if `choice` is true, `self` otherwise.
+    #[must_use]
+    pub fn select(&self, other: &FieldElement, choice: bool) -> FieldElement {
+        if choice {
+            *other
+        } else {
+            *self
+        }
+    }
+}
+
+fn reduce_wide(t: &[u64; 8]) -> FieldElement {
+    // 2^256 ≡ 38 (mod p): fold the high 256 bits multiplied by 38.
+    let mut r = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let v = (t[i] as u128) + (t[i + 4] as u128) * 38 + carry;
+        r[i] = v as u64;
+        carry = v >> 64;
+    }
+    // carry < 39; fold once more (at most twice in the degenerate wrap case).
+    let mut extra = (carry as u64) * 38;
+    while extra != 0 {
+        let mut c = extra as u128;
+        extra = 0;
+        for limb in &mut r {
+            if c == 0 {
+                break;
+            }
+            let v = (*limb as u128) + c;
+            *limb = v as u64;
+            c = v >> 64;
+        }
+        if c != 0 {
+            extra = (c as u64) * 38;
+        }
+    }
+    FieldElement(r).canonicalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement::from_u64(n)
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = fe(1234567);
+        let b = fe(7654321);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn additive_identity_and_inverse() {
+        let a = fe(99);
+        assert_eq!(a.add(&FieldElement::ZERO), a);
+        assert_eq!(a.add(&a.neg()), FieldElement::ZERO);
+        assert_eq!(FieldElement::ZERO.neg(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_identity_and_inverse() {
+        let a = fe(123456789);
+        assert_eq!(a.mul(&FieldElement::ONE), a);
+        assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+    }
+
+    #[test]
+    fn small_multiplication() {
+        assert_eq!(fe(6).mul(&fe(7)), fe(42));
+        assert_eq!(fe(0).mul(&fe(7)), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn wraparound_at_p() {
+        // (p - 1) + 2 = 1 (mod p)
+        let p_minus_1 = FieldElement(P).sub(&FieldElement::ONE);
+        assert_eq!(p_minus_1.add(&fe(2)), FieldElement::ONE);
+        // (p - 1) * (p - 1) = 1 (mod p) since p-1 ≡ -1
+        assert_eq!(p_minus_1.mul(&p_minus_1), FieldElement::ONE);
+    }
+
+    #[test]
+    fn from_bytes_masks_high_bit() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 5;
+        bytes[31] = 0x80;
+        assert_eq!(FieldElement::from_bytes(&bytes), fe(5));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = fe(0xdead_beef_cafe_f00d);
+        assert_eq!(FieldElement::from_bytes(&a.to_bytes()), a);
+        let b = FieldElement::D;
+        assert_eq!(FieldElement::from_bytes(&b.to_bytes()), b);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let minus_one = FieldElement::ZERO.sub(&FieldElement::ONE);
+        assert_eq!(FieldElement::SQRT_M1.square(), minus_one);
+    }
+
+    #[test]
+    fn d2_is_twice_d() {
+        assert_eq!(FieldElement::D.add(&FieldElement::D), FieldElement::D2);
+    }
+
+    #[test]
+    fn sqrt_ratio_of_square() {
+        let a = fe(12345);
+        let sq = a.square();
+        let root = FieldElement::sqrt_ratio(&sq, &FieldElement::ONE).expect("square has a root");
+        assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn sqrt_ratio_of_nonsquare_fails() {
+        // 2 is a non-residue mod p (p ≡ 5 mod 8 and 2^((p-1)/2) = -1).
+        assert!(FieldElement::sqrt_ratio(&fe(2), &FieldElement::ONE).is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = fe(3);
+        let mut expected = FieldElement::ONE;
+        for _ in 0..13 {
+            expected = expected.mul(&a);
+        }
+        assert_eq!(a.pow(&[13, 0, 0, 0]), expected);
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = fe(111);
+        let b = fe(222);
+        let c = fe(333);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn inversion_of_one_and_minus_one() {
+        assert_eq!(FieldElement::ONE.invert(), FieldElement::ONE);
+        let minus_one = FieldElement::ONE.neg();
+        assert_eq!(minus_one.invert(), minus_one);
+    }
+}

@@ -1,0 +1,110 @@
+//! HKDF (RFC 5869) based on HMAC-SHA-256.
+//!
+//! Used to derive per-session attestation keys and channel keys during TNIC
+//! bootstrapping and remote attestation (paper §4.3).
+
+use crate::hmac::hmac_sha256;
+
+/// Extracts a pseudorandom key from `ikm` using `salt`.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// Expands `prk` into `out_len` bytes of output keying material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32`, the RFC 5869 limit.
+#[must_use]
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "hkdf output length too large");
+    let mut okm = Vec::with_capacity(out_len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter: u8 = 1;
+    while okm.len() < out_len {
+        let mut data = Vec::with_capacity(previous.len() + info.len() + 1);
+        data.extend_from_slice(&previous);
+        data.extend_from_slice(info);
+        data.push(counter);
+        let block = hmac_sha256(prk, &data);
+        previous = block.to_vec();
+        okm.extend_from_slice(&block);
+        counter = counter.wrapping_add(1);
+    }
+    okm.truncate(out_len);
+    okm
+}
+
+/// One-shot extract-then-expand.
+///
+/// # Example
+///
+/// ```
+/// let key = tnic_crypto::hkdf::hkdf(b"salt", b"shared-secret", b"tnic session 7", 32);
+/// assert_eq!(key.len(), 32);
+/// ```
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: empty salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn output_lengths() {
+        for len in [1usize, 31, 32, 33, 64, 100] {
+            assert_eq!(hkdf(b"s", b"ikm", b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn different_info_yields_different_keys() {
+        let a = hkdf(b"s", b"ikm", b"session-1", 32);
+        let b = hkdf(b"s", b"ikm", b"session-2", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output length too large")]
+    fn too_long_output_panics() {
+        let _ = hkdf(b"s", b"ikm", b"info", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Arithmetic modulo the Ed25519 group order
+//! ℓ = 2²⁵² + 27742317777372353535851937790883648493.
+
+/// The group order ℓ as little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// A scalar modulo ℓ, always stored fully reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The scalar 1.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Reduces 32 little-endian bytes modulo ℓ.
+    #[must_use]
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        Scalar::reduce_be_bytes(&reversed(bytes))
+    }
+
+    /// Reduces 64 little-endian bytes (e.g. a SHA-512 output) modulo ℓ.
+    #[must_use]
+    pub fn from_bytes_mod_order_wide(bytes: &[u8; 64]) -> Scalar {
+        Scalar::reduce_be_bytes(&reversed(bytes))
+    }
+
+    /// Returns `Some(scalar)` if the 32 little-endian bytes already encode a
+    /// canonical scalar (`< ℓ`), `None` otherwise. Used when validating the
+    /// `S` component of a signature.
+    #[must_use]
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            limbs[i] = u64::from_le_bytes(chunk);
+        }
+        let candidate = Scalar(limbs);
+        if candidate.is_canonical() {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    fn is_canonical(&self) -> bool {
+        // self < L ?
+        for i in (0..4).rev() {
+            if self.0[i] < L[i] {
+                return true;
+            }
+            if self.0[i] > L[i] {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Horner-style reduction of an arbitrary-length big-endian byte string.
+    fn reduce_be_bytes(bytes: &[u8]) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for &byte in bytes {
+            // acc = acc * 256 + byte (mod L)
+            for _ in 0..8 {
+                acc = acc.double_mod();
+            }
+            acc = acc.add(&Scalar::small(u64::from(byte)));
+        }
+        acc
+    }
+
+    fn small(v: u64) -> Scalar {
+        // v < 256 << L, already canonical.
+        Scalar([v, 0, 0, 0])
+    }
+
+    fn double_mod(&self) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            out[i] = (self.0[i] << 1) | carry;
+            carry = self.0[i] >> 63;
+        }
+        debug_assert_eq!(carry, 0, "canonical scalars are < 2^253");
+        Scalar(out).conditional_sub_l()
+    }
+
+    fn conditional_sub_l(self) -> Scalar {
+        let (reduced, borrow) = self.sub_raw(&Scalar(L));
+        if borrow == 0 {
+            reduced
+        } else {
+            self
+        }
+    }
+
+    fn sub_raw(&self, other: &Scalar) -> (Scalar, u64) {
+        let mut out = [0u64; 4];
+        let mut borrow: u64 = 0;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) | u64::from(b2);
+        }
+        (Scalar(out), borrow)
+    }
+
+    /// Addition modulo ℓ.
+    #[must_use]
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let v = (self.0[i] as u128) + (other.0[i] as u128) + carry;
+            out[i] = v as u64;
+            carry = v >> 64;
+        }
+        debug_assert_eq!(carry, 0, "sum of two canonical scalars fits in 256 bits");
+        Scalar(out).conditional_sub_l()
+    }
+
+    /// Subtraction modulo ℓ.
+    #[must_use]
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        let (diff, borrow) = self.sub_raw(other);
+        if borrow == 0 {
+            return diff;
+        }
+        // Add ℓ back.
+        let mut out = [0u64; 4];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let v = (diff.0[i] as u128) + (L[i] as u128) + carry;
+            out[i] = v as u64;
+            carry = v >> 64;
+        }
+        Scalar(out)
+    }
+
+    /// Multiplication modulo ℓ.
+    #[must_use]
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = (t[i + j] as u128) + (self.0[i] as u128) * (other.0[j] as u128) + carry;
+                t[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        // Serialise the 512-bit product big-endian and reduce.
+        let mut be = [0u8; 64];
+        for i in 0..8 {
+            be[(7 - i) * 8..(7 - i) * 8 + 8].copy_from_slice(&t[i].to_be_bytes());
+        }
+        Scalar::reduce_be_bytes(&be)
+    }
+
+    /// Computes `self * b + c` modulo ℓ (the core of Ed25519 signing).
+    #[must_use]
+    pub fn mul_add(&self, b: &Scalar, c: &Scalar) -> Scalar {
+        self.mul(b).add(c)
+    }
+
+    /// Encodes the canonical scalar as 32 little-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the scalar is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+}
+
+fn reversed(bytes: &[u8]) -> Vec<u8> {
+    let mut v = bytes.to_vec();
+    v.reverse();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Scalar::ZERO.is_zero());
+        assert_eq!(Scalar::ONE.add(&Scalar::ZERO), Scalar::ONE);
+        assert_eq!(Scalar::ONE.mul(&Scalar::ONE), Scalar::ONE);
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&L[i].to_le_bytes());
+        }
+        assert!(Scalar::from_bytes_mod_order(&bytes).is_zero());
+        assert!(Scalar::from_canonical_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical_and_adds_to_zero() {
+        let l_minus_1 = Scalar(L).sub(&Scalar::ONE);
+        assert!(l_minus_1.is_canonical());
+        assert!(l_minus_1.add(&Scalar::ONE).is_zero());
+        let bytes = l_minus_1.to_bytes();
+        assert_eq!(Scalar::from_canonical_bytes(&bytes), Some(l_minus_1));
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Scalar([7, 0, 0, 0]);
+        let b = Scalar([6, 0, 0, 0]);
+        assert_eq!(a.mul(&b), Scalar([42, 0, 0, 0]));
+        assert_eq!(a.sub(&b), Scalar::ONE);
+        assert_eq!(b.sub(&a), Scalar(L).sub(&Scalar::ONE));
+        assert_eq!(a.mul_add(&b, &Scalar::ONE), Scalar([43, 0, 0, 0]));
+    }
+
+    #[test]
+    fn wide_reduction_matches_narrow_for_small_values() {
+        let mut wide = [0u8; 64];
+        wide[0] = 0xab;
+        wide[1] = 0x01;
+        let mut narrow = [0u8; 32];
+        narrow[0] = 0xab;
+        narrow[1] = 0x01;
+        assert_eq!(
+            Scalar::from_bytes_mod_order_wide(&wide),
+            Scalar::from_bytes_mod_order(&narrow)
+        );
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let s = Scalar::from_bytes_mod_order(&[0x42u8; 32]);
+        assert_eq!(Scalar::from_bytes_mod_order(&s.to_bytes()), s);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let a = Scalar::from_bytes_mod_order(&[17u8; 32]);
+        let b = Scalar::from_bytes_mod_order(&[99u8; 32]);
+        let c = Scalar::from_bytes_mod_order(&[3u8; 32]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Authenticated encryption: ChaCha20 + HMAC-SHA-256 (encrypt-then-MAC).
+//!
+//! The remote-attestation protocol (paper §4.3) ends with the IP vendor
+//! sending the TNIC bitstream and the session secrets over a mutually
+//! authenticated channel. This module provides the channel's record
+//! protection. We use encrypt-then-MAC instead of Poly1305 to keep the
+//! from-scratch substrate small; the construction is still a standard AEAD
+//! composition (documented in DESIGN.md).
+
+use crate::chacha20::{chacha20_apply, KEY_LEN, NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+use crate::hkdf::hkdf;
+use crate::hmac::hmac_sha256;
+
+/// Length of the authentication tag appended to each ciphertext.
+pub const TAG_LEN: usize = 32;
+
+/// A symmetric authenticated-encryption key pair (cipher key + MAC key),
+/// derived from a single 32-byte secret.
+#[derive(Clone)]
+pub struct SecretBox {
+    enc_key: [u8; KEY_LEN],
+    mac_key: [u8; 32],
+}
+
+impl std::fmt::Debug for SecretBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("SecretBox").field("enc_key", &"<redacted>").finish()
+    }
+}
+
+impl SecretBox {
+    /// Derives the cipher and MAC subkeys from `secret` using HKDF.
+    #[must_use]
+    pub fn new(secret: &[u8]) -> Self {
+        let okm = hkdf(b"tnic-secretbox-v1", secret, b"enc|mac", 64);
+        let mut enc_key = [0u8; KEY_LEN];
+        let mut mac_key = [0u8; 32];
+        enc_key.copy_from_slice(&okm[..32]);
+        mac_key.copy_from_slice(&okm[32..]);
+        SecretBox { enc_key, mac_key }
+    }
+
+    /// Encrypts `plaintext` with the given 12-byte `nonce` and returns
+    /// `ciphertext || tag`. The `associated_data` is authenticated but not
+    /// encrypted.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], associated_data: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = chacha20_apply(&self.enc_key, nonce, 1, plaintext);
+        let tag = self.tag(nonce, associated_data, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts a message produced by [`SecretBox::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidCiphertext`] if the tag does not verify
+    /// or the input is shorter than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        associated_data: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidCiphertext);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(nonce, associated_data, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::InvalidCiphertext);
+        }
+        Ok(chacha20_apply(&self.enc_key, nonce, 1, ciphertext))
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], associated_data: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac_input =
+            Vec::with_capacity(NONCE_LEN + 8 + associated_data.len() + 8 + ciphertext.len());
+        mac_input.extend_from_slice(nonce);
+        mac_input.extend_from_slice(&(associated_data.len() as u64).to_le_bytes());
+        mac_input.extend_from_slice(associated_data);
+        mac_input.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        mac_input.extend_from_slice(ciphertext);
+        hmac_sha256(&self.mac_key, &mac_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let sb = SecretBox::new(b"shared secret from x25519");
+        let nonce = [9u8; 12];
+        let sealed = sb.seal(&nonce, b"header", b"the bitstream");
+        let opened = sb.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"the bitstream");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let sb = SecretBox::new(b"k");
+        let nonce = [0u8; 12];
+        let mut sealed = sb.seal(&nonce, b"", b"secret payload");
+        sealed[0] ^= 0xff;
+        assert_eq!(
+            sb.open(&nonce, b"", &sealed),
+            Err(CryptoError::InvalidCiphertext)
+        );
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let sb = SecretBox::new(b"k");
+        let nonce = [0u8; 12];
+        let mut sealed = sb.seal(&nonce, b"", b"secret payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x01;
+        assert!(sb.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_associated_data_rejected() {
+        let sb = SecretBox::new(b"k");
+        let nonce = [0u8; 12];
+        let sealed = sb.seal(&nonce, b"session-1", b"payload");
+        assert!(sb.open(&nonce, b"session-2", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let sb = SecretBox::new(b"k");
+        let sealed = sb.seal(&[1u8; 12], b"", b"payload");
+        assert!(sb.open(&[2u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = SecretBox::new(b"k1").seal(&[0u8; 12], b"", b"payload");
+        assert!(SecretBox::new(b"k2").open(&[0u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let sb = SecretBox::new(b"k");
+        assert_eq!(
+            sb.open(&[0u8; 12], b"", &[0u8; 5]),
+            Err(CryptoError::InvalidCiphertext)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_round_trip() {
+        let sb = SecretBox::new(b"k");
+        let sealed = sb.seal(&[3u8; 12], b"ad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(sb.open(&[3u8; 12], b"ad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let sb = SecretBox::new(b"super secret");
+        let dbg = format!("{sb:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("super"));
+    }
+}

@@ -1,0 +1,178 @@
+//! X25519 Diffie–Hellman key agreement (RFC 7748).
+//!
+//! Used during TNIC remote attestation (paper §4.3 steps 6.1–6.3) to establish
+//! the mutually authenticated channel between the IP vendor and the device
+//! controller over which secrets and the bitstream are delivered.
+
+use crate::field25519::FieldElement;
+
+/// Length of scalars and u-coordinates in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// The base point u = 9.
+pub const BASEPOINT: [u8; KEY_LEN] = {
+    let mut b = [0u8; KEY_LEN];
+    b[0] = 9;
+    b
+};
+
+/// Clamps a 32-byte secret into an X25519 scalar as specified by RFC 7748.
+#[must_use]
+pub fn clamp_scalar(mut scalar: [u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// Performs the X25519 function: scalar multiplication on the Montgomery
+/// curve, returning the resulting u-coordinate.
+#[must_use]
+pub fn x25519(scalar: &[u8; KEY_LEN], u_coordinate: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    let k = clamp_scalar(*scalar);
+    let x1 = FieldElement::from_bytes(u_coordinate);
+
+    let mut x2 = FieldElement::ONE;
+    let mut z2 = FieldElement::ZERO;
+    let mut x3 = x1;
+    let mut z3 = FieldElement::ONE;
+    let mut swap = false;
+
+    let a24 = FieldElement::from_u64(121_665);
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1 == 1;
+        let do_swap = swap ^ k_t;
+        if do_swap {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&a24.mul(&e)));
+    }
+    if swap {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// Computes the public key for a secret scalar (scalar · basepoint).
+#[must_use]
+pub fn public_key(secret: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    x25519(secret, &BASEPOINT)
+}
+
+/// Computes the shared secret between a local secret and a remote public key.
+#[must_use]
+pub fn shared_secret(secret: &[u8; KEY_LEN], peer_public: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    x25519(secret, peer_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test vector.
+    #[test]
+    fn rfc7748_diffie_hellman() {
+        let alice_priv =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = shared_secret(&alice_priv, &bob_pub);
+        let s2 = shared_secret(&bob_priv, &alice_pub);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn iterated_ladder_one_step() {
+        // RFC 7748 §5.2: after 1 iteration of k = u = 0900..00 the result is
+        // 422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079.
+        let k = BASEPOINT;
+        let u = BASEPOINT;
+        assert_eq!(
+            hex(&x25519(&k, &u)),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn clamping_sets_expected_bits() {
+        let clamped = clamp_scalar([0xffu8; 32]);
+        assert_eq!(clamped[0] & 7, 0);
+        assert_eq!(clamped[31] & 0x80, 0);
+        assert_eq!(clamped[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn shared_secrets_agree_for_arbitrary_keys() {
+        for seed in 0u8..5 {
+            let a = [seed; 32];
+            let b = [seed.wrapping_add(100); 32];
+            let s1 = shared_secret(&a, &public_key(&b));
+            let s2 = shared_secret(&b, &public_key(&a));
+            assert_eq!(s1, s2, "seed {seed}");
+        }
+    }
+}

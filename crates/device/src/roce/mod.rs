@@ -1,0 +1,16 @@
+//! The RoCE protocol kernel (paper §4.2).
+//!
+//! Implements a reliable transport service on top of the IB transport protocol
+//! with UDP/IPv4 encapsulation (RoCE v2): queue pairs, packet/message sequence
+//! numbers, cumulative acknowledgements, a retransmission timer and in-order
+//! delivery. The reliability and FIFO properties of this layer are what allow
+//! the attestation kernel's counters to guarantee that no message between two
+//! correct nodes is lost or reordered (paper §8.5, "Message drops").
+
+pub mod packet;
+pub mod qp;
+pub mod transport;
+
+pub use packet::{PacketHeader, RdmaOpcode, RocePacket};
+pub use qp::{CompletionEntry, QueuePair};
+pub use transport::ReliableTransport;

@@ -1,0 +1,156 @@
+//! Byzantine network adversaries (paper §3.2).
+//!
+//! The threat model lets an attacker control the network: messages can be
+//! dropped, modified, replayed or re-sent stale-but-valid. The attestation
+//! kernel's transferable authentication and non-equivocation must detect all
+//! of it; these adversaries are used by property and integration tests to
+//! demonstrate exactly that.
+
+use tnic_device::roce::packet::RocePacket;
+use tnic_sim::rng::DetRng;
+
+/// A network adversary applied to every injected packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adversary {
+    /// No interference.
+    Honest,
+    /// Flips bytes in the payload with the given probability.
+    TamperPayload {
+        /// Probability that a given packet is tampered with.
+        probability: f64,
+    },
+    /// Drops every packet matching the probability (network partition /
+    /// targeted censorship).
+    Drop {
+        /// Probability that a given packet is dropped.
+        probability: f64,
+    },
+    /// Replays each packet an extra time with the given probability
+    /// (duplication / replay attack).
+    Replay {
+        /// Probability that a given packet is replayed.
+        probability: f64,
+    },
+    /// Records the first packet seen and keeps re-injecting it instead of
+    /// (some) later packets — a stale-message equivocation attempt.
+    ReplayStale {
+        /// Probability that a later packet is replaced by the recorded one.
+        probability: f64,
+        /// The recorded packet, if any.
+        recorded: Option<Box<RocePacket>>,
+    },
+}
+
+impl Adversary {
+    /// Applies the adversary to a packet, returning the packets that actually
+    /// enter the network (empty = dropped, more than one = duplication).
+    pub fn apply(&mut self, packet: &RocePacket, rng: &mut DetRng) -> Vec<RocePacket> {
+        match self {
+            Adversary::Honest => vec![packet.clone()],
+            Adversary::TamperPayload { probability } => {
+                let mut out = packet.clone();
+                if rng.chance(*probability) && !out.payload.is_empty() {
+                    let idx = rng.next_below(out.payload.len() as u64) as usize;
+                    out.payload[idx] ^= 0xff;
+                }
+                vec![out]
+            }
+            Adversary::Drop { probability } => {
+                if rng.chance(*probability) {
+                    Vec::new()
+                } else {
+                    vec![packet.clone()]
+                }
+            }
+            Adversary::Replay { probability } => {
+                if rng.chance(*probability) {
+                    vec![packet.clone(), packet.clone()]
+                } else {
+                    vec![packet.clone()]
+                }
+            }
+            Adversary::ReplayStale {
+                probability,
+                recorded,
+            } => {
+                if recorded.is_none() {
+                    *recorded = Some(Box::new(packet.clone()));
+                    vec![packet.clone()]
+                } else if rng.chance(*probability) {
+                    vec![recorded.as_ref().map(|p| (**p).clone()).expect("recorded")]
+                } else {
+                    vec![packet.clone()]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_device::roce::packet::{PacketHeader, RdmaOpcode};
+    use tnic_device::types::{DeviceId, Ipv4Addr, MacAddr, QueuePairId};
+
+    fn packet(tag: u8) -> RocePacket {
+        RocePacket {
+            header: PacketHeader {
+                src_mac: MacAddr::from_device(DeviceId(1)),
+                dst_mac: MacAddr::from_device(DeviceId(2)),
+                src_ip: Ipv4Addr::from_device(DeviceId(1)),
+                dst_ip: Ipv4Addr::from_device(DeviceId(2)),
+                udp_port: 4791,
+                opcode: RdmaOpcode::Write,
+                qp: QueuePairId(1),
+                psn: u32::from(tag),
+                msn: u32::from(tag),
+                ack_psn: 0,
+            },
+            payload: vec![tag; 8],
+        }
+    }
+
+    #[test]
+    fn honest_passes_through() {
+        let mut adv = Adversary::Honest;
+        let mut rng = DetRng::new(1);
+        assert_eq!(adv.apply(&packet(1), &mut rng), vec![packet(1)]);
+    }
+
+    #[test]
+    fn tamper_changes_payload() {
+        let mut adv = Adversary::TamperPayload { probability: 1.0 };
+        let mut rng = DetRng::new(2);
+        let out = adv.apply(&packet(1), &mut rng);
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].payload, packet(1).payload);
+        assert_eq!(out[0].header, packet(1).header);
+    }
+
+    #[test]
+    fn drop_removes_packets() {
+        let mut adv = Adversary::Drop { probability: 1.0 };
+        let mut rng = DetRng::new(3);
+        assert!(adv.apply(&packet(1), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn replay_duplicates() {
+        let mut adv = Adversary::Replay { probability: 1.0 };
+        let mut rng = DetRng::new(4);
+        assert_eq!(adv.apply(&packet(1), &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn stale_replay_substitutes_old_packet() {
+        let mut adv = Adversary::ReplayStale {
+            probability: 1.0,
+            recorded: None,
+        };
+        let mut rng = DetRng::new(5);
+        let first = adv.apply(&packet(1), &mut rng);
+        assert_eq!(first[0].payload, packet(1).payload);
+        let second = adv.apply(&packet(2), &mut rng);
+        assert_eq!(second[0].payload, packet(1).payload, "stale packet replayed");
+    }
+}

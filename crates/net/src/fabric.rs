@@ -1,0 +1,348 @@
+//! A point-to-point packet fabric connecting TNIC devices.
+//!
+//! The fabric is deliberately hostile-configurable: links can delay, drop,
+//! duplicate and reorder packets (the paper's threat model lets the adversary
+//! control the network, §3.2). The RoCE reliable transport and the attestation
+//! counters must mask or detect all of it.
+
+use crate::adversary::Adversary;
+use tnic_device::roce::packet::RocePacket;
+use tnic_device::types::Ipv4Addr;
+use tnic_sim::event::EventQueue;
+use tnic_sim::latency::LatencyModel;
+use tnic_sim::rng::DetRng;
+use tnic_sim::time::{SimDuration, SimInstant};
+
+/// Behaviour of a directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Propagation + switching delay.
+    pub delay: LatencyModel,
+    /// Probability that a packet is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a packet is delivered twice.
+    pub duplicate_probability: f64,
+    /// Extra random delay added with `reorder_probability`, causing packets to
+    /// overtake each other.
+    pub reorder_probability: f64,
+    /// The extra delay applied to reordered packets.
+    pub reorder_extra: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+impl LinkConfig {
+    /// A well-behaved 100 Gbps-class datacenter link (~2 µs propagation).
+    #[must_use]
+    pub fn reliable() -> Self {
+        LinkConfig {
+            delay: LatencyModel::uniform(
+                SimDuration::from_nanos(1_800),
+                SimDuration::from_nanos(2_400),
+            ),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// A lossy link useful for exercising retransmission.
+    #[must_use]
+    pub fn lossy(drop_probability: f64) -> Self {
+        LinkConfig {
+            drop_probability,
+            ..Self::reliable()
+        }
+    }
+
+    /// A link that reorders and duplicates aggressively.
+    #[must_use]
+    pub fn chaotic() -> Self {
+        LinkConfig {
+            delay: LatencyModel::uniform(
+                SimDuration::from_nanos(1_500),
+                SimDuration::from_nanos(4_000),
+            ),
+            drop_probability: 0.05,
+            duplicate_probability: 0.05,
+            reorder_probability: 0.2,
+            reorder_extra: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// A packet in flight towards a destination node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// Destination node address.
+    pub dst: Ipv4Addr,
+    /// The packet being delivered.
+    pub packet: RocePacket,
+}
+
+/// Counters describing what the fabric did to traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Packets accepted for delivery.
+    pub injected: u64,
+    /// Packets dropped by link loss or the adversary.
+    pub dropped: u64,
+    /// Extra copies created by duplication or replay.
+    pub duplicated: u64,
+    /// Packets whose content the adversary modified.
+    pub tampered: u64,
+    /// Packets delivered to their destination.
+    pub delivered: u64,
+}
+
+/// The simulated network fabric.
+pub struct NetworkFabric {
+    default_link: LinkConfig,
+    links: Vec<(Ipv4Addr, Ipv4Addr, LinkConfig)>,
+    queue: EventQueue<InFlight>,
+    rng: DetRng,
+    adversary: Adversary,
+    stats: FabricStats,
+}
+
+impl std::fmt::Debug for NetworkFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkFabric")
+            .field("links", &self.links.len())
+            .field("in_flight", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NetworkFabric {
+    /// Creates a fabric where every pair of nodes uses `default_link`.
+    #[must_use]
+    pub fn new(default_link: LinkConfig, seed: u64) -> Self {
+        NetworkFabric {
+            default_link,
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            rng: DetRng::new(seed),
+            adversary: Adversary::Honest,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// A fabric with reliable links.
+    #[must_use]
+    pub fn reliable(seed: u64) -> Self {
+        Self::new(LinkConfig::reliable(), seed)
+    }
+
+    /// Overrides the link configuration for the directed pair `src → dst`.
+    pub fn configure_link(&mut self, src: Ipv4Addr, dst: Ipv4Addr, config: LinkConfig) {
+        self.links.retain(|(s, d, _)| !(*s == src && *d == dst));
+        self.links.push((src, dst, config));
+    }
+
+    /// Installs a network adversary.
+    pub fn set_adversary(&mut self, adversary: Adversary) {
+        self.adversary = adversary;
+    }
+
+    fn link(&self, src: Ipv4Addr, dst: Ipv4Addr) -> &LinkConfig {
+        self.links
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map_or(&self.default_link, |(_, _, c)| c)
+    }
+
+    /// Injects a packet from `src` towards `dst` at virtual time `now`.
+    pub fn inject(&mut self, src: Ipv4Addr, dst: Ipv4Addr, packet: RocePacket, now: SimInstant) {
+        self.stats.injected += 1;
+        let actions = self.adversary.apply(&packet, &mut self.rng);
+        if actions.is_empty() {
+            self.stats.dropped += 1;
+            return;
+        }
+        if actions.len() > 1 {
+            self.stats.duplicated += (actions.len() - 1) as u64;
+        }
+        let link = self.link(src, dst).clone();
+        for adjusted in actions {
+            if adjusted != packet {
+                self.stats.tampered += 1;
+            }
+            if self.rng.chance(link.drop_probability) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let mut delay = link.delay.sample(&mut self.rng);
+            if self.rng.chance(link.reorder_probability) {
+                delay += link.reorder_extra;
+            }
+            let copies = if self.rng.chance(link.duplicate_probability) {
+                self.stats.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                self.queue.schedule(
+                    now + delay,
+                    InFlight {
+                        dst,
+                        packet: adjusted.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Removes and returns all packets whose delivery time is `<= now`.
+    pub fn deliver_due(&mut self, now: SimInstant) -> Vec<(SimInstant, InFlight)> {
+        let mut out = Vec::new();
+        while let Some(at) = self.queue.peek_time() {
+            if at > now {
+                break;
+            }
+            let (at, flight) = self.queue.pop().expect("peeked entry exists");
+            self.stats.delivered += 1;
+            out.push((at, flight));
+        }
+        out
+    }
+
+    /// Time of the next pending delivery, if any.
+    #[must_use]
+    pub fn next_delivery(&self) -> Option<SimInstant> {
+        self.queue.peek_time()
+    }
+
+    /// Number of packets currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_device::roce::packet::{PacketHeader, RdmaOpcode};
+    use tnic_device::types::{DeviceId, MacAddr, QueuePairId};
+
+    fn packet(psn: u32) -> RocePacket {
+        RocePacket {
+            header: PacketHeader {
+                src_mac: MacAddr::from_device(DeviceId(1)),
+                dst_mac: MacAddr::from_device(DeviceId(2)),
+                src_ip: Ipv4Addr::from_device(DeviceId(1)),
+                dst_ip: Ipv4Addr::from_device(DeviceId(2)),
+                udp_port: 4791,
+                opcode: RdmaOpcode::Write,
+                qp: QueuePairId(1),
+                psn,
+                msn: psn,
+                ack_psn: 0,
+            },
+            payload: vec![psn as u8; 16],
+        }
+    }
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (
+            Ipv4Addr::from_device(DeviceId(1)),
+            Ipv4Addr::from_device(DeviceId(2)),
+        )
+    }
+
+    #[test]
+    fn reliable_fabric_delivers_everything_in_order() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::reliable(1);
+        for psn in 0..10 {
+            fabric.inject(a, b, packet(psn), SimInstant::from_nanos(psn as u64 * 10_000));
+        }
+        let delivered = fabric.deliver_due(SimInstant::from_nanos(1_000_000));
+        assert_eq!(delivered.len(), 10);
+        let psns: Vec<u32> = delivered.iter().map(|(_, f)| f.packet.header.psn).collect();
+        assert_eq!(psns, (0..10).collect::<Vec<_>>());
+        assert_eq!(fabric.stats().delivered, 10);
+        assert_eq!(fabric.stats().dropped, 0);
+    }
+
+    #[test]
+    fn delivery_respects_time() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::reliable(2);
+        fabric.inject(a, b, packet(0), SimInstant::EPOCH);
+        assert!(fabric.deliver_due(SimInstant::from_nanos(100)).is_empty());
+        assert!(fabric.next_delivery().is_some());
+        assert_eq!(fabric.deliver_due(SimInstant::from_nanos(10_000)).len(), 1);
+        assert_eq!(fabric.in_flight(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_some_packets() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::new(LinkConfig::lossy(0.5), 3);
+        for psn in 0..200 {
+            fabric.inject(a, b, packet(psn), SimInstant::EPOCH);
+        }
+        let delivered = fabric.deliver_due(SimInstant::from_nanos(10_000_000)).len();
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered}");
+        assert!(fabric.stats().dropped > 0);
+    }
+
+    #[test]
+    fn per_link_configuration_overrides_default() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::reliable(4);
+        fabric.configure_link(a, b, LinkConfig::lossy(1.0));
+        for psn in 0..20 {
+            fabric.inject(a, b, packet(psn), SimInstant::EPOCH);
+        }
+        assert!(fabric.deliver_due(SimInstant::from_nanos(10_000_000)).is_empty());
+        // The reverse direction still uses the reliable default.
+        fabric.inject(b, a, packet(0), SimInstant::EPOCH);
+        assert_eq!(fabric.deliver_due(SimInstant::from_nanos(10_000_000)).len(), 1);
+    }
+
+    #[test]
+    fn chaotic_link_duplicates_or_reorders() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::new(LinkConfig::chaotic(), 5);
+        for psn in 0..300 {
+            fabric.inject(a, b, packet(psn), SimInstant::from_nanos(psn as u64 * 1_000));
+        }
+        let delivered = fabric.deliver_due(SimInstant::from_nanos(100_000_000));
+        let stats = fabric.stats();
+        assert!(stats.dropped > 0, "expected drops");
+        assert!(stats.duplicated > 0, "expected duplicates");
+        // Reordering: delivered PSNs are not sorted.
+        let psns: Vec<u32> = delivered.iter().map(|(_, f)| f.packet.header.psn).collect();
+        let mut sorted = psns.clone();
+        sorted.sort_unstable();
+        assert_ne!(psns, sorted, "expected reordering");
+    }
+
+    #[test]
+    fn tampering_adversary_modifies_packets() {
+        let (a, b) = addrs();
+        let mut fabric = NetworkFabric::reliable(6);
+        fabric.set_adversary(Adversary::TamperPayload { probability: 1.0 });
+        fabric.inject(a, b, packet(0), SimInstant::EPOCH);
+        let delivered = fabric.deliver_due(SimInstant::from_nanos(1_000_000));
+        assert_eq!(delivered.len(), 1);
+        assert_ne!(delivered[0].1.packet.payload, packet(0).payload);
+        assert_eq!(fabric.stats().tampered, 1);
+    }
+}

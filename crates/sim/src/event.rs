@@ -1,0 +1,153 @@
+//! A minimal discrete-event queue.
+//!
+//! Protocol simulations (the BFT, chain-replication and PeerReview harnesses)
+//! schedule message deliveries and timer expirations as events ordered by
+//! virtual time. Ties are broken by insertion order so runs are deterministic.
+
+use crate::time::SimInstant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimInstant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap (a max-heap) pops the earliest
+        // event first; ties resolved by insertion sequence.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use tnic_sim::event::EventQueue;
+/// use tnic_sim::time::SimInstant;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimInstant::from_nanos(20), "b");
+/// q.schedule(SimInstant::from_nanos(10), "a");
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at virtual time `at`.
+    pub fn schedule(&mut self, at: SimInstant, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimInstant, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Returns the time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_nanos(30), 3);
+        q.schedule(SimInstant::from_nanos(10), 1);
+        q.schedule(SimInstant::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimInstant::from_nanos(5);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+        q.schedule(SimInstant::EPOCH + SimDuration::from_micros(1), ());
+        q.schedule(SimInstant::EPOCH + SimDuration::from_micros(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time().unwrap().as_micros(), 1);
+    }
+
+    #[test]
+    fn debug_shows_pending_count() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::EPOCH, 1u8);
+        assert!(format!("{q:?}").contains("pending"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Statistics utilities used by the benchmark harness: online mean/variance,
+//! latency histograms with percentiles, and throughput meters.
+
+use crate::time::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds a duration observation, in microseconds.
+    pub fn record_duration(&mut self, value: SimDuration) {
+        self.record(value.as_micros_f64());
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (0 for an empty accumulator).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 for an empty accumulator).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A latency histogram storing raw samples in microseconds.
+///
+/// The paper reports average and occasionally tail behaviour (Figure 7); we
+/// keep all samples (experiments are short) so exact percentiles can be
+/// reported.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples_us: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            samples_us: Vec::new(),
+        }
+    }
+
+    /// Records a duration sample.
+    pub fn record(&mut self, value: SimDuration) {
+        self.samples_us.push(value.as_micros_f64());
+    }
+
+    /// Records a raw microsecond sample.
+    pub fn record_us(&mut self, value_us: f64) {
+        self.samples_us.push(value_us);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Returns `true` if the histogram has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            0.0
+        } else {
+            self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) in microseconds, by nearest-rank.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median latency in microseconds.
+    #[must_use]
+    pub fn median_us(&self) -> f64 {
+        self.percentile_us(0.5)
+    }
+
+    /// Maximum latency in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> f64 {
+        self.samples_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Raw samples (time-ordered), used for Figure 7 style plots.
+    #[must_use]
+    pub fn samples_us(&self) -> &[f64] {
+        &self.samples_us
+    }
+}
+
+/// Counts completed operations over a span of virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    started_at: SimInstant,
+    operations: u64,
+    bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter starting at `start`.
+    #[must_use]
+    pub fn new(start: SimInstant) -> Self {
+        ThroughputMeter {
+            started_at: start,
+            operations: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Records one completed operation carrying `bytes` bytes of payload.
+    pub fn record(&mut self, bytes: u64) {
+        self.operations += 1;
+        self.bytes += bytes;
+    }
+
+    /// Number of completed operations.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Operations per second of virtual time elapsed until `now`.
+    #[must_use]
+    pub fn ops_per_sec(&self, now: SimInstant) -> f64 {
+        let elapsed = now.duration_since(self.started_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / elapsed
+        }
+    }
+
+    /// Payload megabytes per second of virtual time elapsed until `now`.
+    #[must_use]
+    pub fn mbytes_per_sec(&self, now: SimInstant) -> f64 {
+        let elapsed = now.duration_since(self.started_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1_000_000.0 / elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_duration() {
+        let mut s = OnlineStats::new();
+        s.record_duration(SimDuration::from_micros(10));
+        s.record_duration(SimDuration::from_micros(20));
+        assert!((s.mean() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for i in 1..=100u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        assert_eq!(h.len(), 100);
+        assert!((h.mean_us() - 50.5).abs() < 1e-9);
+        assert_eq!(h.median_us(), 51.0);
+        assert_eq!(h.percentile_us(0.99), 99.0);
+        assert_eq!(h.percentile_us(1.0), 100.0);
+        assert_eq!(h.max_us(), 100.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.percentile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let start = SimInstant::EPOCH;
+        let mut m = ThroughputMeter::new(start);
+        for _ in 0..1000 {
+            m.record(128);
+        }
+        let now = start + SimDuration::from_millis(100);
+        assert_eq!(m.operations(), 1000);
+        assert!((m.ops_per_sec(now) - 10_000.0).abs() < 1e-6);
+        assert!((m.mbytes_per_sec(now) - 1.28).abs() < 1e-6);
+        assert_eq!(m.ops_per_sec(start), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The TNIC software network stack (paper §5, Figure 4).
+//!
+//! The stack is the middle layer between the programming API (`tnic-core`) and
+//! the hardware model (`tnic-device`). It mirrors the paper's structure:
+//!
+//! * [`driver`] — the TNIC driver: configures the device's static
+//!   configuration registers at initialisation and exposes the device as a
+//!   pseudo-device whose register page is mapped into user space.
+//! * [`regs`] — the mapped REG pages giving the application direct,
+//!   kernel-bypass access to the device control path.
+//! * [`ibv`] — the user-space RDMA ("ibv") library: queue-pair structures,
+//!   ibv memory allocation and registration, out-of-band synchronisation and
+//!   the post/poll data path.
+//! * [`oslib`] — the TNIC-OS library: `tnic-process` handles, REG-page
+//!   locking for isolated access and request scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod ibv;
+pub mod oslib;
+pub mod regs;
+
+pub use driver::{SharedDevice, TnicDriver};
+pub use ibv::IbvContext;
+pub use regs::MappedRegsPage;

@@ -1,0 +1,32 @@
+//! Host-side baseline emulation for the TNIC evaluation (paper §8.1, §8.3).
+//!
+//! The paper compares the TNIC attestation kernel against four host-side
+//! systems (Table 2): `SSL-lib` (an in-process OpenSSL HMAC library, neither
+//! TEE-free nor tamper-proof trade-offs apply), `SSL-server` running natively
+//! on Intel x86 or AMD (TEE-free but not tamper-proof), and the same server
+//! hosted inside Intel SGX (via scone) or an AMD SEV VM (tamper-proof).
+//! The paper itself emulates TEE latencies in the distributed-systems
+//! experiments by injecting measured delays (§8.3); this crate reproduces that
+//! methodology: HMACs are computed for real, while latency comes from models
+//! calibrated to the paper's Figures 5–7.
+//!
+//! Modules:
+//! * [`profile`] — the latency/security profile of each baseline.
+//! * [`attestor`] — a TEE-hosted attestation service producing the same wire
+//!   format as the TNIC attestation kernel.
+//! * [`sgx`] — SGX specifics: EPC capacity and paging cost model (Table 3's
+//!   66× lookup collapse), scone-style latency spikes (Figure 7).
+//! * [`sev`] — AMD SEV specifics.
+//! * [`tcb`] — TCB size accounting (Table 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestor;
+pub mod profile;
+pub mod sev;
+pub mod sgx;
+pub mod tcb;
+
+pub use attestor::TeeAttestor;
+pub use profile::{Baseline, BaselineProfile};
