@@ -1,1 +1,65 @@
-fn main() {}
+//! Application case-study benchmarks: BFT counter, chain replication and
+//! the PeerReview accountability layer (paper §8.5 / Figure 10 flavour).
+//!
+//! Reports wall-clock ns per committed operation and the virtual time each
+//! deployment accumulated. Run with
+//! `cargo bench -p tnic-bench --bench applications`.
+
+use tnic_bench::time_op;
+use tnic_bft::{BftConfig, BftCounter};
+use tnic_core::{Baseline, NetworkStackKind};
+use tnic_cr::ChainReplication;
+use tnic_net::adversary::FaultPlan;
+use tnic_peerreview::system::{PeerReview, PeerReviewConfig};
+
+fn main() {
+    println!("application benchmarks\n");
+
+    let mut bft = BftCounter::new(
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        BftConfig {
+            f: 1,
+            batch_size: 8,
+        },
+        7,
+    )
+    .unwrap();
+    let ns = time_op(100, || bft.client_increment().unwrap());
+    println!(
+        "BFT counter (f=1, batch 8):    {ns:>10.0} ns/round   virtual {} us",
+        bft.now().as_micros()
+    );
+
+    let mut chain = ChainReplication::new(3, Baseline::Tnic, NetworkStackKind::Tnic, 7).unwrap();
+    let ns = time_op(100, || chain.put(b"key", b"value").unwrap());
+    println!(
+        "chain replication (3 nodes):   {ns:>10.0} ns/put     virtual {} us",
+        chain.now().as_micros()
+    );
+
+    // The accountability overhead: one audited round of 8 messages on 4
+    // nodes, against the same workload without the PeerReview layer.
+    let mut pr = PeerReview::new(PeerReviewConfig::default(), FaultPlan::all_correct()).unwrap();
+    let ns = time_op(20, || {
+        pr.run_workload(8).unwrap();
+        pr.run_audit_round().unwrap();
+    });
+    let stats = pr.stats();
+    println!(
+        "peerreview (4 nodes, audited): {ns:>10.0} ns/round   virtual {} us   ctl/app {:.2}",
+        pr.now().as_micros(),
+        stats.control_overhead_ratio()
+    );
+
+    let mut bare =
+        tnic_core::api::Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 7);
+    let mut cursor = 0u64;
+    let ns = time_op(20, || {
+        tnic_bench::run_bare_workload(&mut bare, &mut cursor, 8).unwrap()
+    });
+    println!(
+        "bare substrate (same load):    {ns:>10.0} ns/round   virtual {} us",
+        bare.now().as_micros()
+    );
+}

@@ -1,1 +1,51 @@
-fn main() {}
+//! Micro-benchmarks of the attestation kernel and the host baselines.
+//!
+//! Reports both the wall-clock cost of the functional model (ns/op) and the
+//! *virtual* cost the latency model charges (µs/op, the paper's Figure 6
+//! quantity). Run with `cargo bench -p tnic-bench --bench attest`.
+
+use tnic_bench::time_op;
+use tnic_core::provider::Provider;
+use tnic_device::types::{DeviceId, SessionId};
+use tnic_sim::time::SimDuration;
+use tnic_tee::profile::Baseline;
+
+fn main() {
+    println!("attest/verify micro-benchmarks\n");
+    println!(
+        "{:<12} {:>8} {:>14} {:>14}",
+        "baseline", "size B", "attest ns/op", "virtual us/op"
+    );
+    for baseline in Baseline::ALL {
+        for size in [64usize, 1024, 8192] {
+            let mut provider = Provider::new(baseline, DeviceId(1), 7);
+            provider.install_session_key(SessionId(1), [3u8; 32]);
+            let payload = vec![0x42u8; size];
+            let mut virtual_total = SimDuration::ZERO;
+            let mut ops = 0u64;
+            let ns = time_op(500, || {
+                let (msg, cost) = provider.attest(SessionId(1), &payload).unwrap();
+                virtual_total += cost;
+                ops += 1;
+                msg
+            });
+            let virtual_us = virtual_total.as_micros_f64() / ops as f64;
+            println!(
+                "{:<12} {:>8} {:>14.0} {:>14.2}",
+                baseline.label(),
+                size,
+                ns,
+                virtual_us
+            );
+        }
+    }
+
+    // Verification path (TNIC): attest once, verify the binding repeatedly.
+    let mut tx = Provider::new(Baseline::Tnic, DeviceId(1), 7);
+    let mut rx = Provider::new(Baseline::Tnic, DeviceId(2), 8);
+    tx.install_session_key(SessionId(1), [3u8; 32]);
+    rx.install_session_key(SessionId(1), [3u8; 32]);
+    let (msg, _) = tx.attest(SessionId(1), &[0u8; 1024]).unwrap();
+    let ns = time_op(500, || rx.verify_binding(&msg).unwrap());
+    println!("\nTNIC verify_binding 1024 B: {ns:.0} ns/op");
+}

@@ -1,1 +1,30 @@
-fn main() {}
+//! Micro-benchmarks of the cryptographic substrate (wall clock, ns/op).
+//!
+//! Run with `cargo bench -p tnic-bench --bench crypto`.
+
+use tnic_bench::time_op;
+use tnic_crypto::ed25519::Keypair;
+use tnic_crypto::hmac::hmac_sha256;
+use tnic_crypto::sha256::sha256;
+
+fn main() {
+    println!("crypto substrate micro-benchmarks (ns/op)\n");
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0xA5u8; size];
+        let ns = time_op(2_000, || sha256(&data));
+        println!("sha256 {size:>5} B: {ns:>10.0}");
+    }
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0x5Au8; size];
+        let key = [7u8; 32];
+        let ns = time_op(2_000, || hmac_sha256(&key, &data));
+        println!("hmac   {size:>5} B: {ns:>10.0}");
+    }
+    let keypair = Keypair::from_seed(&[9u8; 32]);
+    let message = [1u8; 64];
+    let ns = time_op(50, || keypair.signing.sign(&message));
+    println!("ed25519 sign:    {ns:>10.0}");
+    let signature = keypair.signing.sign(&message);
+    let ns = time_op(50, || keypair.verifying.verify(&message, &signature));
+    println!("ed25519 verify:  {ns:>10.0}");
+}

@@ -1,1 +1,36 @@
-fn main() {}
+//! The network-stack latency/throughput models (paper Figures 8 and 9).
+//!
+//! Prints the calibrated one-way latency and throughput for every stack and
+//! packet size. Run with `cargo bench -p tnic-bench --bench netstack`.
+
+use tnic_net::stack::{NetworkStackKind, PACKET_SIZES};
+
+fn main() {
+    println!("network stack models\n");
+    print!("{:<12}", "size B");
+    for stack in NetworkStackKind::ALL {
+        print!(" {:>12}", stack.label());
+    }
+    println!("  (one-way latency, us)");
+    for size in PACKET_SIZES {
+        print!("{:<12}", size);
+        for stack in NetworkStackKind::ALL {
+            print!(" {:>12.2}", stack.send_latency(size).as_micros_f64());
+        }
+        println!();
+    }
+
+    println!();
+    print!("{:<12}", "size B");
+    for stack in NetworkStackKind::ALL {
+        print!(" {:>12}", stack.label());
+    }
+    println!("  (throughput, Mbps)");
+    for size in PACKET_SIZES {
+        print!("{:<12}", size);
+        for stack in NetworkStackKind::ALL {
+            print!(" {:>12.0}", stack.throughput_mbps(size));
+        }
+        println!();
+    }
+}

@@ -1,2 +1,80 @@
-//! Placeholder — replaced by the reproduction harness binary.
-fn main() {}
+//! Reproduction runner: executes the PeerReview fault-injection scenarios
+//! and prints a results table.
+//!
+//! Usage: `cargo run --release -p tnic-bench --bin reproduce [--all-baselines]`
+//!
+//! Every scenario runs a 4-node accountable deployment (3 rounds × 8
+//! application messages) with one Byzantine behaviour injected through
+//! `tnic_net::adversary`; the table reports the verdict reached by the
+//! correct witnesses, the commitment/audit message overhead and the audit
+//! latency distribution. With `--all-baselines` the suite additionally runs
+//! over every attestation back-end (the paper's §8.3 methodology) instead
+//! of TNIC only.
+
+use tnic_bench::{render_table, run_scenario, Scenario, ScenarioResult};
+use tnic_tee::profile::Baseline;
+
+fn main() {
+    let mut all_baselines = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--all-baselines" => all_baselines = true,
+            other => {
+                eprintln!("unknown argument: {other}\nusage: reproduce [--all-baselines]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baselines: Vec<Baseline> = if all_baselines {
+        Baseline::ALL.to_vec()
+    } else {
+        vec![Baseline::Tnic]
+    };
+
+    println!("TNIC PeerReview accountability scenarios");
+    println!("4 nodes, 3 witnesses per node, 3 rounds x 8 application messages\n");
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    let mut failures = 0;
+    for baseline in baselines {
+        for scenario in Scenario::suite() {
+            match run_scenario(&scenario, baseline) {
+                Ok(result) => results.push(result),
+                Err(err) => {
+                    failures += 1;
+                    eprintln!(
+                        "scenario {} over {}: {err}",
+                        scenario.name,
+                        baseline.label()
+                    );
+                }
+            }
+        }
+    }
+
+    println!("{}", render_table(&results));
+    println!(
+        "expectations: fault-free=trusted, equivocation/log-truncation/exec-tampering=exposed, \
+         suppression=suspected"
+    );
+
+    let expectation_met = results.iter().all(|r| {
+        r.unanimous
+            && match r.name {
+                "fault-free" => r.verdict == "trusted",
+                "suppression" => r.verdict == "suspected",
+                _ => r.verdict == "exposed",
+            }
+    });
+    if expectation_met && failures == 0 {
+        println!("\nall scenarios match the expected classification");
+    } else {
+        if failures > 0 {
+            println!("\nERROR: {failures} scenario run(s) failed to execute (see stderr)");
+        }
+        if !expectation_met {
+            println!("\nMISMATCH: some scenarios deviate from the expected classification");
+        }
+        std::process::exit(1);
+    }
+}

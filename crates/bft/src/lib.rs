@@ -141,7 +141,10 @@ pub struct BftConfig {
 
 impl Default for BftConfig {
     fn default() -> Self {
-        BftConfig { f: 1, batch_size: 1 }
+        BftConfig {
+            f: 1,
+            batch_size: 1,
+        }
     }
 }
 
@@ -330,10 +333,7 @@ impl BftCounter {
                 *counts.entry(reply.value).or_insert(0) += 1;
             }
         }
-        let (value, matching) = counts
-            .into_iter()
-            .max_by_key(|(_, c)| *c)
-            .unwrap_or((0, 0));
+        let (value, matching) = counts.into_iter().max_by_key(|(_, c)| *c).unwrap_or((0, 0));
         Ok(CommitResult {
             value,
             matching_replies: matching,
@@ -345,7 +345,7 @@ impl BftCounter {
     /// replies).
     #[must_use]
     pub fn is_committed(&self, result: &CommitResult) -> bool {
-        result.matching_replies >= (self.config.f as usize) + 1
+        result.matching_replies > self.config.f as usize
     }
 
     /// Access to the underlying cluster (for trace checking in tests).

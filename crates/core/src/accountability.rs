@@ -1,0 +1,128 @@
+//! Pluggable accountability layer for the TNIC programming API.
+//!
+//! The paper's fourth application case study (§6, PeerReview) retrofits
+//! *accountability* — tamper-evident logs, witness audits and verifiable
+//! evidence — onto systems built over the attest/verify substrate. Rather
+//! than weaving log maintenance into every application, the [`Cluster`]
+//! exposes a hook point: an [`AccountabilityLayer`] attached to the cluster
+//! observes every `auth_send`/`multicast` on the sender side and every
+//! verified delivery on the receiver side, in the same way the
+//! [`transform`](crate::transform) wrappers observe application state.
+//!
+//! The layer is deliberately *passive*: it cannot veto or mutate traffic
+//! (that is the attestation kernel's job); it only records commitments. This
+//! mirrors PeerReview's design, where the commitment protocol piggybacks on
+//! the existing message flow and all enforcement happens asynchronously in
+//! the audit protocol.
+//!
+//! The concrete PeerReview implementation lives in the `tnic-peerreview`
+//! crate; this module only defines the interface so `tnic-core` stays free of
+//! application policy.
+
+use crate::api::{Delivered, NodeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tnic_device::attestation::AttestedMessage;
+use tnic_sim::time::SimInstant;
+
+/// Observer of the cluster's attested message flow.
+///
+/// Implementations record per-node commitments (e.g. PeerReview's
+/// tamper-evident logs). Callbacks run synchronously inside
+/// [`Cluster::auth_send`](crate::api::Cluster::auth_send) /
+/// [`Cluster::deliver`](crate::api::Cluster::deliver), so they must not call
+/// back into the cluster.
+pub trait AccountabilityLayer {
+    /// A node attested and transmitted `message` to `to` at virtual time `at`.
+    ///
+    /// Multicasts invoke this once per receiver with the same message.
+    fn on_sent(&mut self, from: NodeId, to: NodeId, message: &AttestedMessage, at: SimInstant);
+
+    /// A verified message landed in `to`'s inbox.
+    fn on_delivered(&mut self, to: NodeId, delivered: &Delivered);
+
+    /// Human-readable name of the layer, used in diagnostics.
+    fn label(&self) -> &'static str {
+        "accountability"
+    }
+}
+
+/// A shareable handle to an accountability layer.
+///
+/// The cluster and the accountability subsystem (which also drives audits)
+/// both need access to the layer's state; the simulation is single-threaded,
+/// so `Rc<RefCell<..>>` is the right ownership model.
+pub type SharedAccountability = Rc<RefCell<dyn AccountabilityLayer>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Cluster;
+    use tnic_net::stack::NetworkStackKind;
+    use tnic_tee::profile::Baseline;
+
+    /// A layer that simply counts the callbacks it receives.
+    #[derive(Debug, Default)]
+    struct CountingLayer {
+        sent: usize,
+        delivered: usize,
+    }
+
+    impl AccountabilityLayer for CountingLayer {
+        fn on_sent(&mut self, _: NodeId, _: NodeId, _: &AttestedMessage, _: SimInstant) {
+            self.sent += 1;
+        }
+
+        fn on_delivered(&mut self, _: NodeId, _: &Delivered) {
+            self.delivered += 1;
+        }
+
+        fn label(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn attached_layer_observes_unicast_and_multicast() {
+        let mut cluster = Cluster::fully_connected(3, Baseline::Tnic, NetworkStackKind::Tnic, 5);
+        let layer = Rc::new(RefCell::new(CountingLayer::default()));
+        cluster.attach_accountability(layer.clone());
+        cluster.auth_send(NodeId(0), NodeId(1), b"one").unwrap();
+        cluster
+            .establish_group(NodeId(0), &[NodeId(1), NodeId(2)])
+            .unwrap();
+        cluster
+            .multicast(NodeId(0), &[NodeId(1), NodeId(2)], b"two")
+            .unwrap();
+        assert_eq!(layer.borrow().sent, 3, "one unicast + two multicast copies");
+        assert_eq!(layer.borrow().delivered, 3);
+    }
+
+    #[test]
+    fn detached_layer_stops_observing() {
+        let mut cluster = Cluster::fully_connected(2, Baseline::Tnic, NetworkStackKind::Tnic, 5);
+        let layer = Rc::new(RefCell::new(CountingLayer::default()));
+        cluster.attach_accountability(layer.clone());
+        cluster
+            .auth_send(NodeId(0), NodeId(1), b"observed")
+            .unwrap();
+        assert!(cluster.detach_accountability().is_some());
+        cluster
+            .auth_send(NodeId(0), NodeId(1), b"unobserved")
+            .unwrap();
+        assert_eq!(layer.borrow().sent, 1);
+        assert_eq!(layer.borrow().delivered, 1);
+    }
+
+    #[test]
+    fn rejected_messages_are_never_reported_as_delivered() {
+        let mut cluster = Cluster::fully_connected(2, Baseline::Tnic, NetworkStackKind::Tnic, 5);
+        let layer = Rc::new(RefCell::new(CountingLayer::default()));
+        cluster.attach_accountability(layer.clone());
+        let msg = cluster.auth_send(NodeId(0), NodeId(1), b"ok").unwrap();
+        // Replay: the verification path rejects it, so the layer must not see
+        // a second delivery (it does see the send attempt's first delivery).
+        assert!(cluster.deliver(NodeId(0), NodeId(1), msg).is_err());
+        assert_eq!(layer.borrow().delivered, 1);
+    }
+}

@@ -11,6 +11,7 @@
 //! application code runs over TNIC hardware or any of the TEE baselines —
 //! the paper's §8.3 methodology.
 
+use crate::accountability::SharedAccountability;
 use crate::error::CoreError;
 use crate::provider::Provider;
 use crate::verification::{ActionFact, TraceLog};
@@ -111,6 +112,7 @@ pub struct Cluster {
     next_session: u32,
     trace: TraceLog,
     stats: ClusterStats,
+    accountability: Option<SharedAccountability>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -142,17 +144,13 @@ impl Cluster {
             next_session: 1,
             trace: TraceLog::new(),
             stats: ClusterStats::default(),
+            accountability: None,
         }
     }
 
     /// A cluster of `n` nodes (ids 0..n), fully connected.
     #[must_use]
-    pub fn fully_connected(
-        n: u32,
-        baseline: Baseline,
-        stack: NetworkStackKind,
-        seed: u64,
-    ) -> Self {
+    pub fn fully_connected(n: u32, baseline: Baseline, stack: NetworkStackKind, seed: u64) -> Self {
         let mut cluster = Cluster::new(baseline, stack, seed);
         for i in 0..n {
             cluster.add_node(NodeId(i));
@@ -205,6 +203,24 @@ impl Cluster {
     #[must_use]
     pub fn stats(&self) -> ClusterStats {
         self.stats
+    }
+
+    /// Attaches an accountability layer that observes every attested send and
+    /// every verified delivery (see [`crate::accountability`]). At most one
+    /// layer is attached at a time; attaching replaces the previous one.
+    pub fn attach_accountability(&mut self, layer: SharedAccountability) {
+        self.accountability = Some(layer);
+    }
+
+    /// Detaches and returns the current accountability layer, if any.
+    pub fn detach_accountability(&mut self) -> Option<SharedAccountability> {
+        self.accountability.take()
+    }
+
+    /// The attached accountability layer, if any.
+    #[must_use]
+    pub fn accountability(&self) -> Option<&SharedAccountability> {
+        self.accountability.as_ref()
     }
 
     /// Adds a node with a fresh endpoint.
@@ -262,8 +278,12 @@ impl Cluster {
         }
         let session = self.fresh_session();
         let key = self.rng.bytes32();
-        self.endpoint_mut(a)?.provider.install_session_key(session, key);
-        self.endpoint_mut(b)?.provider.install_session_key(session, key);
+        self.endpoint_mut(a)?
+            .provider
+            .install_session_key(session, key);
+        self.endpoint_mut(b)?
+            .provider
+            .install_session_key(session, key);
         self.sessions.insert((a, b), session);
         self.sessions.insert((b, a), session);
         Ok(session)
@@ -326,6 +346,12 @@ impl Cluster {
         self.group_sessions.get(&sender).copied()
     }
 
+    fn notify_sent(&mut self, from: NodeId, to: NodeId, msg: &AttestedMessage) {
+        if let Some(layer) = &self.accountability {
+            layer.borrow_mut().on_sent(from, to, msg, self.clock.now());
+        }
+    }
+
     fn record_sent(&mut self, node: NodeId, msg: &AttestedMessage) {
         let at = self.clock.now();
         self.trace.record(
@@ -386,7 +412,11 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns a device error if the attestation does not verify.
-    pub fn local_verify(&mut self, node: NodeId, message: &AttestedMessage) -> Result<(), CoreError> {
+    pub fn local_verify(
+        &mut self,
+        node: NodeId,
+        message: &AttestedMessage,
+    ) -> Result<(), CoreError> {
         let endpoint = self.endpoint_mut(node)?;
         let cost = endpoint.provider.verify_binding(message)?;
         self.clock.advance(cost);
@@ -426,6 +456,7 @@ impl Cluster {
         let (msg, attest_cost) = self.endpoint_mut(from)?.provider.attest(session, payload)?;
         self.clock.advance(attest_cost);
         self.record_sent(from, &msg);
+        self.notify_sent(from, to, &msg);
         self.stats.messages_sent += 1;
         let latency = self.network_latency(msg.wire_len());
         self.clock.advance(latency);
@@ -455,11 +486,11 @@ impl Cluster {
                 self.clock.advance(cost);
                 self.record_accepted(to, &message);
                 let at = self.clock.now();
-                self.endpoint_mut(to)?.inbox.push_back(Delivered {
-                    from,
-                    message,
-                    at,
-                });
+                let delivered = Delivered { from, message, at };
+                if let Some(layer) = &self.accountability {
+                    layer.borrow_mut().on_delivered(to, &delivered);
+                }
+                self.endpoint_mut(to)?.inbox.push_back(delivered);
                 Ok(())
             }
             Err(e) => {
@@ -494,6 +525,7 @@ impl Cluster {
         self.clock.advance(attest_cost);
         self.record_sent(from, &msg);
         for &to in receivers {
+            self.notify_sent(from, to, &msg);
             self.stats.messages_sent += 1;
             let latency = self.network_latency(msg.wire_len());
             self.clock.advance(latency);
@@ -547,7 +579,11 @@ impl Cluster {
         payload.extend_from_slice(data);
         self.auth_send(from, to, &payload)?;
         // Consume the delivered message and apply the write.
-        let delivered = self.endpoint_mut(to)?.inbox.pop_back().expect("just delivered");
+        let delivered = self
+            .endpoint_mut(to)?
+            .inbox
+            .pop_back()
+            .expect("just delivered");
         let body = &delivered.message.payload[8..];
         self.endpoint_mut(to)?
             .memory
@@ -662,8 +698,10 @@ mod tests {
     fn trace_of_honest_run_satisfies_lemmas() {
         let mut c = cluster(3);
         for i in 0..5 {
-            c.auth_send(NodeId(0), NodeId(1), format!("m{i}").as_bytes()).unwrap();
-            c.auth_send(NodeId(1), NodeId(2), format!("f{i}").as_bytes()).unwrap();
+            c.auth_send(NodeId(0), NodeId(1), format!("m{i}").as_bytes())
+                .unwrap();
+            c.auth_send(NodeId(1), NodeId(2), format!("f{i}").as_bytes())
+                .unwrap();
         }
         let report = TraceChecker::check(c.trace());
         assert!(report.holds(), "{:?}", report.violations);
@@ -701,8 +739,11 @@ mod tests {
     #[test]
     fn multicast_delivers_same_counter_to_all() {
         let mut c = cluster(3);
-        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)]).unwrap();
-        let msg = c.multicast(NodeId(0), &[NodeId(1), NodeId(2)], b"bcast").unwrap();
+        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)])
+            .unwrap();
+        let msg = c
+            .multicast(NodeId(0), &[NodeId(1), NodeId(2)], b"bcast")
+            .unwrap();
         assert_eq!(msg.counter, 0);
         for node in [NodeId(1), NodeId(2)] {
             let delivered = c.poll(node).unwrap();
@@ -716,7 +757,8 @@ mod tests {
     #[test]
     fn forwarded_message_verifies_via_binding() {
         let mut c = cluster(3);
-        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)]).unwrap();
+        c.establish_group(NodeId(0), &[NodeId(1), NodeId(2)])
+            .unwrap();
         let msg = c.multicast(NodeId(0), &[NodeId(1)], b"to-forward").unwrap();
         // Node 2 never received it directly but can verify the forwarded copy.
         c.verify_forwarded(NodeId(2), &msg).unwrap();
@@ -737,7 +779,8 @@ mod tests {
     #[test]
     fn rem_write_and_read_round_trip() {
         let mut c = cluster(2);
-        c.rem_write(NodeId(0), NodeId(1), 64, b"remote value").unwrap();
+        c.rem_write(NodeId(0), NodeId(1), 64, b"remote value")
+            .unwrap();
         let data = c.rem_read(NodeId(0), NodeId(1), 64, 12).unwrap();
         assert_eq!(data, b"remote value");
         assert_eq!(c.stats().remote_ops, 2);

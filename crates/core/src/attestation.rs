@@ -8,16 +8,19 @@
 //! authenticated channel.
 //!
 //! Message flow implemented here (numbers follow Figure 3):
-//! 1. vendor → controller: fresh nonce `n`
-//! 2–3. controller → vendor: `cert = <n, Ctrl_bin cert>` signed with `Ctrl_priv`
-//! 4–5. vendor verifies the measurement with `HW_key` and the nonce
-//! 6. both sides run an X25519 handshake authenticated by the controller
-//!    signature and the vendor's key embedded in the binary (mutual TLS)
-//! 7–8. vendor sends the bitstream and the session secrets over the channel;
-//!    the controller installs them and the device becomes operational.
+//! * (1) vendor → controller: fresh nonce `n`
+//! * (2–3) controller → vendor: `cert = <n, Ctrl_bin cert>` signed with
+//!   `Ctrl_priv`
+//! * (4–5) vendor verifies the measurement with `HW_key` and the nonce
+//! * (6) both sides run an X25519 handshake authenticated by the controller
+//!   signature and the vendor's key embedded in the binary (mutual TLS)
+//! * (7–8) vendor sends the bitstream and the session secrets over the
+//!   channel; the controller installs them and the device becomes
+//!   operational.
 
 use crate::error::CoreError;
 use crate::verification::{ActionFact, TraceLog};
+use std::collections::HashMap;
 use tnic_crypto::ed25519::{Keypair, Signature, VerifyingKey};
 use tnic_crypto::hkdf::hkdf;
 use tnic_crypto::secretbox::SecretBox;
@@ -27,7 +30,6 @@ use tnic_device::device::TnicDevice;
 use tnic_device::types::{DeviceId, SessionId};
 use tnic_sim::clock::SimClock;
 use tnic_sim::rng::DetRng;
-use std::collections::HashMap;
 
 /// The device manufacturer: burns hardware keys and discloses them only to
 /// the trusted IP vendor.
@@ -186,7 +188,12 @@ pub fn run_remote_attestation(
     if vendor_shared != ctrl_shared {
         return Err(CoreError::AttestationFailed("key agreement"));
     }
-    let channel_key = hkdf(&nonce, &vendor_shared, b"tnic remote attestation channel", 32);
+    let channel_key = hkdf(
+        &nonce,
+        &vendor_shared,
+        b"tnic remote attestation channel",
+        32,
+    );
     let channel = SecretBox::new(&channel_key);
 
     // The device half of the attestation is now complete.
@@ -343,7 +350,10 @@ mod tests {
             &mut trace,
         )
         .unwrap_err();
-        assert_eq!(err, CoreError::AttestationFailed("certificate verification"));
+        assert_eq!(
+            err,
+            CoreError::AttestationFailed("certificate verification")
+        );
         assert!(!device.controller().is_provisioned());
     }
 
@@ -436,8 +446,10 @@ mod tests {
             rng.bytes32(),
         );
         let config = DesignerConfig::with_sessions(1, &mut rng);
-        run_remote_attestation(&mut vendor, &mut d1, &config, &mut rng, &clock, &mut trace).unwrap();
-        run_remote_attestation(&mut vendor, &mut d2, &config, &mut rng, &clock, &mut trace).unwrap();
+        run_remote_attestation(&mut vendor, &mut d1, &config, &mut rng, &clock, &mut trace)
+            .unwrap();
+        run_remote_attestation(&mut vendor, &mut d2, &config, &mut rng, &clock, &mut trace)
+            .unwrap();
         let (msg, _) = d1.local_send(SessionId(1), b"cross-device").unwrap();
         d2.local_verify(&msg).unwrap();
         assert!(TraceChecker::check(&trace).holds());

@@ -39,7 +39,10 @@ impl fmt::Display for CoreError {
             CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
             CoreError::UnknownNode(n) => write!(f, "unknown node {n}"),
             CoreError::NoSession { from, to } => {
-                write!(f, "no session established between node {from} and node {to}")
+                write!(
+                    f,
+                    "no session established between node {from} and node {to}"
+                )
             }
             CoreError::AttestationFailed(step) => write!(f, "remote attestation failed: {step}"),
             CoreError::TransformViolation(what) => write!(f, "transformation violation: {what}"),
@@ -80,7 +83,9 @@ mod tests {
         assert!(e.to_string().contains("attestation"));
         let e: CoreError = CryptoError::InvalidSignature.into();
         assert!(e.to_string().contains("crypto"));
-        assert!(CoreError::NoSession { from: 1, to: 2 }.to_string().contains('2'));
+        assert!(CoreError::NoSession { from: 1, to: 2 }
+            .to_string()
+            .contains('2'));
     }
 
     #[test]

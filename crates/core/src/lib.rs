@@ -15,6 +15,9 @@
 //! * [`provider`] — the attestation back-end abstraction (TNIC vs SSL-lib,
 //!   SSL-server, SGX, AMD-sev).
 //! * [`transform`] — the CFT→BFT transformation wrappers (Listing 1).
+//! * [`accountability`] — the pluggable accountability hook point used by the
+//!   PeerReview case study (`tnic-peerreview`) to maintain tamper-evident
+//!   logs of every attested send and verified delivery.
 //! * [`attestation`] — device bootstrapping and remote attestation (Figure 3).
 //! * [`verification`] — the executable counterpart of the paper's Tamarin
 //!   lemmas (§4.4): trace recording and checking.
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accountability;
 pub mod api;
 pub mod attestation;
 pub mod error;
@@ -44,16 +48,17 @@ pub mod provider;
 pub mod transform;
 pub mod verification;
 
+pub use accountability::{AccountabilityLayer, SharedAccountability};
 pub use api::{Cluster, Delivered, NodeId};
 pub use error::CoreError;
 pub use provider::Provider;
 pub use verification::{ActionFact, TraceChecker, TraceLog};
 
-/// Re-export of the baseline enumeration used to select attestation back-ends.
-pub use tnic_tee::profile::Baseline;
-/// Re-export of the network stack models used to select the transport.
-pub use tnic_net::stack::NetworkStackKind;
 /// Re-export of the attested message type carried by every API.
 pub use tnic_device::attestation::AttestedMessage;
 /// Re-export of the session identifier type.
 pub use tnic_device::types::SessionId;
+/// Re-export of the network stack models used to select the transport.
+pub use tnic_net::stack::NetworkStackKind;
+/// Re-export of the baseline enumeration used to select attestation back-ends.
+pub use tnic_tee::profile::Baseline;

@@ -208,7 +208,10 @@ mod tests {
             assert!(b.verify(&m1).is_err(), "{baseline}: gap must be rejected");
             b.verify(&m0).unwrap();
             b.verify(&m1).unwrap();
-            assert!(b.verify(&m1).is_err(), "{baseline}: replay must be rejected");
+            assert!(
+                b.verify(&m1).is_err(),
+                "{baseline}: replay must be rejected"
+            );
         }
     }
 

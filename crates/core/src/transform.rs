@@ -178,7 +178,11 @@ impl<S: StateMachine> Transformed<S> {
     /// # Errors
     ///
     /// Propagates attestation and session errors.
-    pub fn send(&mut self, cluster: &mut Cluster, command: &[u8]) -> Result<WrappedMessage, CoreError> {
+    pub fn send(
+        &mut self,
+        cluster: &mut Cluster,
+        command: &[u8],
+    ) -> Result<WrappedMessage, CoreError> {
         let sender_output = self.state.execute(command);
         let wrapped = WrappedMessage {
             command: command.to_vec(),
@@ -246,7 +250,11 @@ mod tests {
     use tnic_net::stack::NetworkStackKind;
     use tnic_tee::profile::Baseline;
 
-    fn two_node_setup() -> (Cluster, Transformed<CounterMachine>, Transformed<CounterMachine>) {
+    fn two_node_setup() -> (
+        Cluster,
+        Transformed<CounterMachine>,
+        Transformed<CounterMachine>,
+    ) {
         let cluster = Cluster::fully_connected(2, Baseline::Tnic, NetworkStackKind::Tnic, 9);
         let sender = Transformed::new(NodeId(0), NodeId(1), CounterMachine::new());
         let receiver = Transformed::new(NodeId(1), NodeId(0), CounterMachine::new());
@@ -267,12 +275,15 @@ mod tests {
         }
         assert_eq!(sender.state().value(), 5);
         assert_eq!(receiver.state().value(), 5);
-        assert_eq!(sender.state().state_digest(), receiver.state().state_digest());
+        assert_eq!(
+            sender.state().state_digest(),
+            receiver.state().state_digest()
+        );
     }
 
     #[test]
     fn lying_about_output_is_detected() {
-        let (mut cluster, mut sender, mut receiver) = two_node_setup();
+        let (mut cluster, sender, mut receiver) = two_node_setup();
         // The Byzantine sender executes correctly but claims a different output.
         let mut wrapped = WrappedMessage {
             command: b"incr".to_vec(),

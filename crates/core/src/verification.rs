@@ -404,7 +404,10 @@ mod tests {
             );
         }
         let report = TraceChecker::check(&log);
-        assert!(report.violations.iter().any(|v| v.contains("never accepted")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("never accepted")));
     }
 
     #[test]

@@ -336,7 +336,10 @@ impl ChainReplication {
             let mut payload = Vec::new();
             payload.extend_from_slice(&commit_index.to_le_bytes());
             payload.extend_from_slice(&reply.output);
-            if self.cluster.verify_reply(reply.node, &payload, &reply.signature) {
+            if self
+                .cluster
+                .verify_reply(reply.node, &payload, &reply.signature)
+            {
                 verified_outputs.push(reply.output.clone());
             }
         }
@@ -446,7 +449,10 @@ mod tests {
         cr.put(b"k", b"v").unwrap();
         cr.make_node_byzantine(NodeId(1));
         let result = cr.put(b"k2", b"v2").unwrap();
-        assert!(!result.committed, "client must not accept mismatched replies");
+        assert!(
+            !result.committed,
+            "client must not accept mismatched replies"
+        );
         assert!(result.output.is_none());
     }
 

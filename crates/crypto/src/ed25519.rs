@@ -271,10 +271,7 @@ mod tests {
         let key = SigningKey::from_seed(&[8u8; 32]);
         let mut sig = key.sign(b"msg").to_bytes();
         sig[5] ^= 1;
-        assert!(key
-            .verifying_key()
-            .verify(b"msg", &Signature(sig))
-            .is_err());
+        assert!(key.verifying_key().verify(b"msg", &Signature(sig)).is_err());
     }
 
     #[test]

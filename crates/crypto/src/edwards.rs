@@ -185,8 +185,7 @@ impl EdwardsPoint {
 impl PartialEq for EdwardsPoint {
     fn eq(&self, other: &Self) -> bool {
         // Compare affine coordinates: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 

@@ -136,9 +136,9 @@ impl FieldElement {
     pub fn add(&self, other: &FieldElement) -> FieldElement {
         let mut out = [0u64; 4];
         let mut carry: u64 = 0;
-        for i in 0..4 {
-            let v = (self.0[i] as u128) + (other.0[i] as u128) + (carry as u128);
-            out[i] = v as u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let v = (*a as u128) + (*b as u128) + (carry as u128);
+            *o = v as u64;
             carry = (v >> 64) as u64;
         }
         debug_assert_eq!(carry, 0, "sum of two reduced elements fits in 256 bits");
@@ -150,10 +150,10 @@ impl FieldElement {
     pub fn sub(&self, other: &FieldElement) -> FieldElement {
         let mut out = [0u64; 4];
         let mut borrow: u64 = 0;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let (d1, b1) = a.overflowing_sub(*b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = u64::from(b1) | u64::from(b2);
         }
         if borrow != 0 {
@@ -181,9 +181,7 @@ impl FieldElement {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let v = (t[i + j] as u128)
-                    + (self.0[i] as u128) * (other.0[j] as u128)
-                    + carry;
+                let v = (t[i + j] as u128) + (self.0[i] as u128) * (other.0[j] as u128) + carry;
                 t[i + j] = v as u64;
                 carry = v >> 64;
             }
@@ -242,7 +240,11 @@ impl FieldElement {
             0x0fff_ffff_ffff_ffff,
         ];
         if v.is_zero() {
-            return if u.is_zero() { Some(FieldElement::ZERO) } else { None };
+            return if u.is_zero() {
+                Some(FieldElement::ZERO)
+            } else {
+                None
+            };
         }
         let v3 = v.square().mul(v);
         let v7 = v3.square().mul(v);

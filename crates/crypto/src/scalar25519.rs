@@ -84,9 +84,9 @@ impl Scalar {
     fn double_mod(&self) -> Scalar {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            out[i] = (self.0[i] << 1) | carry;
-            carry = self.0[i] >> 63;
+        for (o, limb) in out.iter_mut().zip(&self.0) {
+            *o = (limb << 1) | carry;
+            carry = limb >> 63;
         }
         debug_assert_eq!(carry, 0, "canonical scalars are < 2^253");
         Scalar(out).conditional_sub_l()
@@ -104,10 +104,10 @@ impl Scalar {
     fn sub_raw(&self, other: &Scalar) -> (Scalar, u64) {
         let mut out = [0u64; 4];
         let mut borrow: u64 = 0;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let (d1, b1) = a.overflowing_sub(*b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = u64::from(b1) | u64::from(b2);
         }
         (Scalar(out), borrow)
@@ -118,9 +118,9 @@ impl Scalar {
     pub fn add(&self, other: &Scalar) -> Scalar {
         let mut out = [0u64; 4];
         let mut carry: u128 = 0;
-        for i in 0..4 {
-            let v = (self.0[i] as u128) + (other.0[i] as u128) + carry;
-            out[i] = v as u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let v = (*a as u128) + (*b as u128) + carry;
+            *o = v as u64;
             carry = v >> 64;
         }
         debug_assert_eq!(carry, 0, "sum of two canonical scalars fits in 256 bits");

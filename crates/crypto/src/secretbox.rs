@@ -27,7 +27,9 @@ pub struct SecretBox {
 impl std::fmt::Debug for SecretBox {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("SecretBox").field("enc_key", &"<redacted>").finish()
+        f.debug_struct("SecretBox")
+            .field("enc_key", &"<redacted>")
+            .finish()
     }
 }
 
@@ -47,7 +49,12 @@ impl SecretBox {
     /// `ciphertext || tag`. The `associated_data` is authenticated but not
     /// encrypted.
     #[must_use]
-    pub fn seal(&self, nonce: &[u8; NONCE_LEN], associated_data: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    pub fn seal(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        associated_data: &[u8],
+        plaintext: &[u8],
+    ) -> Vec<u8> {
         let mut out = chacha20_apply(&self.enc_key, nonce, 1, plaintext);
         let tag = self.tag(nonce, associated_data, &out);
         out.extend_from_slice(&tag);
@@ -77,7 +84,12 @@ impl SecretBox {
         Ok(chacha20_apply(&self.enc_key, nonce, 1, ciphertext))
     }
 
-    fn tag(&self, nonce: &[u8; NONCE_LEN], associated_data: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    fn tag(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        associated_data: &[u8],
+        ciphertext: &[u8],
+    ) -> [u8; TAG_LEN] {
         let mut mac_input =
             Vec::with_capacity(NONCE_LEN + 8 + associated_data.len() + 8 + ciphertext.len());
         mac_input.extend_from_slice(nonce);
@@ -142,7 +154,9 @@ mod tests {
     #[test]
     fn wrong_key_rejected() {
         let sealed = SecretBox::new(b"k1").seal(&[0u8; 12], b"", b"payload");
-        assert!(SecretBox::new(b"k2").open(&[0u8; 12], b"", &sealed).is_err());
+        assert!(SecretBox::new(b"k2")
+            .open(&[0u8; 12], b"", &sealed)
+            .is_err());
     }
 
     #[test]

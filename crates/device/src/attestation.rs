@@ -237,10 +237,7 @@ impl AttestationKernel {
     /// * [`DeviceError::UnknownSession`] — no key installed.
     /// * [`DeviceError::BadAttestation`] — MAC mismatch.
     /// * [`DeviceError::CounterMismatch`] — replay, gap or reordering.
-    pub fn verify(
-        &mut self,
-        message: &AttestedMessage,
-    ) -> Result<SimDuration, DeviceError> {
+    pub fn verify(&mut self, message: &AttestedMessage) -> Result<SimDuration, DeviceError> {
         let key = *self.keystore.key(message.session)?;
         let cost = self.timing.hmac.cost(message.payload.len());
         let expected_mac = compute_mac(&key, &message.payload, message.device, message.counter);
@@ -271,7 +268,10 @@ impl AttestationKernel {
     /// # Errors
     ///
     /// Returns [`DeviceError::UnknownSession`] or [`DeviceError::BadAttestation`].
-    pub fn verify_binding(&mut self, message: &AttestedMessage) -> Result<SimDuration, DeviceError> {
+    pub fn verify_binding(
+        &mut self,
+        message: &AttestedMessage,
+    ) -> Result<SimDuration, DeviceError> {
         let key = *self.keystore.key(message.session)?;
         let cost = self.timing.hmac.cost(message.payload.len());
         let expected_mac = compute_mac(&key, &message.payload, message.device, message.counter);
@@ -359,7 +359,13 @@ mod tests {
         let (msg, _) = tx.attest(SessionId(7), b"pay").unwrap();
         rx.verify(&msg).unwrap();
         let err = rx.verify(&msg).unwrap_err();
-        assert!(matches!(err, DeviceError::CounterMismatch { received: 0, expected: 1 }));
+        assert!(matches!(
+            err,
+            DeviceError::CounterMismatch {
+                received: 0,
+                expected: 1
+            }
+        ));
     }
 
     #[test]
@@ -433,8 +439,8 @@ mod tests {
         let timing = AttestationTiming::paper_calibrated();
         let mut k = AttestationKernel::new(DeviceId(1), timing);
         k.install_session_key(SessionId(1), [0u8; 32]);
-        let (_, cost_small) = k.attest(SessionId(1), &vec![0u8; 64]).unwrap();
-        let (_, cost_large) = k.attest(SessionId(1), &vec![0u8; 8192]).unwrap();
+        let (_, cost_small) = k.attest(SessionId(1), &[0u8; 64]).unwrap();
+        let (_, cost_large) = k.attest(SessionId(1), &[0u8; 8192]).unwrap();
         assert!(cost_large > cost_small);
     }
 

@@ -310,7 +310,10 @@ mod tests {
     fn bitstream_installation_marks_provisioned() {
         let (mut ctrl, _, _, _) = controller();
         assert!(!ctrl.is_provisioned());
-        assert_eq!(ctrl.bitstream_measurement(), Err(DeviceError::NotProvisioned));
+        assert_eq!(
+            ctrl.bitstream_measurement(),
+            Err(DeviceError::NotProvisioned)
+        );
         ctrl.install_bitstream(b"tnic-bitstream-v1".to_vec());
         assert!(ctrl.is_provisioned());
         assert_eq!(

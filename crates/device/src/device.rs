@@ -59,7 +59,10 @@ impl TnicDevice {
             controller_key_seed,
         );
         let mut regs = RegisterFile::new();
-        regs.write(Register::IpAddr, u32::from_be_bytes(config.ip_addr.0) as u64);
+        regs.write(
+            Register::IpAddr,
+            u32::from_be_bytes(config.ip_addr.0) as u64,
+        );
         regs.write(Register::UdpPort, u64::from(config.udp_port));
         regs.write(Register::QsfpPort, u64::from(config.qsfp_port));
         regs.write(Register::Status, 0b01);
@@ -171,7 +174,8 @@ impl TnicDevice {
         remote_ip: Ipv4Addr,
         remote_qp: QueuePairId,
     ) {
-        self.transport.create_queue_pair(local, remote_ip, remote_qp);
+        self.transport
+            .create_queue_pair(local, remote_ip, remote_qp);
     }
 
     /// `local_send()`: fetches the payload over DMA, attests it and returns
@@ -198,10 +202,7 @@ impl TnicDevice {
     /// # Errors
     ///
     /// Returns [`DeviceError::BadAttestation`] or [`DeviceError::UnknownSession`].
-    pub fn local_verify(
-        &mut self,
-        message: &AttestedMessage,
-    ) -> Result<SimDuration, DeviceError> {
+    pub fn local_verify(&mut self, message: &AttestedMessage) -> Result<SimDuration, DeviceError> {
         let dma_in = self.dma.host_to_device(message.wire_len());
         let cost = self.attestation.verify_binding(message)?;
         Ok(dma_in + cost)
@@ -445,7 +446,8 @@ mod tests {
         a.provision_session(SessionId(1), [0u8; 32]);
         a.create_queue_pair(QueuePairId(1), Ipv4Addr::new(10, 0, 9, 9), QueuePairId(2));
         assert_eq!(
-            a.send_attested(QueuePairId(1), SessionId(1), b"x", t(0)).unwrap_err(),
+            a.send_attested(QueuePairId(1), SessionId(1), b"x", t(0))
+                .unwrap_err(),
             DeviceError::ArpMiss
         );
     }

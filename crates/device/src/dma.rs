@@ -56,7 +56,9 @@ impl DmaRegion {
     ///
     /// Returns [`DeviceError::DmaOutOfBounds`] if the write exceeds the region.
     pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DeviceError> {
-        let end = offset.checked_add(bytes.len()).ok_or(DeviceError::DmaOutOfBounds)?;
+        let end = offset
+            .checked_add(bytes.len())
+            .ok_or(DeviceError::DmaOutOfBounds)?;
         if end > self.data.len() {
             return Err(DeviceError::DmaOutOfBounds);
         }
@@ -168,7 +170,10 @@ mod tests {
     #[test]
     fn region_bounds_checked() {
         let mut region = DmaRegion::new(16);
-        assert_eq!(region.write(12, b"too long"), Err(DeviceError::DmaOutOfBounds));
+        assert_eq!(
+            region.write(12, b"too long"),
+            Err(DeviceError::DmaOutOfBounds)
+        );
         assert_eq!(region.read(10, 7), Err(DeviceError::DmaOutOfBounds));
         assert_eq!(region.read(usize::MAX, 2), Err(DeviceError::DmaOutOfBounds));
     }

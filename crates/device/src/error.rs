@@ -68,7 +68,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('3'));
-        assert!(DeviceError::UnknownSession(SessionId(9)).to_string().contains("s9"));
+        assert!(DeviceError::UnknownSession(SessionId(9))
+            .to_string()
+            .contains("s9"));
     }
 
     #[test]

@@ -252,17 +252,30 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         let p1 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m1".to_vec(), dst, now(1))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m1".to_vec(),
+                dst,
+                now(1),
+            )
             .unwrap();
         let (d0, ack0) = b.on_receive(QueuePairId(2), &p0, now(2)).unwrap();
         assert_eq!(d0.unwrap(), b"m0");
         let (d1, _ack1) = b.on_receive(QueuePairId(2), &p1, now(3)).unwrap();
         assert_eq!(d1.unwrap(), b"m1");
         // Deliver first ack to a: one packet acked.
-        a.on_receive(QueuePairId(1), &ack0.unwrap(), now(4)).unwrap();
+        a.on_receive(QueuePairId(1), &ack0.unwrap(), now(4))
+            .unwrap();
         assert_eq!(a.queue_pair(QueuePairId(1)).unwrap().in_flight(), 1);
     }
 
@@ -271,10 +284,22 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let _p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         let p1 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m1".to_vec(), dst, now(1))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m1".to_vec(),
+                dst,
+                now(1),
+            )
             .unwrap();
         let (delivered, response) = b.on_receive(QueuePairId(2), &p1, now(2)).unwrap();
         assert!(delivered.is_none());
@@ -286,7 +311,13 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         let (d, _) = b.on_receive(QueuePairId(2), &p0, now(1)).unwrap();
         assert!(d.is_some());
@@ -300,16 +331,26 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         // p0 is "lost": never delivered to b. Timer expires, retransmit.
-        assert!(a.poll_retransmissions(now(50)).is_empty(), "timer not yet expired");
+        assert!(
+            a.poll_retransmissions(now(50)).is_empty(),
+            "timer not yet expired"
+        );
         let retx = a.poll_retransmissions(now(150));
         assert_eq!(retx.len(), 1);
         assert_eq!(retx[0], p0);
         let (d, ack) = b.on_receive(QueuePairId(2), &retx[0], now(151)).unwrap();
         assert_eq!(d.unwrap(), b"m0");
-        a.on_receive(QueuePairId(1), &ack.unwrap(), now(152)).unwrap();
+        a.on_receive(QueuePairId(1), &ack.unwrap(), now(152))
+            .unwrap();
         assert_eq!(a.queue_pair(QueuePairId(1)).unwrap().in_flight(), 0);
         assert_eq!(a.total_retransmissions(), 1);
     }
@@ -319,10 +360,22 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         let p1 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m1".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m1".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         // p0 lost; p1 arrives and generates a NAK.
         let (_, nak) = b.on_receive(QueuePairId(2), &p1, now(1)).unwrap();
@@ -341,7 +394,13 @@ mod tests {
         let (mut a, mut b) = pair();
         let dst = MacAddr::from_device(DeviceId(2));
         let p0 = a
-            .send(QueuePairId(1), RdmaOpcode::Write, b"m0".to_vec(), dst, now(0))
+            .send(
+                QueuePairId(1),
+                RdmaOpcode::Write,
+                b"m0".to_vec(),
+                dst,
+                now(0),
+            )
             .unwrap();
         let (_, ack) = b.on_receive(QueuePairId(2), &p0, now(1)).unwrap();
         a.on_receive(QueuePairId(1), &ack.unwrap(), now(2)).unwrap();
@@ -362,6 +421,9 @@ mod tests {
                 now(0),
             )
             .unwrap_err();
-        assert!(matches!(err, DeviceError::UnknownQueuePair(QueuePairId(99))));
+        assert!(matches!(
+            err,
+            DeviceError::UnknownQueuePair(QueuePairId(99))
+        ));
     }
 }

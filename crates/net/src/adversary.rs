@@ -5,7 +5,18 @@
 //! kernel's transferable authentication and non-equivocation must detect all
 //! of it; these adversaries are used by property and integration tests to
 //! demonstrate exactly that.
+//!
+//! Two adversary granularities are modelled:
+//!
+//! * [`Adversary`] — a packet-level attacker applied to individual RoCE
+//!   packets on the wire (tampering, dropping, replay).
+//! * [`NodeFault`] / [`FaultPlan`] — node-level Byzantine behaviours used by
+//!   the accountability (PeerReview) scenarios: a compromised *host* that
+//!   equivocates, suppresses audit traffic or rewrites its local log. The
+//!   TNIC device itself stays honest (the paper's trust model), which is
+//!   precisely why these faults remain detectable.
 
+use std::collections::BTreeMap;
 use tnic_device::roce::packet::RocePacket;
 use tnic_sim::rng::DetRng;
 
@@ -86,6 +97,113 @@ impl Adversary {
     }
 }
 
+/// A node-level Byzantine behaviour injected into accountability scenarios.
+///
+/// These model a compromised host *behind* an honest TNIC: the device still
+/// attests faithfully (keys and counters are hardware-protected), but the
+/// software above it may fork its view, go silent, or rewrite its local
+/// state. Each variant corresponds to a misbehaviour class the PeerReview
+/// audit protocol must classify.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFault {
+    /// The node follows the protocol.
+    Correct,
+    /// The node forks its tamper-evident log and commits to different log
+    /// heads towards different witnesses (classic equivocation).
+    Equivocate,
+    /// The node suppresses its audit traffic: challenges go unanswered with
+    /// the given probability (1.0 = fully silent).
+    SuppressAudits {
+        /// Probability that a given challenge is ignored.
+        probability: f64,
+    },
+    /// The node truncates the tail of its log before answering an audit,
+    /// dropping the most recent `drop_tail` entries it already committed to.
+    TruncateLog {
+        /// Number of committed tail entries removed before responding.
+        drop_tail: u64,
+    },
+    /// The node rewrites the content of an already-committed log entry (and
+    /// re-chains the hashes so the forgery is locally self-consistent).
+    TamperLogEntry {
+        /// Sequence number of the rewritten entry.
+        seq: u64,
+    },
+}
+
+impl NodeFault {
+    /// Whether the behaviour deviates from the protocol.
+    #[must_use]
+    pub fn is_byzantine(self) -> bool {
+        self != NodeFault::Correct
+    }
+
+    /// Short label used in scenario tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeFault::Correct => "correct",
+            NodeFault::Equivocate => "equivocate",
+            NodeFault::SuppressAudits { .. } => "suppress-audits",
+            NodeFault::TruncateLog { .. } => "truncate-log",
+            NodeFault::TamperLogEntry { .. } => "tamper-entry",
+        }
+    }
+}
+
+/// Assignment of [`NodeFault`]s to nodes (by raw node id), the scenario input
+/// of the accountability fault-injection harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u32, NodeFault>,
+}
+
+impl FaultPlan {
+    /// A plan in which every node is correct.
+    #[must_use]
+    pub fn all_correct() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single faulty node.
+    #[must_use]
+    pub fn single(node: u32, fault: NodeFault) -> Self {
+        let mut plan = FaultPlan::default();
+        plan.set(node, fault);
+        plan
+    }
+
+    /// Assigns `fault` to `node` (replacing any previous assignment).
+    pub fn set(&mut self, node: u32, fault: NodeFault) {
+        if fault == NodeFault::Correct {
+            self.faults.remove(&node);
+        } else {
+            self.faults.insert(node, fault);
+        }
+    }
+
+    /// The fault assigned to `node` ([`NodeFault::Correct`] by default).
+    #[must_use]
+    pub fn fault_of(&self, node: u32) -> NodeFault {
+        self.faults
+            .get(&node)
+            .copied()
+            .unwrap_or(NodeFault::Correct)
+    }
+
+    /// Ids of all Byzantine nodes, in ascending order.
+    #[must_use]
+    pub fn byzantine_nodes(&self) -> Vec<u32> {
+        self.faults.keys().copied().collect()
+    }
+
+    /// Whether the plan contains no Byzantine node.
+    #[must_use]
+    pub fn is_all_correct(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +260,26 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_defaults_to_correct() {
+        let plan = FaultPlan::all_correct();
+        assert!(plan.is_all_correct());
+        assert_eq!(plan.fault_of(3), NodeFault::Correct);
+        assert!(!plan.fault_of(3).is_byzantine());
+    }
+
+    #[test]
+    fn fault_plan_tracks_byzantine_nodes() {
+        let mut plan = FaultPlan::single(2, NodeFault::Equivocate);
+        plan.set(5, NodeFault::TruncateLog { drop_tail: 3 });
+        assert_eq!(plan.byzantine_nodes(), vec![2, 5]);
+        assert!(plan.fault_of(2).is_byzantine());
+        assert_eq!(plan.fault_of(2).label(), "equivocate");
+        // Re-assigning Correct clears the entry.
+        plan.set(2, NodeFault::Correct);
+        assert_eq!(plan.byzantine_nodes(), vec![5]);
+    }
+
+    #[test]
     fn stale_replay_substitutes_old_packet() {
         let mut adv = Adversary::ReplayStale {
             probability: 1.0,
@@ -151,6 +289,10 @@ mod tests {
         let first = adv.apply(&packet(1), &mut rng);
         assert_eq!(first[0].payload, packet(1).payload);
         let second = adv.apply(&packet(2), &mut rng);
-        assert_eq!(second[0].payload, packet(1).payload, "stale packet replayed");
+        assert_eq!(
+            second[0].payload,
+            packet(1).payload,
+            "stale packet replayed"
+        );
     }
 }

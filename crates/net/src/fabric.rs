@@ -269,7 +269,12 @@ mod tests {
         let (a, b) = addrs();
         let mut fabric = NetworkFabric::reliable(1);
         for psn in 0..10 {
-            fabric.inject(a, b, packet(psn), SimInstant::from_nanos(psn as u64 * 10_000));
+            fabric.inject(
+                a,
+                b,
+                packet(psn),
+                SimInstant::from_nanos(psn as u64 * 10_000),
+            );
         }
         let delivered = fabric.deliver_due(SimInstant::from_nanos(1_000_000));
         assert_eq!(delivered.len(), 10);
@@ -310,10 +315,15 @@ mod tests {
         for psn in 0..20 {
             fabric.inject(a, b, packet(psn), SimInstant::EPOCH);
         }
-        assert!(fabric.deliver_due(SimInstant::from_nanos(10_000_000)).is_empty());
+        assert!(fabric
+            .deliver_due(SimInstant::from_nanos(10_000_000))
+            .is_empty());
         // The reverse direction still uses the reliable default.
         fabric.inject(b, a, packet(0), SimInstant::EPOCH);
-        assert_eq!(fabric.deliver_due(SimInstant::from_nanos(10_000_000)).len(), 1);
+        assert_eq!(
+            fabric.deliver_due(SimInstant::from_nanos(10_000_000)).len(),
+            1
+        );
     }
 
     #[test]
@@ -321,7 +331,12 @@ mod tests {
         let (a, b) = addrs();
         let mut fabric = NetworkFabric::new(LinkConfig::chaotic(), 5);
         for psn in 0..300 {
-            fabric.inject(a, b, packet(psn), SimInstant::from_nanos(psn as u64 * 1_000));
+            fabric.inject(
+                a,
+                b,
+                packet(psn),
+                SimInstant::from_nanos(psn as u64 * 1_000),
+            );
         }
         let delivered = fabric.deliver_due(SimInstant::from_nanos(100_000_000));
         let stats = fabric.stats();

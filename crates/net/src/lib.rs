@@ -20,6 +20,6 @@ pub mod adversary;
 pub mod fabric;
 pub mod stack;
 
-pub use adversary::Adversary;
+pub use adversary::{Adversary, FaultPlan, NodeFault};
 pub use fabric::{LinkConfig, NetworkFabric};
 pub use stack::NetworkStackKind;

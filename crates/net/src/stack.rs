@@ -250,12 +250,17 @@ mod tests {
     #[test]
     fn tnic_is_up_to_5x_faster_than_drct_io_att() {
         let tnic = NetworkStackKind::Tnic.send_latency(512).as_micros_f64();
-        let sw_att = NetworkStackKind::DrctIoAtt.send_latency(512).as_micros_f64();
+        let sw_att = NetworkStackKind::DrctIoAtt
+            .send_latency(512)
+            .as_micros_f64();
         let speedup = sw_att / tnic;
         assert!((3.0..=6.0).contains(&speedup), "{speedup:.1}x");
         // Beyond the MTU the software attested stack collapses entirely.
         assert!(
-            NetworkStackKind::DrctIoAtt.send_latency(4096).as_micros_f64() >= 2_000.0
+            NetworkStackKind::DrctIoAtt
+                .send_latency(4096)
+                .as_micros_f64()
+                >= 2_000.0
         );
     }
 
@@ -273,8 +278,12 @@ mod tests {
     fn doubling_packet_size_increases_tnic_latency_13_to_45_percent() {
         // §8.2: 13–20 % below 1 KiB, 30–40 % at and above 1 KiB.
         for window in PACKET_SIZES.windows(2) {
-            let lo = NetworkStackKind::Tnic.send_latency(window[0]).as_micros_f64();
-            let hi = NetworkStackKind::Tnic.send_latency(window[1]).as_micros_f64();
+            let lo = NetworkStackKind::Tnic
+                .send_latency(window[0])
+                .as_micros_f64();
+            let hi = NetworkStackKind::Tnic
+                .send_latency(window[1])
+                .as_micros_f64();
             let growth = hi / lo - 1.0;
             assert!(
                 (0.10..=0.80).contains(&growth),

@@ -1,0 +1,523 @@
+//! The witness audit protocol: challenges, replay and fault classification.
+//!
+//! Each node is assigned a witness set. Witnesses collect the node's log
+//! commitments ([`Authenticator`]s), periodically *challenge* the node for
+//! the log segment between the last audited commitment and the newest one,
+//! and verify the response:
+//!
+//! 1. **Seal check** — the commitment's TNIC attestation verifies under the
+//!    node's log-session key (transferable authentication).
+//! 2. **Chain check** — the returned entries link hash-to-hash from the last
+//!    audited head to the committed head, with no gap and no surplus.
+//! 3. **Replay check** — the application `Recv`/`Exec` entries are replayed
+//!    against the deterministic reference state machine; a logged output that
+//!    diverges from the specification is proof of faulty execution (the same
+//!    state-simulation idea as the CFT→BFT transformation, applied
+//!    retroactively).
+//!
+//! The outcome is a per-(witness, node) [`Verdict`]: `Trusted` when audits
+//! pass, `Suspected` while a challenge is unanswered, `Exposed` once the
+//! witness holds verifiable evidence ([`Misbehavior`]) — exactly
+//! PeerReview's completeness/accuracy split: unresponsiveness alone can
+//! never prove a fault (the network might be at fault), while evidence is
+//! transferable and convinces every correct third party.
+
+use crate::log::{Authenticator, LogEntry};
+use crate::wire::Envelope;
+use tnic_core::transform::StateMachine;
+
+/// Classification of an audited node from one witness's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// All audits passed so far.
+    #[default]
+    Trusted,
+    /// A challenge went unanswered; the node may be crashed, partitioned or
+    /// stalling. Cleared by a later valid response, hardened by evidence.
+    Suspected,
+    /// The witness holds verifiable proof of misbehaviour.
+    Exposed,
+}
+
+impl Verdict {
+    /// Short label used in scenario tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Trusted => "trusted",
+            Verdict::Suspected => "suspected",
+            Verdict::Exposed => "exposed",
+        }
+    }
+}
+
+/// Verifiable proof (or locally observed failure) that a node misbehaved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Misbehavior {
+    /// Two validly sealed commitments for the same sequence number with
+    /// different heads: the node forked its log (equivocation). Boxed: the
+    /// commitments carry full attested messages and would otherwise dwarf
+    /// every other variant.
+    ConflictingCommitments {
+        /// One commitment.
+        a: Box<Authenticator>,
+        /// The conflicting commitment.
+        b: Box<Authenticator>,
+    },
+    /// The audit response does not cover the committed prefix — the node
+    /// rewrote or lost history it had committed to.
+    Truncated {
+        /// The commitment's sequence number.
+        committed_seq: u64,
+        /// Number of entries the node actually produced.
+        provided: u64,
+    },
+    /// The audit response carries more entries than the challenged range —
+    /// a malformed (padded) response.
+    SurplusEntries {
+        /// The commitment's sequence number.
+        committed_seq: u64,
+        /// Number of entries the node returned beyond the range.
+        surplus: u64,
+    },
+    /// The audit response's entries do not form a contiguous hash chain from
+    /// the last audited head.
+    BrokenChain {
+        /// Sequence number at which the chain breaks.
+        at_seq: u64,
+    },
+    /// The replayed chain ends in a head different from the committed one.
+    HeadMismatch {
+        /// The committed sequence number.
+        committed_seq: u64,
+    },
+    /// A logged execution output diverges from the deterministic reference
+    /// state machine.
+    ExecDivergence {
+        /// Sequence number of the diverging `Exec` entry.
+        at_seq: u64,
+    },
+}
+
+impl Misbehavior {
+    /// Short label used in scenario tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Misbehavior::ConflictingCommitments { .. } => "conflicting-commitments",
+            Misbehavior::Truncated { .. } => "truncated-log",
+            Misbehavior::SurplusEntries { .. } => "surplus-entries",
+            Misbehavior::BrokenChain { .. } => "broken-chain",
+            Misbehavior::HeadMismatch { .. } => "head-mismatch",
+            Misbehavior::ExecDivergence { .. } => "exec-divergence",
+        }
+    }
+}
+
+/// Returns the conflict evidence if two commitments by the same node
+/// contradict each other (same committed length, different head). Both
+/// seals must already have been verified by the caller.
+#[must_use]
+pub fn commitments_conflict(a: &Authenticator, b: &Authenticator) -> bool {
+    a.node == b.node && a.seq == b.seq && a.head != b.head
+}
+
+/// One witness's accumulated view of one audited node.
+#[derive(Debug, Clone)]
+pub struct WitnessRecord<S: StateMachine> {
+    /// Sequence number up to which the log has been audited.
+    pub audited_seq: u64,
+    /// Head hash at `audited_seq`.
+    pub audited_head: [u8; 32],
+    /// Commitments received (directly or via gossip), newest last.
+    pub commitments: Vec<Authenticator>,
+    /// The reference state machine replayed alongside the node's log.
+    pub machine: S,
+    /// Current verdict.
+    pub verdict: Verdict,
+    /// Evidence collected so far.
+    pub evidence: Vec<Misbehavior>,
+    /// The commitment currently under challenge, if any.
+    pub pending_challenge: Option<Authenticator>,
+    /// Outputs the replay expects to see logged, FIFO: a node may verify
+    /// several commands before executing them (batched poll), and a
+    /// commitment boundary may fall between a `Recv` and its `Exec`, so the
+    /// queue persists across audits.
+    expected_outputs: std::collections::VecDeque<Vec<u8>>,
+}
+
+impl<S: StateMachine> WitnessRecord<S> {
+    /// A fresh record starting at the genesis head.
+    #[must_use]
+    pub fn new(initial_machine: S) -> Self {
+        WitnessRecord {
+            audited_seq: 0,
+            audited_head: crate::log::GENESIS_HEAD,
+            commitments: Vec::new(),
+            machine: initial_machine,
+            verdict: Verdict::Trusted,
+            evidence: Vec::new(),
+            pending_challenge: None,
+            expected_outputs: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Records a (seal-verified) commitment and reports new conflict
+    /// evidence, if the commitment contradicts one already held.
+    ///
+    /// Dedup is by commitment *content* `(node, seq, head)`, not by seal:
+    /// a node seals a separate authenticator per witness (each with its own
+    /// device counter) and every direct announcement is also gossiped, so
+    /// byte-equality would never dedup and the record would grow by
+    /// Θ(witnesses) per round. Identical-content copies carry no new
+    /// information — only a *different* head for a known seq does (and that
+    /// is exactly the conflict case, which is kept).
+    pub fn store_commitment(&mut self, auth: Authenticator) -> Option<Misbehavior> {
+        if self
+            .commitments
+            .iter()
+            .any(|held| held.node == auth.node && held.seq == auth.seq && held.head == auth.head)
+        {
+            return None;
+        }
+        let conflict = self
+            .commitments
+            .iter()
+            .find(|held| commitments_conflict(held, &auth))
+            .map(|held| Misbehavior::ConflictingCommitments {
+                a: Box::new(held.clone()),
+                b: Box::new(auth.clone()),
+            });
+        self.commitments.push(auth);
+        if let Some(evidence) = &conflict {
+            self.convict(evidence.clone());
+        }
+        conflict
+    }
+
+    /// The newest commitment strictly beyond the audited prefix.
+    #[must_use]
+    pub fn next_audit_target(&self) -> Option<&Authenticator> {
+        self.commitments
+            .iter()
+            .filter(|a| a.seq > self.audited_seq)
+            .max_by_key(|a| a.seq)
+    }
+
+    /// Marks the node exposed with `evidence`.
+    pub fn convict(&mut self, evidence: Misbehavior) {
+        self.verdict = Verdict::Exposed;
+        self.evidence.push(evidence);
+    }
+
+    /// Marks an unanswered challenge. Evidence-based exposure is permanent;
+    /// otherwise the node becomes suspected.
+    pub fn mark_unresponsive(&mut self) {
+        if self.verdict != Verdict::Exposed {
+            self.verdict = Verdict::Suspected;
+        }
+    }
+
+    /// Verifies an audit response against the commitment `upto` and replays
+    /// it on the reference machine. On success the audited prefix advances
+    /// and the verdict (unless already `Exposed`) returns to `Trusted`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`Misbehavior`]; the caller decides how to
+    /// propagate it (the record itself is already convicted).
+    pub fn check_response(
+        &mut self,
+        upto: &Authenticator,
+        entries: &[LogEntry],
+    ) -> Result<(), Misbehavior> {
+        if let Err(evidence) = self.check_response_inner(upto, entries) {
+            self.convict(evidence.clone());
+            return Err(evidence);
+        }
+        self.audited_seq = upto.seq;
+        self.audited_head = upto.head;
+        if self.verdict == Verdict::Suspected {
+            self.verdict = Verdict::Trusted;
+        }
+        Ok(())
+    }
+
+    fn check_response_inner(
+        &mut self,
+        upto: &Authenticator,
+        entries: &[LogEntry],
+    ) -> Result<(), Misbehavior> {
+        let expected = upto.seq.saturating_sub(self.audited_seq);
+        if (entries.len() as u64) < expected {
+            return Err(Misbehavior::Truncated {
+                committed_seq: upto.seq,
+                provided: self.audited_seq + entries.len() as u64,
+            });
+        }
+        if (entries.len() as u64) > expected {
+            return Err(Misbehavior::SurplusEntries {
+                committed_seq: upto.seq,
+                surplus: entries.len() as u64 - expected,
+            });
+        }
+        let mut head = self.audited_head;
+        for (offset, entry) in entries.iter().enumerate() {
+            let seq = self.audited_seq + offset as u64;
+            if entry.seq != seq || entry.prev != head || !entry.is_consistent() {
+                return Err(Misbehavior::BrokenChain { at_seq: seq });
+            }
+            match entry.kind {
+                crate::log::EntryKind::Recv { .. } => {
+                    if let Some(command) =
+                        crate::log::content_payload(&entry.content).and_then(Envelope::app_command)
+                    {
+                        let output = self.machine.execute(command);
+                        self.expected_outputs.push_back(output);
+                    }
+                }
+                crate::log::EntryKind::Exec => {
+                    let expected_out = self.expected_outputs.pop_front();
+                    if expected_out.as_deref() != Some(&entry.content[..]) {
+                        return Err(Misbehavior::ExecDivergence { at_seq: entry.seq });
+                    }
+                }
+                crate::log::EntryKind::Send { .. } => {}
+            }
+            head = entry.hash;
+        }
+        if head != upto.head {
+            return Err(Misbehavior::HeadMismatch {
+                committed_seq: upto.seq,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{log_session, EntryKind, SecureLog};
+    use tnic_core::transform::CounterMachine;
+    use tnic_device::attestation::{AttestationKernel, AttestationTiming};
+    use tnic_device::types::DeviceId;
+
+    fn seal(kernel: &mut AttestationKernel, node: u32, seq: u64, head: [u8; 32]) -> Authenticator {
+        let payload = Authenticator::payload(node, seq, &head);
+        let (attestation, _) = kernel.attest(log_session(node), &payload).unwrap();
+        Authenticator {
+            node,
+            seq,
+            head,
+            attestation,
+        }
+    }
+
+    fn node_kernel(node: u32) -> AttestationKernel {
+        let mut kernel = AttestationKernel::new(DeviceId(node), AttestationTiming::zero());
+        kernel.install_session_key(log_session(node), [1u8; 32]);
+        kernel
+    }
+
+    /// A log that receives two app commands and executes them faithfully.
+    fn honest_log(machine: &mut CounterMachine) -> SecureLog {
+        let mut log = SecureLog::new();
+        for _ in 0..2 {
+            let payload = Envelope::App(b"incr".to_vec()).encode();
+            log.append(
+                EntryKind::Recv { from: 9 },
+                crate::log::content_full(&payload),
+            );
+            let output = machine.execute(b"incr");
+            log.append(EntryKind::Exec, output);
+        }
+        log
+    }
+
+    #[test]
+    fn honest_response_passes_and_advances_prefix() {
+        let mut kernel = node_kernel(1);
+        let mut node_machine = CounterMachine::new();
+        let log = honest_log(&mut node_machine);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        assert!(record.store_commitment(auth.clone()).is_none());
+        assert_eq!(record.next_audit_target().unwrap().seq, log.len());
+        record
+            .check_response(&auth, log.segment(0, log.len()))
+            .unwrap();
+        assert_eq!(record.verdict, Verdict::Trusted);
+        assert_eq!(record.audited_seq, log.len());
+        assert_eq!(record.machine.state_digest(), node_machine.state_digest());
+        assert!(record.next_audit_target().is_none());
+    }
+
+    #[test]
+    fn equal_content_commitments_dedup_across_distinct_seals() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let log = honest_log(&mut machine);
+        // Two seals of the same (seq, head): different device counters, same
+        // commitment content — the second must not grow the record.
+        let first = seal(&mut kernel, 1, log.len(), log.head());
+        let second = seal(&mut kernel, 1, log.len(), log.head());
+        assert_ne!(first.attestation, second.attestation);
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        assert!(record.store_commitment(first).is_none());
+        assert!(record.store_commitment(second).is_none());
+        assert_eq!(record.commitments.len(), 1);
+        assert_eq!(record.verdict, Verdict::Trusted);
+    }
+
+    #[test]
+    fn conflicting_commitments_expose() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let log = honest_log(&mut machine);
+        let real = seal(&mut kernel, 1, log.len(), log.head());
+        let fork = seal(&mut kernel, 1, log.len(), log.forked_head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        assert!(record.store_commitment(real).is_none());
+        let evidence = record.store_commitment(fork).unwrap();
+        assert!(matches!(
+            evidence,
+            Misbehavior::ConflictingCommitments { .. }
+        ));
+        assert_eq!(record.verdict, Verdict::Exposed);
+        assert_eq!(evidence.label(), "conflicting-commitments");
+    }
+
+    #[test]
+    fn truncated_response_exposes() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = honest_log(&mut machine);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        log.truncate_tail(2);
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap_err();
+        assert!(matches!(err, Misbehavior::Truncated { provided: 2, .. }));
+        assert_eq!(record.verdict, Verdict::Exposed);
+    }
+
+    #[test]
+    fn tampered_exec_output_exposed_by_replay() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = honest_log(&mut machine);
+        // The host rewrites an execution output and re-chains; the forged log
+        // is internally consistent.
+        assert!(log.tamper_and_rechain(1, b"forged output".to_vec()));
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap_err();
+        assert!(matches!(err, Misbehavior::ExecDivergence { at_seq: 1 }));
+    }
+
+    #[test]
+    fn recv_exec_pair_straddling_commitments_audits_clean() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = SecureLog::new();
+        // Commitment boundary falls between the Recv and its Exec.
+        let payload = Envelope::App(b"incr".to_vec()).encode();
+        log.append(
+            EntryKind::Recv { from: 9 },
+            crate::log::content_full(&payload),
+        );
+        let first = seal(&mut kernel, 1, log.len(), log.head());
+        log.append(EntryKind::Exec, machine.execute(b"incr"));
+        let second = seal(&mut kernel, 1, log.len(), log.head());
+
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(first.clone());
+        record
+            .check_response(&first, log.segment(0, first.seq))
+            .unwrap();
+        record.store_commitment(second.clone());
+        record
+            .check_response(&second, log.segment(first.seq, second.seq))
+            .unwrap();
+        assert_eq!(record.verdict, Verdict::Trusted, "no false ExecDivergence");
+    }
+
+    #[test]
+    fn padded_response_exposes() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = honest_log(&mut machine);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        // The node answers with the committed prefix plus garbage padding.
+        log.append(EntryKind::Exec, b"padding".to_vec());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record.check_response(&auth, log.entries()).unwrap_err();
+        assert!(matches!(
+            err,
+            Misbehavior::SurplusEntries { surplus: 1, .. }
+        ));
+        assert_eq!(record.verdict, Verdict::Exposed);
+    }
+
+    #[test]
+    fn head_mismatch_exposes_forked_commitment() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let log = honest_log(&mut machine);
+        // Commit to the fork but answer the audit with the real log.
+        let auth = seal(&mut kernel, 1, log.len(), log.forked_head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap_err();
+        assert!(matches!(err, Misbehavior::HeadMismatch { .. }));
+    }
+
+    #[test]
+    fn broken_chain_exposes() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let log = honest_log(&mut machine);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut entries = log.entries().to_vec();
+        entries[1].content = b"inconsistent".to_vec(); // hash no longer matches
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record.check_response(&auth, &entries).unwrap_err();
+        assert!(matches!(err, Misbehavior::BrokenChain { at_seq: 1 }));
+    }
+
+    #[test]
+    fn unresponsiveness_suspects_then_recovers() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let log = honest_log(&mut machine);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        record.mark_unresponsive();
+        assert_eq!(record.verdict, Verdict::Suspected);
+        // A later valid response restores trust (accuracy: silence is never
+        // proof).
+        record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap();
+        assert_eq!(record.verdict, Verdict::Trusted);
+    }
+
+    #[test]
+    fn exposure_is_permanent() {
+        let mut record: WitnessRecord<CounterMachine> = WitnessRecord::new(CounterMachine::new());
+        record.convict(Misbehavior::BrokenChain { at_seq: 0 });
+        record.mark_unresponsive();
+        assert_eq!(record.verdict, Verdict::Exposed);
+    }
+}

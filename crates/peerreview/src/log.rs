@@ -1,0 +1,533 @@
+//! The per-node tamper-evident log and its TNIC-sealed commitments.
+//!
+//! Every node keeps an append-only log of its protocol actions (sends,
+//! verified receives, local executions). Entries are chained by hash —
+//! `h_k = H(h_{k-1} ‖ k ‖ kind ‖ H(content))` — so the log as a whole is
+//! committed by its *head* hash, and a node commits to a log prefix by
+//! publishing an [`Authenticator`]: the pair `(seq, head)` sealed by the
+//! node's TNIC attestation kernel ([`AttestedMessage`]).
+//!
+//! Compared to classic PeerReview (which seals authenticators with software
+//! signatures), the TNIC seal adds non-equivocation *hardware* counters: a
+//! faulty host can still fork its log and commit to two different heads for
+//! the same sequence number, but both commitments carry distinct,
+//! monotonically increasing device counters and verify as authentic — the
+//! conflicting pair is transferable, independently verifiable proof of
+//! misbehaviour (see [`crate::audit`]).
+
+use tnic_crypto::sha256::sha256;
+use tnic_device::attestation::AttestedMessage;
+use tnic_device::error::DeviceError;
+use tnic_device::types::{DeviceId, SessionId};
+
+/// Head hash of the empty log.
+pub const GENESIS_HEAD: [u8; 32] = [0u8; 32];
+
+/// Domain-separation prefix of authenticator payloads.
+pub const AUTHENTICATOR_DOMAIN: &[u8; 12] = b"TNIC-PR-AUTH";
+
+/// The dedicated attestation session on which a node's device seals its log
+/// commitments. Disjoint from the cluster's messaging sessions; the session
+/// key is installed on the node's device and distributed to its witnesses by
+/// the same bootstrapping protocol that installs messaging keys.
+#[must_use]
+pub fn log_session(node: u32) -> SessionId {
+    SessionId(0x5A00_0000 + node)
+}
+
+/// The kind of action a log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// The node attested and transmitted a message to `to`.
+    Send {
+        /// The destination node.
+        to: u32,
+    },
+    /// The node's device verified and delivered a message from `from`.
+    Recv {
+        /// The originating node.
+        from: u32,
+    },
+    /// The node executed an application command; the entry content is the
+    /// claimed output, checked by witnesses against the deterministic
+    /// reference state machine.
+    Exec,
+}
+
+impl EntryKind {
+    fn tag(self) -> u8 {
+        match self {
+            EntryKind::Send { .. } => 1,
+            EntryKind::Recv { .. } => 2,
+            EntryKind::Exec => 3,
+        }
+    }
+
+    fn peer(self) -> u32 {
+        match self {
+            EntryKind::Send { to } => to,
+            EntryKind::Recv { from } => from,
+            EntryKind::Exec => 0,
+        }
+    }
+
+    fn from_wire(tag: u8, peer: u32) -> Option<Self> {
+        match tag {
+            1 => Some(EntryKind::Send { to: peer }),
+            2 => Some(EntryKind::Recv { from: peer }),
+            3 => Some(EntryKind::Exec),
+            _ => None,
+        }
+    }
+}
+
+/// Content-kind prefix: the entry stores the full message payload
+/// (application traffic — witnesses replay it).
+pub const CONTENT_FULL: u8 = 1;
+/// Content-kind prefix: the entry stores only the payload's SHA-256 digest
+/// (control traffic — logging audit responses verbatim would grow the log
+/// geometrically, since responses contain log entries).
+pub const CONTENT_DIGEST: u8 = 0;
+
+/// Encodes a `Send`/`Recv` entry content carrying the full payload.
+#[must_use]
+pub fn content_full(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(CONTENT_FULL);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a `Send`/`Recv` entry content carrying only the payload digest.
+#[must_use]
+pub fn content_digest(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33);
+    out.push(CONTENT_DIGEST);
+    out.extend_from_slice(&sha256(payload));
+    out
+}
+
+/// The full payload of a `Send`/`Recv` entry content, if it carries one.
+#[must_use]
+pub fn content_payload(content: &[u8]) -> Option<&[u8]> {
+    match content.split_first() {
+        Some((&CONTENT_FULL, payload)) => Some(payload),
+        _ => None,
+    }
+}
+
+/// Computes the chained hash of an entry.
+#[must_use]
+pub fn chain_hash(prev: &[u8; 32], seq: u64, kind: EntryKind, content: &[u8]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(32 + 8 + 1 + 4 + 32);
+    buf.extend_from_slice(prev);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(kind.tag());
+    buf.extend_from_slice(&kind.peer().to_le_bytes());
+    buf.extend_from_slice(&sha256(content));
+    sha256(&buf)
+}
+
+/// One entry of a tamper-evident log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Position in the log (0-based).
+    pub seq: u64,
+    /// What the entry records.
+    pub kind: EntryKind,
+    /// The recorded content (message payload or execution output).
+    pub content: Vec<u8>,
+    /// Hash of the previous entry ([`GENESIS_HEAD`] for the first).
+    pub prev: [u8; 32],
+    /// This entry's chained hash.
+    pub hash: [u8; 32],
+}
+
+impl LogEntry {
+    /// Whether the entry's hash matches its own fields.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.hash == chain_hash(&self.prev, self.seq, self.kind, &self.content)
+    }
+
+    /// Serialises the entry for audit responses:
+    /// `seq ‖ tag ‖ peer ‖ prev ‖ len ‖ content`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 1 + 4 + 32 + 4 + self.content.len());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.kind.peer().to_le_bytes());
+        out.extend_from_slice(&self.prev);
+        out.extend_from_slice(&(self.content.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.content);
+        out
+    }
+
+    /// Parses an entry and returns it with the number of bytes consumed.
+    /// The hash is recomputed from the parsed fields, so a transported entry
+    /// is consistent by construction — witnesses check *linkage*, not
+    /// self-consistency.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        if bytes.len() < 8 + 1 + 4 + 32 + 4 {
+            return None;
+        }
+        let seq = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let tag = bytes[8];
+        let peer = u32::from_le_bytes(bytes[9..13].try_into().ok()?);
+        let kind = EntryKind::from_wire(tag, peer)?;
+        let mut prev = [0u8; 32];
+        prev.copy_from_slice(&bytes[13..45]);
+        let len = u32::from_le_bytes(bytes[45..49].try_into().ok()?) as usize;
+        if bytes.len() < 49 + len {
+            return None;
+        }
+        let content = bytes[49..49 + len].to_vec();
+        let hash = chain_hash(&prev, seq, kind, &content);
+        Some((
+            LogEntry {
+                seq,
+                kind,
+                content,
+                prev,
+                hash,
+            },
+            49 + len,
+        ))
+    }
+}
+
+/// A node's append-only, hash-chained log.
+#[derive(Debug, Clone, Default)]
+pub struct SecureLog {
+    entries: Vec<LogEntry>,
+}
+
+impl SecureLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        SecureLog::default()
+    }
+
+    /// Number of entries (also the sequence number of the next entry).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current head hash ([`GENESIS_HEAD`] when empty).
+    #[must_use]
+    pub fn head(&self) -> [u8; 32] {
+        self.entries.last().map_or(GENESIS_HEAD, |e| e.hash)
+    }
+
+    /// Appends an entry and returns a reference to it.
+    pub fn append(&mut self, kind: EntryKind, content: Vec<u8>) -> &LogEntry {
+        let seq = self.len();
+        let prev = self.head();
+        let hash = chain_hash(&prev, seq, kind, &content);
+        self.entries.push(LogEntry {
+            seq,
+            kind,
+            content,
+            prev,
+            hash,
+        });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// All entries.
+    #[must_use]
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// The entries with `from_seq <= seq < upto_seq` (clamped to the log).
+    #[must_use]
+    pub fn segment(&self, from_seq: u64, upto_seq: u64) -> &[LogEntry] {
+        let lo = (from_seq as usize).min(self.entries.len());
+        let hi = (upto_seq as usize).min(self.entries.len());
+        &self.entries[lo..hi.max(lo)]
+    }
+
+    /// The head the log had after `seq` entries (its state at an earlier
+    /// commitment), or `None` if `seq` exceeds the log.
+    #[must_use]
+    pub fn head_at(&self, seq: u64) -> Option<[u8; 32]> {
+        if seq == 0 {
+            Some(GENESIS_HEAD)
+        } else {
+            self.entries.get(seq as usize - 1).map(|e| e.hash)
+        }
+    }
+
+    /// **Byzantine host operation**: removes the last `n` entries. Used by
+    /// fault injection to model a node rewriting history it already
+    /// committed to.
+    pub fn truncate_tail(&mut self, n: u64) {
+        let keep = self.entries.len().saturating_sub(n as usize);
+        self.entries.truncate(keep);
+    }
+
+    /// **Byzantine host operation**: rewrites the content of entry `seq` and
+    /// re-chains every later hash so the forged log is self-consistent. The
+    /// forgery is undetectable by chain inspection alone — only replay
+    /// against the reference state machine (or a conflicting earlier
+    /// commitment) exposes it. Returns `false` if `seq` is out of range.
+    pub fn tamper_and_rechain(&mut self, seq: u64, new_content: Vec<u8>) -> bool {
+        let idx = seq as usize;
+        if idx >= self.entries.len() {
+            return false;
+        }
+        self.entries[idx].content = new_content;
+        for i in idx..self.entries.len() {
+            let prev = if i == 0 {
+                GENESIS_HEAD
+            } else {
+                self.entries[i - 1].hash
+            };
+            self.entries[i].prev = prev;
+            self.entries[i].hash = chain_hash(
+                &prev,
+                self.entries[i].seq,
+                self.entries[i].kind,
+                &self.entries[i].content,
+            );
+        }
+        true
+    }
+
+    /// The head of a *forked* variant of this log in which the last entry's
+    /// content is replaced — what an equivocating host commits to towards a
+    /// subset of its witnesses. The fork is never stored; only its head is
+    /// attested.
+    #[must_use]
+    pub fn forked_head(&self) -> [u8; 32] {
+        match self.entries.last() {
+            None => sha256(b"equivocation fork of the empty log"),
+            Some(last) => chain_hash(&last.prev, last.seq, last.kind, b"<equivocation fork>"),
+        }
+    }
+}
+
+/// A log commitment: `(node, seq, head)` sealed by the node's TNIC.
+///
+/// `seq` is the number of entries covered (the head commits to entries
+/// `0..seq`). The attestation's payload is
+/// `AUTHENTICATOR_DOMAIN ‖ node ‖ seq ‖ head` on the node's
+/// [`log_session`], so any holder of the session key — every witness — can
+/// verify it out of order via `verify_binding` (transferable
+/// authentication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Authenticator {
+    /// The committing node.
+    pub node: u32,
+    /// Number of log entries the commitment covers.
+    pub seq: u64,
+    /// The committed head hash.
+    pub head: [u8; 32],
+    /// The TNIC seal over the commitment.
+    pub attestation: AttestedMessage,
+}
+
+impl Authenticator {
+    /// The canonical attestation payload for a commitment.
+    #[must_use]
+    pub fn payload(node: u32, seq: u64, head: &[u8; 32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + 4 + 8 + 32);
+        out.extend_from_slice(AUTHENTICATOR_DOMAIN);
+        out.extend_from_slice(&node.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(head);
+        out
+    }
+
+    /// Whether the carried attestation structurally matches the claimed
+    /// `(node, seq, head)`: payload equality, issuing device and session.
+    /// Cryptographic verification is separate (the witness's kernel).
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.attestation.payload == Self::payload(self.node, self.seq, &self.head)
+            && self.attestation.device == DeviceId(self.node)
+            && self.attestation.session == log_session(self.node)
+    }
+
+    /// Serialises the authenticator (node/seq/head are recovered from the
+    /// attested payload on decode).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        self.attestation.encode()
+    }
+
+    /// Parses an authenticator from an encoded attested message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::MalformedMessage`] if the wire bytes or the
+    /// attested payload are malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DeviceError> {
+        let attestation = AttestedMessage::decode(bytes)?;
+        let p = &attestation.payload;
+        if p.len() != 12 + 4 + 8 + 32 || &p[..12] != AUTHENTICATOR_DOMAIN {
+            return Err(DeviceError::MalformedMessage("bad authenticator payload"));
+        }
+        let node = u32::from_le_bytes(p[12..16].try_into().expect("sized"));
+        let seq = u64::from_le_bytes(p[16..24].try_into().expect("sized"));
+        let mut head = [0u8; 32];
+        head.copy_from_slice(&p[24..56]);
+        Ok(Authenticator {
+            node,
+            seq,
+            head,
+            attestation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_device::attestation::{AttestationKernel, AttestationTiming};
+
+    fn sample_log() -> SecureLog {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Send { to: 1 }, b"m0".to_vec());
+        log.append(EntryKind::Recv { from: 2 }, b"m1".to_vec());
+        log.append(EntryKind::Exec, b"out".to_vec());
+        log
+    }
+
+    #[test]
+    fn appends_chain_from_genesis() {
+        let log = sample_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.entries()[0].prev, GENESIS_HEAD);
+        for pair in log.entries().windows(2) {
+            assert_eq!(pair[1].prev, pair[0].hash);
+        }
+        assert!(log.entries().iter().all(LogEntry::is_consistent));
+        assert_eq!(log.head(), log.entries()[2].hash);
+        assert_eq!(log.head_at(3), Some(log.head()));
+        assert_eq!(log.head_at(0), Some(GENESIS_HEAD));
+        assert_eq!(log.head_at(4), None);
+    }
+
+    #[test]
+    fn content_helpers_are_self_describing() {
+        let payload = vec![0u8; 40]; // starts with the App envelope tag
+        assert_eq!(content_payload(&content_full(&payload)), Some(&payload[..]));
+        // A digest is never mistaken for a full payload, even if its bytes
+        // happen to resemble one.
+        assert_eq!(content_payload(&content_digest(&payload)), None);
+        assert_eq!(content_digest(&payload).len(), 33);
+    }
+
+    #[test]
+    fn entry_wire_round_trip() {
+        let log = sample_log();
+        for entry in log.entries() {
+            let bytes = entry.encode();
+            let (decoded, used) = LogEntry::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(&decoded, entry);
+        }
+        assert!(LogEntry::decode(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn segment_is_clamped() {
+        let log = sample_log();
+        assert_eq!(log.segment(0, 3).len(), 3);
+        assert_eq!(log.segment(1, 2).len(), 1);
+        assert_eq!(log.segment(1, 2)[0].seq, 1);
+        assert!(log.segment(3, 9).is_empty());
+        assert!(log.segment(5, 2).is_empty());
+    }
+
+    #[test]
+    fn truncation_changes_head() {
+        let mut log = sample_log();
+        let full_head = log.head();
+        log.truncate_tail(1);
+        assert_eq!(log.len(), 2);
+        assert_ne!(log.head(), full_head);
+    }
+
+    #[test]
+    fn tampering_rechains_consistently_but_diverges() {
+        let mut log = sample_log();
+        let original_head = log.head();
+        assert!(log.tamper_and_rechain(1, b"forged".to_vec()));
+        assert!(log.entries().iter().all(LogEntry::is_consistent));
+        for pair in log.entries().windows(2) {
+            assert_eq!(pair[1].prev, pair[0].hash);
+        }
+        assert_ne!(
+            log.head(),
+            original_head,
+            "forgery diverges from commitment"
+        );
+        assert!(!log.tamper_and_rechain(9, b"x".to_vec()));
+    }
+
+    #[test]
+    fn forked_head_differs_from_real_head() {
+        let log = sample_log();
+        assert_ne!(log.forked_head(), log.head());
+        assert_ne!(SecureLog::new().forked_head(), GENESIS_HEAD);
+    }
+
+    #[test]
+    fn authenticator_round_trip_and_verification() {
+        let node = 3u32;
+        let mut sealer = AttestationKernel::new(DeviceId(node), AttestationTiming::zero());
+        sealer.install_session_key(log_session(node), [7u8; 32]);
+        let log = sample_log();
+        let payload = Authenticator::payload(node, log.len(), &log.head());
+        let (attestation, _) = sealer.attest(log_session(node), &payload).unwrap();
+        let auth = Authenticator {
+            node,
+            seq: log.len(),
+            head: log.head(),
+            attestation,
+        };
+        assert!(auth.consistent());
+
+        let decoded = Authenticator::decode(&auth.encode()).unwrap();
+        assert_eq!(decoded, auth);
+
+        // Any witness holding the log-session key verifies the seal.
+        let mut witness = AttestationKernel::new(DeviceId(9), AttestationTiming::zero());
+        witness.install_session_key(log_session(node), [7u8; 32]);
+        witness.verify_binding(&decoded.attestation).unwrap();
+    }
+
+    #[test]
+    fn authenticator_with_mismatched_claim_is_inconsistent() {
+        let node = 3u32;
+        let mut sealer = AttestationKernel::new(DeviceId(node), AttestationTiming::zero());
+        sealer.install_session_key(log_session(node), [7u8; 32]);
+        let log = sample_log();
+        let payload = Authenticator::payload(node, log.len(), &log.head());
+        let (attestation, _) = sealer.attest(log_session(node), &payload).unwrap();
+        let mut auth = Authenticator {
+            node,
+            seq: log.len() + 1, // claims more than attested
+            head: log.head(),
+            attestation,
+        };
+        assert!(!auth.consistent());
+        auth.seq = log.len();
+        assert!(auth.consistent());
+        auth.node = 4;
+        assert!(!auth.consistent());
+    }
+}

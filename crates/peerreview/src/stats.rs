@@ -1,0 +1,83 @@
+//! Accountability overhead counters, surfaced through `tnic_sim::stats`.
+//!
+//! The point of the PeerReview case study is that accountability is *not
+//! free*: commitments ride on every message and audits consume witness
+//! cycles and network round trips. These counters make the overhead
+//! measurable against the bare substrate (see `crates/bench`): message and
+//! byte counts for the commitment/audit traffic, and virtual-time
+//! histograms for audit latency.
+
+use tnic_sim::stats::Histogram;
+
+/// Counters and latency distributions of one accountable run.
+#[derive(Debug, Clone, Default)]
+pub struct AccountabilityStats {
+    /// Application messages sent through the cluster.
+    pub app_messages: u64,
+    /// Accountability control messages (announce/gossip/challenge/response/
+    /// evidence).
+    pub control_messages: u64,
+    /// Total wire bytes of control messages (the commitment overhead).
+    pub control_bytes: u64,
+    /// Log entries appended across all nodes.
+    pub log_entries: u64,
+    /// Commitments (authenticators) published by nodes.
+    pub commitments_published: u64,
+    /// Challenges issued by witnesses.
+    pub challenges: u64,
+    /// Audit responses received by witnesses.
+    pub responses: u64,
+    /// Challenges that went unanswered.
+    pub unanswered_challenges: u64,
+    /// Evidence messages transferred between witnesses.
+    pub evidence_transfers: u64,
+    /// Virtual-time latency of one complete audit (challenge sent → verdict),
+    /// in microseconds.
+    pub audit_latency: Histogram,
+    /// Virtual-time latency of one application send (attest → verified
+    /// delivery), in microseconds.
+    pub app_latency: Histogram,
+}
+
+impl AccountabilityStats {
+    /// Creates zeroed stats.
+    #[must_use]
+    pub fn new() -> Self {
+        AccountabilityStats::default()
+    }
+
+    /// Total messages, application plus control.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.app_messages + self.control_messages
+    }
+
+    /// Control messages per application message — the headline overhead
+    /// ratio (0 when no application traffic was sent).
+    #[must_use]
+    pub fn control_overhead_ratio(&self) -> f64 {
+        if self.app_messages == 0 {
+            0.0
+        } else {
+            self.control_messages as f64 / self.app_messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_sim::time::SimDuration;
+
+    #[test]
+    fn overhead_ratio() {
+        let mut stats = AccountabilityStats::new();
+        assert_eq!(stats.control_overhead_ratio(), 0.0);
+        stats.app_messages = 4;
+        stats.control_messages = 10;
+        assert!((stats.control_overhead_ratio() - 2.5).abs() < 1e-9);
+        assert_eq!(stats.total_messages(), 14);
+        stats.audit_latency.record(SimDuration::from_micros(12));
+        assert_eq!(stats.audit_latency.len(), 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Wire envelopes of the accountability protocol.
+//!
+//! Every payload that travels through the cluster while PeerReview is active
+//! carries a one-byte type tag so that (i) nodes can dispatch application
+//! traffic vs. audit traffic, and (ii) witnesses replaying a log can tell
+//! which `Recv` entries fed the application state machine. The envelopes are:
+//!
+//! * [`Envelope::App`] — an application command for the node's state machine.
+//! * [`Envelope::Announce`] — a node publishing a log commitment
+//!   ([`Authenticator`]) to one of its witnesses.
+//! * [`Envelope::Gossip`] — a witness forwarding a commitment it received to
+//!   a fellow witness (evidence transfer leg 1; transferable authentication
+//!   makes the forwarded seal verifiable by the third party).
+//! * [`Envelope::Challenge`] — a witness asking the audited node for the log
+//!   segment between two commitments.
+//! * [`Envelope::Response`] — the audited node's segment.
+//! * [`Envelope::Evidence`] — a verifiable proof of misbehaviour
+//!   (conflicting commitments) broadcast between witnesses (leg 2).
+
+use crate::log::{Authenticator, LogEntry};
+use tnic_device::error::DeviceError;
+
+/// Magic prefix on every envelope. Payload classification (is this an
+/// application command the replay must execute?) must not rest on a single
+/// sniffed byte: arbitrary non-envelope traffic (e.g. a chain-replication
+/// proof whose first byte happens to be 0) would otherwise be replayed as a
+/// command and falsely expose an honest node.
+const ENVELOPE_MAGIC: [u8; 2] = [0xA7, 0x5E];
+
+const TAG_APP: u8 = 0;
+const TAG_ANNOUNCE: u8 = 1;
+const TAG_GOSSIP: u8 = 2;
+const TAG_CHALLENGE: u8 = 3;
+const TAG_RESPONSE: u8 = 4;
+const TAG_EVIDENCE: u8 = 5;
+
+/// A typed accountability-protocol payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// An application command.
+    App(Vec<u8>),
+    /// A log commitment published by the audited node itself.
+    Announce(Authenticator),
+    /// A commitment forwarded witness-to-witness.
+    Gossip(Authenticator),
+    /// An audit challenge for entries `from_seq..upto_seq`.
+    Challenge {
+        /// First sequence number requested.
+        from_seq: u64,
+        /// One past the last sequence number requested (the commitment's
+        /// `seq`).
+        upto_seq: u64,
+    },
+    /// The audited node's response: the requested log segment.
+    Response {
+        /// First sequence number of the segment the node claims to return.
+        from_seq: u64,
+        /// The returned entries.
+        entries: Vec<LogEntry>,
+    },
+    /// Proof of equivocation: two validly sealed commitments by the same
+    /// node for the same sequence number with different heads.
+    Evidence {
+        /// One conflicting commitment.
+        a: Authenticator,
+        /// The other conflicting commitment.
+        b: Authenticator,
+    },
+}
+
+fn push_block(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_block(bytes: &[u8]) -> Option<(&[u8], usize)> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().ok()?) as usize;
+    if bytes.len() < 4 + len {
+        return None;
+    }
+    Some((&bytes[4..4 + len], 4 + len))
+}
+
+impl Envelope {
+    /// Serialises the envelope.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ENVELOPE_MAGIC);
+        match self {
+            Envelope::App(command) => {
+                out.push(TAG_APP);
+                out.extend_from_slice(command);
+            }
+            Envelope::Announce(auth) => {
+                out.push(TAG_ANNOUNCE);
+                out.extend_from_slice(&auth.encode());
+            }
+            Envelope::Gossip(auth) => {
+                out.push(TAG_GOSSIP);
+                out.extend_from_slice(&auth.encode());
+            }
+            Envelope::Challenge { from_seq, upto_seq } => {
+                out.push(TAG_CHALLENGE);
+                out.extend_from_slice(&from_seq.to_le_bytes());
+                out.extend_from_slice(&upto_seq.to_le_bytes());
+            }
+            Envelope::Response { from_seq, entries } => {
+                out.push(TAG_RESPONSE);
+                out.extend_from_slice(&from_seq.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for entry in entries {
+                    push_block(&mut out, &entry.encode());
+                }
+            }
+            Envelope::Evidence { a, b } => {
+                out.push(TAG_EVIDENCE);
+                push_block(&mut out, &a.encode());
+                push_block(&mut out, &b.encode());
+            }
+        }
+        out
+    }
+
+    /// Parses an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::MalformedMessage`] on truncated or unknown
+    /// payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DeviceError> {
+        let malformed = || DeviceError::MalformedMessage("malformed envelope");
+        let bytes = bytes
+            .strip_prefix(&ENVELOPE_MAGIC)
+            .ok_or(DeviceError::MalformedMessage("missing envelope magic"))?;
+        let (&tag, rest) = bytes.split_first().ok_or_else(malformed)?;
+        match tag {
+            TAG_APP => Ok(Envelope::App(rest.to_vec())),
+            TAG_ANNOUNCE => Ok(Envelope::Announce(Authenticator::decode(rest)?)),
+            TAG_GOSSIP => Ok(Envelope::Gossip(Authenticator::decode(rest)?)),
+            TAG_CHALLENGE => {
+                if rest.len() != 16 {
+                    return Err(malformed());
+                }
+                Ok(Envelope::Challenge {
+                    from_seq: u64::from_le_bytes(rest[..8].try_into().expect("sized")),
+                    upto_seq: u64::from_le_bytes(rest[8..].try_into().expect("sized")),
+                })
+            }
+            TAG_RESPONSE => {
+                if rest.len() < 12 {
+                    return Err(malformed());
+                }
+                let from_seq = u64::from_le_bytes(rest[..8].try_into().expect("sized"));
+                let count = u32::from_le_bytes(rest[8..12].try_into().expect("sized")) as usize;
+                let mut off = 12;
+                // `count` is untrusted wire data (a Byzantine node may claim
+                // u32::MAX entries); cap the preallocation by what the buffer
+                // could possibly hold — each entry block needs ≥ 4 + 49 bytes.
+                let mut entries = Vec::with_capacity(count.min(rest.len() / 53));
+                for _ in 0..count {
+                    let (block, used) = read_block(&rest[off..]).ok_or_else(malformed)?;
+                    let (entry, entry_used) = LogEntry::decode(block).ok_or_else(malformed)?;
+                    if entry_used != block.len() {
+                        return Err(malformed());
+                    }
+                    entries.push(entry);
+                    off += used;
+                }
+                if off != rest.len() {
+                    return Err(malformed());
+                }
+                Ok(Envelope::Response { from_seq, entries })
+            }
+            TAG_EVIDENCE => {
+                let (block_a, used) = read_block(rest).ok_or_else(malformed)?;
+                let (block_b, used_b) = read_block(&rest[used..]).ok_or_else(malformed)?;
+                if used + used_b != rest.len() {
+                    return Err(malformed());
+                }
+                Ok(Envelope::Evidence {
+                    a: Authenticator::decode(block_a)?,
+                    b: Authenticator::decode(block_b)?,
+                })
+            }
+            _ => Err(DeviceError::MalformedMessage("unknown envelope tag")),
+        }
+    }
+
+    /// The application command carried by an [`Envelope::App`] payload, if
+    /// the raw bytes are one (used during log replay).
+    #[must_use]
+    pub fn app_command(raw: &[u8]) -> Option<&[u8]> {
+        match raw.strip_prefix(&ENVELOPE_MAGIC)?.split_first() {
+            Some((&TAG_APP, command)) => Some(command),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{log_session, EntryKind, SecureLog};
+    use tnic_device::attestation::{AttestationKernel, AttestationTiming};
+    use tnic_device::types::DeviceId;
+
+    fn sealed_auth(node: u32) -> Authenticator {
+        let mut kernel = AttestationKernel::new(DeviceId(node), AttestationTiming::zero());
+        kernel.install_session_key(log_session(node), [node as u8; 32]);
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Exec, vec![node as u8]);
+        let payload = Authenticator::payload(node, log.len(), &log.head());
+        let (attestation, _) = kernel.attest(log_session(node), &payload).unwrap();
+        Authenticator {
+            node,
+            seq: log.len(),
+            head: log.head(),
+            attestation,
+        }
+    }
+
+    #[test]
+    fn app_round_trip_and_command_extraction() {
+        let env = Envelope::App(b"incr".to_vec());
+        let bytes = env.encode();
+        assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+        assert_eq!(Envelope::app_command(&bytes), Some(b"incr".as_slice()));
+        assert_eq!(
+            Envelope::app_command(
+                &Envelope::Challenge {
+                    from_seq: 0,
+                    upto_seq: 1
+                }
+                .encode()
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn announce_gossip_round_trip() {
+        let auth = sealed_auth(2);
+        for env in [Envelope::Announce(auth.clone()), Envelope::Gossip(auth)] {
+            assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn challenge_response_round_trip() {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Send { to: 1 }, b"a".to_vec());
+        log.append(EntryKind::Recv { from: 1 }, b"b".to_vec());
+        let challenge = Envelope::Challenge {
+            from_seq: 3,
+            upto_seq: 9,
+        };
+        assert_eq!(Envelope::decode(&challenge.encode()).unwrap(), challenge);
+        let response = Envelope::Response {
+            from_seq: 0,
+            entries: log.entries().to_vec(),
+        };
+        assert_eq!(Envelope::decode(&response.encode()).unwrap(), response);
+    }
+
+    #[test]
+    fn evidence_round_trip() {
+        let env = Envelope::Evidence {
+            a: sealed_auth(1),
+            b: sealed_auth(1),
+        };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn zero_leading_foreign_payload_is_not_an_app_command() {
+        // A non-envelope payload whose first byte happens to be 0 (e.g. a
+        // little-endian counter) must not be mistaken for an application
+        // command during log replay.
+        let foreign = [0u8, 0, 0, 0, 42, 9, 9];
+        assert_eq!(Envelope::app_command(&foreign), None);
+        assert!(Envelope::decode(&foreign).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_entry_count_rejected_without_allocation() {
+        // A Byzantine response claiming u32::MAX entries with an empty body
+        // must fail fast instead of preallocating gigabytes.
+        let mut bytes = ENVELOPE_MAGIC.to_vec();
+        bytes.push(TAG_RESPONSE);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Envelope::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[9, 1, 2]).is_err());
+        assert!(Envelope::decode(&[ENVELOPE_MAGIC[0], ENVELOPE_MAGIC[1], 9, 1, 2]).is_err());
+        assert!(
+            Envelope::decode(&[ENVELOPE_MAGIC[0], ENVELOPE_MAGIC[1], TAG_CHALLENGE, 1, 2]).is_err()
+        );
+        let mut truncated = Envelope::Evidence {
+            a: sealed_auth(1),
+            b: sealed_auth(2),
+        }
+        .encode();
+        truncated.truncate(truncated.len() - 3);
+        assert!(Envelope::decode(&truncated).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the real `serde` facade crate.
+//!
+//! The build environment cannot reach crates.io, so this crate satisfies the
+//! `use serde::{Deserialize, Serialize};` imports found throughout the
+//! workspace. It re-exports the no-op derive macros from the vendored
+//! `serde_derive` and declares inert marker traits under the same names
+//! (macros and traits live in separate namespaces, exactly like the real
+//! serde facade). Nothing in the workspace calls a serialisation framework;
+//! replacing this shim with the real serde is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Inert counterpart of `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Inert counterpart of `serde::Deserialize`; never implemented or required.
+pub trait Deserialize<'de> {}

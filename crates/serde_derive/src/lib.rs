@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this no-op implementation of the `Serialize`/`Deserialize` derive macros.
+//! The derives expand to nothing: the repository only uses the derive
+//! annotations for forward compatibility and never calls a serialisation
+//! framework, so inert derives are sufficient. Swapping in the real serde is
+//! a manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts any item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts any item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,10 +41,7 @@ impl SimClock {
 
     /// Advances the clock by `duration` and returns the new time.
     pub fn advance(&self, duration: SimDuration) -> SimInstant {
-        let new = self
-            .nanos
-            .fetch_add(duration.as_nanos(), Ordering::SeqCst)
-            + duration.as_nanos();
+        let new = self.nanos.fetch_add(duration.as_nanos(), Ordering::SeqCst) + duration.as_nanos();
         SimInstant::from_nanos(new)
     }
 
@@ -54,12 +51,10 @@ impl SimClock {
         let target = instant.as_nanos();
         let mut current = self.nanos.load(Ordering::SeqCst);
         while current < target {
-            match self.nanos.compare_exchange(
-                current,
-                target,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .nanos
+                .compare_exchange(current, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return instant,
                 Err(observed) => current = observed,
             }

@@ -35,7 +35,10 @@ impl TnicDriver {
             let mut mac = [0u8; 8];
             mac[..6].copy_from_slice(&cfg.mac_addr.0);
             dev.write_register(Register::MacAddr, u64::from_le_bytes(mac));
-            dev.write_register(Register::IpAddr, u64::from(u32::from_be_bytes(cfg.ip_addr.0)));
+            dev.write_register(
+                Register::IpAddr,
+                u64::from(u32::from_be_bytes(cfg.ip_addr.0)),
+            );
             dev.write_register(Register::UdpPort, u64::from(cfg.udp_port));
             dev.write_register(Register::QsfpPort, u64::from(cfg.qsfp_port));
             dev.write_register(Register::Control, 1);
@@ -95,6 +98,9 @@ mod tests {
         let driver = TnicDriver::probe(test_device(4));
         let regs = driver.map_regs();
         regs.write(Register::RequestLen, 77);
-        assert_eq!(driver.device().lock().read_register(Register::RequestLen), 77);
+        assert_eq!(
+            driver.device().lock().read_register(Register::RequestLen),
+            77
+        );
     }
 }

@@ -359,7 +359,8 @@ mod tests {
         assert_eq!(outcome.delivered.unwrap().payload, b"request via ibv");
         // Completion reaches the sender once the ACK flows back.
         let ack = outcome.response.unwrap();
-        a.on_packet(QueuePairId(1), &ack, SimInstant::EPOCH).unwrap();
+        a.on_packet(QueuePairId(1), &ack, SimInstant::EPOCH)
+            .unwrap();
         assert_eq!(a.poll().len(), 1);
     }
 

@@ -8,12 +8,12 @@
 //! real, the latency is charged from the baseline's calibrated profile.
 
 use crate::profile::{Baseline, BaselineProfile};
+use tnic_crypto::hmac::HmacSha256;
 use tnic_device::attestation::AttestedMessage;
 use tnic_device::counters::CounterStore;
 use tnic_device::error::DeviceError;
 use tnic_device::keystore::Keystore;
 use tnic_device::types::{DeviceId, SessionId};
-use tnic_crypto::hmac::HmacSha256;
 use tnic_sim::rng::DetRng;
 use tnic_sim::time::SimDuration;
 
@@ -140,7 +140,10 @@ impl TeeAttestor {
     /// # Errors
     ///
     /// Returns [`DeviceError::BadAttestation`] on MAC mismatch.
-    pub fn verify_binding(&mut self, message: &AttestedMessage) -> Result<SimDuration, DeviceError> {
+    pub fn verify_binding(
+        &mut self,
+        message: &AttestedMessage,
+    ) -> Result<SimDuration, DeviceError> {
         let key = *self.keystore.key(message.session)?;
         let cost = self.invocation_cost(message.payload.len());
         let expected_mac = compute_mac(&key, &message.payload, message.device, message.counter);
@@ -191,7 +194,10 @@ mod tests {
         assert_eq!(m0.counter, 0);
         assert_eq!(m1.counter, 1);
         b.verify(&m0).unwrap();
-        assert!(matches!(b.verify(&m0), Err(DeviceError::CounterMismatch { .. })));
+        assert!(matches!(
+            b.verify(&m0),
+            Err(DeviceError::CounterMismatch { .. })
+        ));
         b.verify(&m1).unwrap();
     }
 

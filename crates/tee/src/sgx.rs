@@ -142,10 +142,14 @@ mod tests {
     #[test]
     fn scone_trace_shows_spikes_above_baseline() {
         let mut trace = SconeLatencyTrace::new(11);
-        let samples: Vec<f64> = (0..2000).map(|_| trace.next_sgx().as_micros_f64()).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| trace.next_sgx().as_micros_f64())
+            .collect();
         let spikes = samples.iter().filter(|&&s| s > 58.0).count();
         assert!(spikes > 20 && spikes < 300, "spikes = {spikes}");
-        let empty: Vec<f64> = (0..500).map(|_| trace.next_sgx_empty().as_micros_f64()).collect();
+        let empty: Vec<f64> = (0..500)
+            .map(|_| trace.next_sgx_empty().as_micros_f64())
+            .collect();
         let mean_empty = empty.iter().sum::<f64>() / empty.len() as f64;
         let mean_full = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(mean_full > mean_empty + 10.0);
