@@ -40,6 +40,24 @@ fn main() {
         }
     }
 
+    // In-place transmit path: same attestation, wire image built straight
+    // into a reused buffer (no intermediate message, no second encode).
+    println!();
+    for size in [64usize, 1024, 8192] {
+        let mut provider = Provider::new(Baseline::Tnic, DeviceId(1), 7);
+        provider.install_session_key(SessionId(1), [3u8; 32]);
+        let payload = vec![0x42u8; size];
+        let mut wire = Vec::with_capacity(64 + size);
+        let ns = time_op(500, || {
+            wire.clear();
+            provider
+                .attest_into(SessionId(1), &payload, &mut wire)
+                .unwrap();
+            wire.len()
+        });
+        println!("TNIC attest_into {size:>5} B (reused buffer): {ns:.0} ns/op");
+    }
+
     // Verification path (TNIC): attest once, verify the binding repeatedly.
     let mut tx = Provider::new(Baseline::Tnic, DeviceId(1), 7);
     let mut rx = Provider::new(Baseline::Tnic, DeviceId(2), 8);

@@ -1,0 +1,126 @@
+//! Allocation accounting for the attested datapath.
+//!
+//! The claim under test: the in-place variants (`attest_into`,
+//! `encode_into`, `AttestedView::parse` + `verify_view`) perform **zero
+//! heap allocations per message** once buffers are warm, while the owned
+//! path (`attest` → `encode` → `decode` → `verify`) allocates per hop.
+//! A counting global allocator makes the difference a measured number, not
+//! an assertion. Run with `cargo bench -p tnic-bench --bench zerocopy`;
+//! the process exits non-zero if the warm in-place loop allocates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tnic_device::attestation::{AttestationKernel, AttestationTiming, AttestedMessage};
+use tnic_device::types::{DeviceId, SessionId};
+
+/// System allocator wrapper counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn kernel_pair() -> (AttestationKernel, AttestationKernel) {
+    let mut tx = AttestationKernel::new(DeviceId(1), AttestationTiming::zero());
+    let mut rx = AttestationKernel::new(DeviceId(2), AttestationTiming::zero());
+    tx.install_session_key(SessionId(1), [7u8; 32]);
+    rx.install_session_key(SessionId(1), [7u8; 32]);
+    (tx, rx)
+}
+
+fn main() {
+    const ITERS: u64 = 1_000;
+    println!("attested-datapath allocation accounting ({ITERS} messages/loop)\n");
+    println!(
+        "{:<10} {:<34} {:>14} {:>12}",
+        "size B", "path", "allocs total", "allocs/msg"
+    );
+
+    let mut failed = false;
+    for size in [64usize, 1024, 8192] {
+        let payload = vec![0x5au8; size];
+
+        // Owned path: attest -> encode -> decode -> verify.
+        let (mut tx, mut rx) = kernel_pair();
+        let owned = allocs(|| {
+            for _ in 0..ITERS {
+                let (msg, _) = tx.attest(SessionId(1), &payload).unwrap();
+                let wire = msg.encode();
+                let decoded = AttestedMessage::decode(&wire).unwrap();
+                rx.verify(&decoded).unwrap();
+                std::hint::black_box(decoded);
+            }
+        });
+
+        // In-place path: attest_into -> parse view -> verify_view, one warm
+        // reused buffer.
+        let (mut tx, mut rx) = kernel_pair();
+        let mut wire = Vec::with_capacity(64 + size);
+        tx.attest_into(SessionId(1), &payload, &mut wire).unwrap();
+        {
+            let view = tnic_device::attestation::AttestedView::parse(&wire).unwrap();
+            rx.verify_view(&view).unwrap();
+        }
+        let inplace = allocs(|| {
+            for _ in 0..ITERS {
+                wire.clear();
+                tx.attest_into(SessionId(1), &payload, &mut wire).unwrap();
+                let view = tnic_device::attestation::AttestedView::parse(&wire).unwrap();
+                rx.verify_view(&view).unwrap();
+                std::hint::black_box(&view);
+            }
+        });
+
+        for (path, total) in [
+            ("attest/encode/decode/verify (owned)", owned),
+            ("attest_into/parse/verify_view", inplace),
+        ] {
+            println!(
+                "{:<10} {:<34} {:>14} {:>12.3}",
+                size,
+                path,
+                total,
+                total as f64 / ITERS as f64
+            );
+        }
+        if inplace != 0 {
+            eprintln!("FAIL: warm in-place loop allocated {inplace} times at {size} B");
+            failed = true;
+        }
+        if owned < 3 * ITERS {
+            eprintln!(
+                "suspicious: owned path allocated only {owned} times at {size} B — \
+                 accounting may be broken"
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("\nwarm in-place datapath: 0 allocations per message on every size");
+}

@@ -1,26 +1,60 @@
 //! Reproduction runner: executes the PeerReview fault-injection scenarios
 //! and prints a results table.
 //!
-//! Usage: `cargo run --release -p tnic-bench --bin reproduce [--all-baselines]`
+//! Usage: `cargo run --release -p tnic-bench --bin reproduce
+//! [--all-baselines] [--check] [--max-ctl-app RATIO]`
 //!
 //! Every scenario runs a 4-node accountable deployment (3 rounds × 8
 //! application messages) with one Byzantine behaviour injected through
-//! `tnic_net::adversary`; the table reports the verdict reached by the
-//! correct witnesses, the commitment/audit message overhead and the audit
-//! latency distribution. With `--all-baselines` the suite additionally runs
-//! over every attestation back-end (the paper's §8.3 methodology) instead
-//! of TNIC only.
+//! `tnic_net::adversary` — twice: with dedicated all-to-all commitments (the
+//! classic baseline) and with commitments piggybacked on application traffic
+//! over a rotating 2-witness set. The table reports the verdict reached by
+//! the correct witnesses, the control-message overhead per mode and the
+//! audit latency distribution, so the piggybacking win is measured, not
+//! asserted. With `--all-baselines` the suite additionally runs over every
+//! attestation back-end (the paper's §8.3 methodology) instead of TNIC only.
+//!
+//! `--check` turns the run into a CI gate: the process exits non-zero if
+//! any verdict deviates from its expected classification in either mode, or
+//! if the piggybacked fault-free control overhead exceeds `--max-ctl-app`
+//! (default 2.0) control messages per application message.
 
-use tnic_bench::{render_table, run_scenario, Scenario, ScenarioResult};
+use tnic_bench::{render_table, run_scenario_mode, CommitMode, Scenario, ScenarioResult};
 use tnic_tee::profile::Baseline;
+
+const MODES: [CommitMode; 2] = [
+    CommitMode::Dedicated,
+    CommitMode::Piggyback { witnesses: 2 },
+];
+
+fn expected_verdict(scenario_name: &str) -> &'static str {
+    match scenario_name {
+        "fault-free" => "trusted",
+        "suppression" => "suspected",
+        _ => "exposed",
+    }
+}
 
 fn main() {
     let mut all_baselines = false;
-    for arg in std::env::args().skip(1) {
+    let mut check = false;
+    let mut max_ctl_app = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--all-baselines" => all_baselines = true,
+            "--check" => check = true,
+            "--max-ctl-app" => {
+                max_ctl_app = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-ctl-app requires a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown argument: {other}\nusage: reproduce [--all-baselines]");
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO]"
+                );
                 std::process::exit(2);
             }
         }
@@ -32,21 +66,27 @@ fn main() {
     };
 
     println!("TNIC PeerReview accountability scenarios");
-    println!("4 nodes, 3 witnesses per node, 3 rounds x 8 application messages\n");
+    println!(
+        "4 nodes, 3 rounds x 8 application messages; dedicated = all-to-all witnesses, \
+         piggyback = rotating 2-witness sets\n"
+    );
 
     let mut results: Vec<ScenarioResult> = Vec::new();
     let mut failures = 0;
     for baseline in baselines {
         for scenario in Scenario::suite() {
-            match run_scenario(&scenario, baseline) {
-                Ok(result) => results.push(result),
-                Err(err) => {
-                    failures += 1;
-                    eprintln!(
-                        "scenario {} over {}: {err}",
-                        scenario.name,
-                        baseline.label()
-                    );
+            for mode in MODES {
+                match run_scenario_mode(&scenario, baseline, mode) {
+                    Ok(result) => results.push(result),
+                    Err(err) => {
+                        failures += 1;
+                        eprintln!(
+                            "scenario {} over {} ({}): {err}",
+                            scenario.name,
+                            baseline.label(),
+                            mode.label()
+                        );
+                    }
                 }
             }
         }
@@ -55,26 +95,67 @@ fn main() {
     println!("{}", render_table(&results));
     println!(
         "expectations: fault-free=trusted, equivocation/log-truncation/exec-tampering=exposed, \
-         suppression=suspected"
+         suppression=suspected — in both commitment modes"
     );
 
-    let expectation_met = results.iter().all(|r| {
-        r.unanimous
-            && match r.name {
-                "fault-free" => r.verdict == "trusted",
-                "suppression" => r.verdict == "suspected",
-                _ => r.verdict == "exposed",
+    let mut deviations: Vec<String> = Vec::new();
+    for r in &results {
+        let expected = expected_verdict(r.name);
+        if !r.unanimous || r.verdict != expected {
+            deviations.push(format!(
+                "{} [{} / {}]: expected {expected}, got {}{}",
+                r.name,
+                r.baseline.label(),
+                r.mode.label(),
+                r.verdict,
+                if r.unanimous { "" } else { " (split)" }
+            ));
+        }
+    }
+    let mut overhead_violations: Vec<String> = Vec::new();
+    for r in &results {
+        if r.name == "fault-free" && matches!(r.mode, CommitMode::Piggyback { .. }) {
+            println!(
+                "\npiggybacking [{}]: ctl/app {:.2} (dedicated baseline: {:.2}), {} commitments rode",
+                r.baseline.label(),
+                r.overhead_ratio,
+                results
+                    .iter()
+                    .find(|d| {
+                        d.name == "fault-free"
+                            && d.baseline == r.baseline
+                            && d.mode == CommitMode::Dedicated
+                    })
+                    .map_or(f64::NAN, |d| d.overhead_ratio),
+                r.piggybacked
+            );
+            if r.overhead_ratio > max_ctl_app {
+                overhead_violations.push(format!(
+                    "fault-free [{} / {}]: ctl/app {:.2} exceeds {max_ctl_app:.2}",
+                    r.baseline.label(),
+                    r.mode.label(),
+                    r.overhead_ratio
+                ));
             }
-    });
-    if expectation_met && failures == 0 {
-        println!("\nall scenarios match the expected classification");
+        }
+    }
+
+    let ok = deviations.is_empty() && failures == 0 && (!check || overhead_violations.is_empty());
+    if deviations.is_empty() {
+        println!("\nall scenarios match the expected classification in both modes");
     } else {
-        if failures > 0 {
-            println!("\nERROR: {failures} scenario run(s) failed to execute (see stderr)");
+        println!("\nMISMATCH:");
+        for d in &deviations {
+            println!("  {d}");
         }
-        if !expectation_met {
-            println!("\nMISMATCH: some scenarios deviate from the expected classification");
-        }
+    }
+    for v in &overhead_violations {
+        println!("OVERHEAD: {v}");
+    }
+    if failures > 0 {
+        println!("ERROR: {failures} scenario run(s) failed to execute (see stderr)");
+    }
+    if !ok {
         std::process::exit(1);
     }
 }

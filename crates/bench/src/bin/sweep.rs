@@ -1,0 +1,102 @@
+//! Accountability parameter sweep: payload size × cluster size × witness
+//! count × audit period, for dedicated and piggybacked commitments, emitting
+//! CSV (the data behind the overhead-scaling figures).
+//!
+//! Usage: `cargo run --release -p tnic-bench --bin sweep [--full] [--out FILE]`
+//!
+//! The default grid keeps CI fast; `--full` sweeps the complete grid. Rows go
+//! to stdout unless `--out` is given. `BENCH_sweep.csv` in the repository
+//! root is a committed snapshot of the default grid.
+
+use std::io::Write;
+use tnic_bench::{run_sweep_point, CommitMode, SweepPoint, SWEEP_CSV_HEADER};
+
+fn grid(full: bool) -> Vec<SweepPoint> {
+    let payloads: &[usize] = if full {
+        &[4, 256, 1024, 4096]
+    } else {
+        &[4, 1024]
+    };
+    let node_counts: &[u32] = if full { &[2, 4, 6, 8] } else { &[4, 8] };
+    let periods: &[u64] = if full { &[1, 2, 4] } else { &[1, 4] };
+
+    let mut points = Vec::new();
+    for &payload in payloads {
+        for &nodes in node_counts {
+            // Witness counts: minimal, an intermediate value, and all-to-all.
+            let mut witness_counts = vec![1, 2, nodes - 1];
+            witness_counts.sort_unstable();
+            witness_counts.dedup();
+            for &period in periods {
+                let rounds = 4 * period;
+                let point = |mode| SweepPoint {
+                    mode,
+                    payload,
+                    nodes,
+                    audit_period: period,
+                    rounds,
+                    messages_per_round: 2 * u64::from(nodes),
+                };
+                points.push(point(CommitMode::Dedicated));
+                for &w in &witness_counts {
+                    if w >= 1 {
+                        points.push(point(CommitMode::Piggyback { witnesses: w }));
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+fn main() {
+    let mut full = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}\nusage: sweep [--full] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows = vec![SWEEP_CSV_HEADER.to_string()];
+    let mut failures = 0u32;
+    for point in grid(full) {
+        match run_sweep_point(point) {
+            Ok(row) => rows.push(row.to_csv()),
+            Err(err) => {
+                failures += 1;
+                eprintln!("sweep point {point:?}: {err}");
+            }
+        }
+    }
+    let csv = rows.join("\n") + "\n";
+
+    match out_path {
+        Some(path) => {
+            let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            file.write_all(csv.as_bytes()).expect("write CSV");
+            eprintln!("{} rows written to {path}", rows.len() - 1);
+        }
+        None => print!("{csv}"),
+    }
+
+    if failures > 0 {
+        eprintln!("ERROR: {failures} sweep point(s) failed");
+        std::process::exit(1);
+    }
+}

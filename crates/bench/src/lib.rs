@@ -48,12 +48,9 @@ pub fn run_bare_workload(
     messages: u64,
 ) -> Result<(), CoreError> {
     let nodes = cluster.nodes();
-    let n = nodes.len() as u64;
-    let payload = tnic_peerreview::wire::Envelope::App(b"incr".to_vec()).encode();
+    let payload = tnic_peerreview::workload::app_payload();
     for _ in 0..messages {
-        let from = nodes[(*cursor % n) as usize];
-        let to = nodes[((*cursor + 1) % n) as usize];
-        *cursor += 1;
+        let (from, to) = tnic_peerreview::workload::next_pair(&nodes, cursor);
         cluster.auth_send(from, to, &payload)?;
         cluster.poll(to)?;
     }
@@ -108,6 +105,41 @@ impl Scenario {
     }
 }
 
+/// How the commitment protocol runs in a scenario or sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Dedicated announce/gossip messages to an all-to-all witness set (the
+    /// classic baseline).
+    Dedicated,
+    /// Commitments piggybacked on existing traffic, with the given number
+    /// of rotating witnesses per node.
+    Piggyback {
+        /// Witnesses per node (clamped to `1..=n-1` by the deployment).
+        witnesses: u32,
+    },
+}
+
+impl CommitMode {
+    /// Table/CSV label.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            CommitMode::Dedicated => "dedicated".to_string(),
+            CommitMode::Piggyback { witnesses } => format!("piggyback(w={witnesses})"),
+        }
+    }
+
+    fn apply(self, config: &mut PeerReviewConfig) {
+        match self {
+            CommitMode::Dedicated => {}
+            CommitMode::Piggyback { witnesses } => {
+                config.piggyback = true;
+                config.witness_count = Some(witnesses);
+            }
+        }
+    }
+}
+
 /// Summary of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
@@ -115,6 +147,10 @@ pub struct ScenarioResult {
     pub name: &'static str,
     /// The attestation baseline used.
     pub baseline: Baseline,
+    /// The commitment mode the run used.
+    pub mode: CommitMode,
+    /// Commitments that rode on existing traffic.
+    pub piggybacked: u64,
     /// Verdict of the correct witnesses on the faulty node ("-" when
     /// fault-free and no verdict deviates).
     pub verdict: &'static str,
@@ -134,23 +170,40 @@ pub struct ScenarioResult {
     pub virtual_time_us: u64,
 }
 
-/// Runs `scenario` on a 4-node deployment over `baseline` and summarises it.
+/// Runs `scenario` on a 4-node deployment over `baseline` with dedicated
+/// all-to-all commitments (the classic baseline) and summarises it.
 ///
 /// # Errors
 ///
 /// Propagates cluster/session errors from the run.
 pub fn run_scenario(scenario: &Scenario, baseline: Baseline) -> Result<ScenarioResult, CoreError> {
+    run_scenario_mode(scenario, baseline, CommitMode::Dedicated)
+}
+
+/// Runs `scenario` on a 4-node deployment over `baseline` in the given
+/// commitment mode and summarises it.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the run.
+pub fn run_scenario_mode(
+    scenario: &Scenario,
+    baseline: Baseline,
+    mode: CommitMode,
+) -> Result<ScenarioResult, CoreError> {
     let stack = if baseline == Baseline::Tnic {
         NetworkStackKind::Tnic
     } else {
         NetworkStackKind::DrctIo
     };
-    let config = PeerReviewConfig {
+    let mut config = PeerReviewConfig {
         nodes: 4,
         baseline,
         stack,
         seed: 42,
+        ..PeerReviewConfig::default()
     };
+    mode.apply(&mut config);
     let mut pr = PeerReview::new(config, scenario.fault_plan())?;
     pr.run_scenario(scenario.rounds, scenario.messages_per_round)?;
 
@@ -185,6 +238,8 @@ pub fn run_scenario(scenario: &Scenario, baseline: Baseline) -> Result<ScenarioR
     Ok(ScenarioResult {
         name: scenario.name,
         baseline,
+        mode,
+        piggybacked: stats.piggybacked_commitments,
         verdict,
         unanimous,
         app_messages: stats.app_messages,
@@ -201,18 +256,20 @@ pub fn run_scenario(scenario: &Scenario, baseline: Baseline) -> Result<ScenarioR
 pub fn render_table(results: &[ScenarioResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:<9} {:<15} {:>9} {:>8} {:>9} {:>12} {:>12} {:>12}\n",
+        "{:<16} {:<9} {:<15} {:<15} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}\n",
         "scenario",
         "baseline",
+        "mode",
         "verdict",
-        "app msgs",
-        "ctl msgs",
+        "app",
+        "ctl",
         "ctl/app",
+        "rides",
         "audit p50 us",
         "audit p99 us",
         "virt time us"
     ));
-    out.push_str(&"-".repeat(110));
+    out.push_str(&"-".repeat(134));
     out.push('\n');
     for r in results {
         let verdict = if r.unanimous {
@@ -221,19 +278,140 @@ pub fn render_table(results: &[ScenarioResult]) -> String {
             format!("{} (split!)", r.verdict)
         };
         out.push_str(&format!(
-            "{:<16} {:<9} {:<15} {:>9} {:>8} {:>9.2} {:>12.1} {:>12.1} {:>12}\n",
+            "{:<16} {:<9} {:<15} {:<15} {:>8} {:>8} {:>8.2} {:>8} {:>12.1} {:>12.1} {:>12}\n",
             r.name,
             r.baseline.label(),
+            r.mode.label(),
             verdict,
             r.app_messages,
             r.control_messages,
             r.overhead_ratio,
+            r.piggybacked,
             r.audit_p50_us,
             r.audit_p99_us,
             r.virtual_time_us
         ));
     }
     out
+}
+
+/// One point of the accountability parameter sweep (fault-free workload).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Commitment mode.
+    pub mode: CommitMode,
+    /// Application payload size in bytes.
+    pub payload: usize,
+    /// Cluster size.
+    pub nodes: u32,
+    /// Workload rounds between audit rounds.
+    pub audit_period: u64,
+    /// Total workload rounds.
+    pub rounds: u64,
+    /// Application messages per workload round.
+    pub messages_per_round: u64,
+}
+
+/// The measured row for one [`SweepPoint`].
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The swept parameters.
+    pub point: SweepPoint,
+    /// Effective witnesses per node.
+    pub witnesses: u32,
+    /// Application messages sent.
+    pub app_messages: u64,
+    /// Dedicated control messages sent.
+    pub control_messages: u64,
+    /// Commitments that rode on existing traffic.
+    pub piggybacked: u64,
+    /// Challenges issued.
+    pub challenges: u64,
+    /// Log entries across all nodes.
+    pub log_entries: u64,
+    /// Median audit latency (virtual µs).
+    pub audit_p50_us: f64,
+    /// Tail audit latency (virtual µs).
+    pub audit_p99_us: f64,
+    /// Median application-send latency (virtual µs).
+    pub app_p50_us: f64,
+    /// Total virtual time (µs).
+    pub virtual_time_us: u64,
+}
+
+/// Header line of the sweep CSV.
+pub const SWEEP_CSV_HEADER: &str = "mode,payload_bytes,nodes,witnesses,audit_period,rounds,\
+messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,challenges,log_entries,\
+audit_p50_us,audit_p99_us,app_p50_us,virt_time_us";
+
+impl SweepRow {
+    /// Control messages per application message.
+    #[must_use]
+    pub fn ctl_per_app(&self) -> f64 {
+        if self.app_messages == 0 {
+            0.0
+        } else {
+            self.control_messages as f64 / self.app_messages as f64
+        }
+    }
+
+    /// The CSV record for this row (matches [`SWEEP_CSV_HEADER`]).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.1},{:.1},{:.1},{}",
+            self.point.mode.label(),
+            self.point.payload,
+            self.point.nodes,
+            self.witnesses,
+            self.point.audit_period,
+            self.point.rounds,
+            self.point.messages_per_round,
+            self.app_messages,
+            self.control_messages,
+            self.ctl_per_app(),
+            self.piggybacked,
+            self.challenges,
+            self.log_entries,
+            self.audit_p50_us,
+            self.audit_p99_us,
+            self.app_p50_us,
+            self.virtual_time_us
+        )
+    }
+}
+
+/// Runs one fault-free sweep point and measures it.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the run.
+pub fn run_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
+    let mut config = PeerReviewConfig {
+        nodes: point.nodes,
+        baseline: Baseline::Tnic,
+        stack: NetworkStackKind::Tnic,
+        seed: 42,
+        app_payload_len: point.payload,
+        ..PeerReviewConfig::default()
+    };
+    point.mode.apply(&mut config);
+    let mut pr = PeerReview::new(config, FaultPlan::all_correct())?;
+    pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
+    let stats = pr.stats();
+    Ok(SweepRow {
+        point,
+        witnesses: pr.witnesses_of(0).len() as u32,
+        app_messages: stats.app_messages,
+        control_messages: stats.control_messages,
+        piggybacked: stats.piggybacked_commitments,
+        challenges: stats.challenges,
+        log_entries: stats.log_entries,
+        audit_p50_us: stats.audit_latency.percentile_us(0.5),
+        audit_p99_us: stats.audit_latency.percentile_us(0.99),
+        app_p50_us: stats.app_latency.percentile_us(0.5),
+        virtual_time_us: pr.now().as_micros(),
+    })
 }
 
 #[cfg(test)]
@@ -259,6 +437,74 @@ mod tests {
         assert_eq!(result.verdict, "exposed");
         assert!(result.unanimous);
         assert!(result.control_messages > 0);
+    }
+
+    #[test]
+    fn every_fault_scenario_keeps_its_verdict_in_both_commit_modes() {
+        for scenario in Scenario::suite() {
+            let expected = match scenario.name {
+                "fault-free" => "trusted",
+                "suppression" => "suspected",
+                _ => "exposed",
+            };
+            for mode in [
+                CommitMode::Dedicated,
+                CommitMode::Piggyback { witnesses: 2 },
+            ] {
+                let result = run_scenario_mode(&scenario, Baseline::Tnic, mode).unwrap();
+                assert_eq!(
+                    result.verdict,
+                    expected,
+                    "{} in {}",
+                    scenario.name,
+                    mode.label()
+                );
+                assert!(result.unanimous, "{} in {}", scenario.name, mode.label());
+            }
+        }
+    }
+
+    #[test]
+    fn piggybacking_meets_the_overhead_target_on_fault_free_runs() {
+        let scenario = &Scenario::suite()[0];
+        let dedicated = run_scenario(scenario, Baseline::Tnic).unwrap();
+        let piggy = run_scenario_mode(
+            scenario,
+            Baseline::Tnic,
+            CommitMode::Piggyback { witnesses: 2 },
+        )
+        .unwrap();
+        assert!(
+            piggy.overhead_ratio <= 2.0,
+            "ctl/app {:.2} exceeds 2.0",
+            piggy.overhead_ratio
+        );
+        assert!(piggy.overhead_ratio < dedicated.overhead_ratio / 3.0);
+        assert!(piggy.piggybacked > 0);
+        assert_eq!(dedicated.piggybacked, 0);
+    }
+
+    #[test]
+    fn sweep_rows_report_the_swept_parameters() {
+        let row = run_sweep_point(SweepPoint {
+            mode: CommitMode::Piggyback { witnesses: 2 },
+            payload: 256,
+            nodes: 4,
+            audit_period: 2,
+            rounds: 4,
+            messages_per_round: 8,
+        })
+        .unwrap();
+        assert_eq!(row.witnesses, 2);
+        assert_eq!(row.app_messages, 32);
+        assert!(row.piggybacked > 0);
+        let csv = row.to_csv();
+        assert!(csv.starts_with("piggyback(w=2),256,4,2,2,4,8,32,"));
+        assert_eq!(
+            csv.split(',').count(),
+            SWEEP_CSV_HEADER.split(',').count(),
+            "row matches header arity"
+        );
     }
 
     #[test]

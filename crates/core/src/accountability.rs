@@ -9,11 +9,14 @@
 //! verified delivery on the receiver side, in the same way the
 //! [`transform`](crate::transform) wrappers observe application state.
 //!
-//! The layer is deliberately *passive*: it cannot veto or mutate traffic
-//! (that is the attestation kernel's job); it only records commitments. This
-//! mirrors PeerReview's design, where the commitment protocol piggybacks on
-//! the existing message flow and all enforcement happens asynchronously in
-//! the audit protocol.
+//! The layer is *almost* passive: it cannot veto traffic (that is the
+//! attestation kernel's job), but it may **piggyback** control data on
+//! outbound messages through [`AccountabilityLayer::wrap_outbound`] — the
+//! cluster offers every unicast `auth_send` payload to the layer before
+//! attesting it, and the layer may return a wrapped payload carrying e.g. a
+//! pending log commitment. This mirrors PeerReview's design, where the
+//! commitment protocol piggybacks on the existing message flow and all
+//! enforcement happens asynchronously in the audit protocol.
 //!
 //! The concrete PeerReview implementation lives in the `tnic-peerreview`
 //! crate; this module only defines the interface so `tnic-core` stays free of
@@ -40,6 +43,22 @@ pub trait AccountabilityLayer {
 
     /// A verified message landed in `to`'s inbox.
     fn on_delivered(&mut self, to: NodeId, delivered: &Delivered);
+
+    /// Offered the outbound `payload` of a unicast
+    /// [`Cluster::auth_send`](crate::api::Cluster::auth_send) *before* it is
+    /// attested. Returning `Some(wrapped)` replaces the payload on the wire
+    /// (the layer piggybacks pending control data on application traffic);
+    /// returning `None` (the default) leaves the payload untouched.
+    ///
+    /// The wrapped payload is what gets attested, logged by `on_sent` and
+    /// delivered — sender and receiver observe identical bytes, so
+    /// tamper-evident logs stay consistent. Multicast payloads are never
+    /// offered: the same attested message goes to every receiver, so
+    /// per-receiver wrapping would break the single-attestation property.
+    fn wrap_outbound(&mut self, from: NodeId, to: NodeId, payload: &[u8]) -> Option<Vec<u8>> {
+        let _ = (from, to, payload);
+        None
+    }
 
     /// Human-readable name of the layer, used in diagnostics.
     fn label(&self) -> &'static str {

@@ -435,6 +435,11 @@ impl Cluster {
     /// stack and verifies it at `to`; on success the message lands in `to`'s
     /// inbox (to be fetched with [`Cluster::poll`]).
     ///
+    /// If an accountability layer is attached, the payload is first offered to
+    /// [`AccountabilityLayer::wrap_outbound`](crate::accountability::AccountabilityLayer::wrap_outbound)
+    /// so pending control data (e.g. PeerReview log commitments) can piggyback
+    /// on application traffic instead of costing dedicated messages.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoSession`] if the nodes are not connected, or the
@@ -453,6 +458,11 @@ impl Cluster {
                 from: from.0,
                 to: to.0,
             })?;
+        let wrapped = self
+            .accountability
+            .as_ref()
+            .and_then(|layer| layer.borrow_mut().wrap_outbound(from, to, payload));
+        let payload = wrapped.as_deref().unwrap_or(payload);
         let (msg, attest_cost) = self.endpoint_mut(from)?.provider.attest(session, payload)?;
         self.clock.advance(attest_cost);
         self.record_sent(from, &msg);

@@ -188,13 +188,20 @@ pub fn run_remote_attestation(
     if vendor_shared != ctrl_shared {
         return Err(CoreError::AttestationFailed("key agreement"));
     }
-    let channel_key = hkdf(
+    // One HKDF expansion yields the channel key *and* a distinct nonce per
+    // sealed message. Both parties derive them identically; reusing a fixed
+    // nonce for the bitstream and the secrets under the same key would let a
+    // network observer XOR the two ciphertexts (stream-cipher keystream
+    // reuse).
+    let channel_okm = hkdf(
         &nonce,
         &vendor_shared,
         b"tnic remote attestation channel",
-        32,
+        32 + 12 + 12,
     );
-    let channel = SecretBox::new(&channel_key);
+    let channel = SecretBox::new(&channel_okm[..32]);
+    let nonce_bitstream: [u8; 12] = channel_okm[32..44].try_into().expect("sized");
+    let nonce_secrets: [u8; 12] = channel_okm[44..56].try_into().expect("sized");
 
     // The device half of the attestation is now complete.
     trace.record(
@@ -212,15 +219,14 @@ pub fn run_remote_attestation(
         secrets.extend_from_slice(&session.0.to_le_bytes());
         secrets.extend_from_slice(key);
     }
-    let nonce12 = [0x42u8; 12];
-    let sealed_bitstream = channel.seal(&nonce12, b"bitstream", &vendor.bitstream);
-    let sealed_secrets = channel.seal(&nonce12, b"secrets", &secrets);
+    let sealed_bitstream = channel.seal(&nonce_bitstream, b"bitstream", &vendor.bitstream);
+    let sealed_secrets = channel.seal(&nonce_secrets, b"secrets", &secrets);
 
     let bitstream = channel
-        .open(&nonce12, b"bitstream", &sealed_bitstream)
+        .open(&nonce_bitstream, b"bitstream", &sealed_bitstream)
         .map_err(|_| CoreError::AttestationFailed("bitstream decryption"))?;
     let opened_secrets = channel
-        .open(&nonce12, b"secrets", &sealed_secrets)
+        .open(&nonce_secrets, b"secrets", &sealed_secrets)
         .map_err(|_| CoreError::AttestationFailed("secret decryption"))?;
 
     device.controller_mut().install_bitstream(bitstream);

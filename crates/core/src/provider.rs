@@ -101,6 +101,36 @@ impl Provider {
         }
     }
 
+    /// Generates an attestation for `payload`, appending the wire format to
+    /// `out` (the allocation-free transmit path — callers reuse the buffer).
+    /// The TNIC back-end writes the wire bytes in one pass with no
+    /// intermediate message; host baselines fall back to attest-then-encode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownSession`] when no key is installed.
+    pub fn attest_into(
+        &mut self,
+        session: SessionId,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<SimDuration, DeviceError> {
+        match &mut self.inner {
+            Inner::Hardware { kernel, dma } => {
+                let h2d = dma.host_to_device(payload.len());
+                let hmac = kernel.attest_into(session, payload, out)?;
+                let wire_len = tnic_device::attestation::WIRE_OVERHEAD + payload.len();
+                let d2h = dma.device_to_host(wire_len);
+                Ok(h2d + hmac + d2h)
+            }
+            Inner::Host(att) => {
+                let (msg, cost) = att.attest(session, payload)?;
+                msg.encode_into(out);
+                Ok(cost)
+            }
+        }
+    }
+
     /// Verifies an attested message, enforcing receive-counter order.
     ///
     /// # Errors
@@ -212,6 +242,30 @@ mod tests {
                 b.verify(&m1).is_err(),
                 "{baseline}: replay must be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn attest_into_matches_owned_encoding_on_every_backend() {
+        for baseline in Baseline::ALL {
+            // Two providers with identical identity and state: the in-place
+            // wire bytes must equal the owned attest-then-encode bytes.
+            let mut owned = Provider::new(baseline, DeviceId(1), 1);
+            let mut inplace = Provider::new(baseline, DeviceId(1), 1);
+            let mut verifier = Provider::new(baseline, DeviceId(2), 2);
+            for p in [&mut owned, &mut inplace, &mut verifier] {
+                p.install_session_key(SessionId(1), [9u8; 32]);
+            }
+            let (msg, owned_cost) = owned.attest(SessionId(1), b"in place").unwrap();
+            let mut wire = Vec::new();
+            let cost = inplace
+                .attest_into(SessionId(1), b"in place", &mut wire)
+                .unwrap();
+            assert_eq!(wire, msg.encode(), "{baseline}");
+            assert_eq!(cost, owned_cost, "{baseline}: same latency model");
+            verifier
+                .verify(&tnic_device::attestation::AttestedMessage::decode(&wire).unwrap())
+                .unwrap_or_else(|e| panic!("{baseline}: {e}"));
         }
     }
 

@@ -53,28 +53,33 @@ pub struct AttestedMessage {
     pub payload: Vec<u8>,
 }
 
-impl AttestedMessage {
-    /// Serialises the attested message into the TNIC wire format:
-    /// `α ‖ session ‖ device ‖ counter ‖ len ‖ payload`.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(WIRE_OVERHEAD + self.payload.len());
-        out.extend_from_slice(&self.mac);
-        out.extend_from_slice(&self.session.0.to_le_bytes());
-        out.extend_from_slice(&self.device.0.to_le_bytes());
-        out.extend_from_slice(&self.counter.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
-    }
+/// A zero-copy view of an attested message in its wire format: all fields
+/// are parsed, the payload stays a borrow of the wire buffer. This is the
+/// hot-path reception type — parse, verify, and only materialise an owned
+/// [`AttestedMessage`] (via [`AttestedView::to_owned`]) once verification
+/// succeeded, so rejected traffic costs no allocation at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestedView<'a> {
+    /// The attestation certificate α.
+    pub mac: [u8; ATTESTATION_LEN],
+    /// The session (connection) the message belongs to.
+    pub session: SessionId,
+    /// The device that generated the attestation.
+    pub device: DeviceId,
+    /// The monotonically increasing message counter ("timestamp").
+    pub counter: u64,
+    /// The application payload, borrowed from the wire buffer.
+    pub payload: &'a [u8],
+}
 
-    /// Parses a wire-format attested message.
+impl<'a> AttestedView<'a> {
+    /// Parses a wire-format attested message without copying the payload.
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::MalformedMessage`] if the buffer is truncated or
-    /// the length field is inconsistent.
-    pub fn decode(bytes: &[u8]) -> Result<Self, DeviceError> {
+    /// Returns [`DeviceError::MalformedMessage`] if the buffer is truncated
+    /// or the length field is inconsistent.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, DeviceError> {
         if bytes.len() < WIRE_OVERHEAD {
             return Err(DeviceError::MalformedMessage("short header"));
         }
@@ -92,13 +97,25 @@ impl AttestedMessage {
         if bytes.len() != off + len {
             return Err(DeviceError::MalformedMessage("length mismatch"));
         }
-        Ok(AttestedMessage {
+        Ok(AttestedView {
             mac,
             session,
             device,
             counter,
-            payload: bytes[off..].to_vec(),
+            payload: &bytes[off..],
         })
+    }
+
+    /// Materialises an owned message (one payload allocation).
+    #[must_use]
+    pub fn to_owned(&self) -> AttestedMessage {
+        AttestedMessage {
+            mac: self.mac,
+            session: self.session,
+            device: self.device,
+            counter: self.counter,
+            payload: self.payload.to_vec(),
+        }
     }
 
     /// Total size of the message on the wire.
@@ -106,6 +123,80 @@ impl AttestedMessage {
     pub fn wire_len(&self) -> usize {
         WIRE_OVERHEAD + self.payload.len()
     }
+}
+
+impl AttestedMessage {
+    /// A borrowed view of this message (for the `*_view` verification
+    /// entry points).
+    #[must_use]
+    pub fn as_view(&self) -> AttestedView<'_> {
+        AttestedView {
+            mac: self.mac,
+            session: self.session,
+            device: self.device,
+            counter: self.counter,
+            payload: &self.payload,
+        }
+    }
+
+    /// Serialises the attested message into the TNIC wire format:
+    /// `α ‖ session ‖ device ‖ counter ‖ len ‖ payload`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WIRE_OVERHEAD + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialises into `out`, appending (callers `clear()` and reuse the
+    /// buffer across messages — the allocation-free transmit path).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(WIRE_OVERHEAD + self.payload.len());
+        encode_parts(
+            &self.mac,
+            self.session,
+            self.device,
+            self.counter,
+            &self.payload,
+            out,
+        );
+    }
+
+    /// Parses a wire-format attested message into an owned value. For the
+    /// reception hot path prefer [`AttestedView::parse`] + verification +
+    /// [`AttestedView::to_owned`], which allocates only for accepted
+    /// messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::MalformedMessage`] if the buffer is truncated or
+    /// the length field is inconsistent.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DeviceError> {
+        Ok(AttestedView::parse(bytes)?.to_owned())
+    }
+
+    /// Total size of the message on the wire.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        WIRE_OVERHEAD + self.payload.len()
+    }
+}
+
+/// Appends the wire format `α ‖ session ‖ device ‖ counter ‖ len ‖ payload`.
+fn encode_parts(
+    mac: &[u8; ATTESTATION_LEN],
+    session: SessionId,
+    device: DeviceId,
+    counter: u64,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.extend_from_slice(mac);
+    out.extend_from_slice(&session.0.to_le_bytes());
+    out.extend_from_slice(&device.0.to_le_bytes());
+    out.extend_from_slice(&counter.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
 }
 
 /// Computes the attestation MAC over `msg ‖ ID ‖ cnt` with the session key.
@@ -227,6 +318,30 @@ impl AttestationKernel {
         ))
     }
 
+    /// `Attest()` writing the wire format straight into `out` (appending):
+    /// the allocation-free transmit path. No intermediate [`AttestedMessage`]
+    /// is built and the payload is copied exactly once, into the wire
+    /// buffer — callers reuse `out` across messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownSession`] if no key is installed for
+    /// `session`.
+    pub fn attest_into(
+        &mut self,
+        session: SessionId,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<SimDuration, DeviceError> {
+        let key = *self.keystore.key(session)?;
+        let counter = self.counters.next_send(session);
+        let mac = compute_mac(&key, payload, self.device, counter);
+        self.stats.attested += 1;
+        out.reserve(WIRE_OVERHEAD + payload.len());
+        encode_parts(&mac, session, self.device, counter, payload, out);
+        Ok(self.timing.hmac.cost(payload.len()))
+    }
+
     /// `Verify()` (Algorithm 1, lines 6–11): recomputes the MAC and enforces
     /// that the carried counter is exactly the next expected one, advancing it
     /// on success. This is the reception-path check that provides
@@ -238,9 +353,19 @@ impl AttestationKernel {
     /// * [`DeviceError::BadAttestation`] — MAC mismatch.
     /// * [`DeviceError::CounterMismatch`] — replay, gap or reordering.
     pub fn verify(&mut self, message: &AttestedMessage) -> Result<SimDuration, DeviceError> {
+        self.verify_view(&message.as_view())
+    }
+
+    /// [`AttestationKernel::verify`] over a zero-copy [`AttestedView`] — the
+    /// reception hot path, run before any payload allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`AttestationKernel::verify`].
+    pub fn verify_view(&mut self, message: &AttestedView<'_>) -> Result<SimDuration, DeviceError> {
         let key = *self.keystore.key(message.session)?;
         let cost = self.timing.hmac.cost(message.payload.len());
-        let expected_mac = compute_mac(&key, &message.payload, message.device, message.counter);
+        let expected_mac = compute_mac(&key, message.payload, message.device, message.counter);
         if !tnic_crypto::ct::ct_eq(&expected_mac, &message.mac) {
             self.stats.rejected += 1;
             return Err(DeviceError::BadAttestation);
@@ -272,9 +397,22 @@ impl AttestationKernel {
         &mut self,
         message: &AttestedMessage,
     ) -> Result<SimDuration, DeviceError> {
+        self.verify_binding_view(&message.as_view())
+    }
+
+    /// [`AttestationKernel::verify_binding`] over a zero-copy
+    /// [`AttestedView`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownSession`] or [`DeviceError::BadAttestation`].
+    pub fn verify_binding_view(
+        &mut self,
+        message: &AttestedView<'_>,
+    ) -> Result<SimDuration, DeviceError> {
         let key = *self.keystore.key(message.session)?;
         let cost = self.timing.hmac.cost(message.payload.len());
-        let expected_mac = compute_mac(&key, &message.payload, message.device, message.counter);
+        let expected_mac = compute_mac(&key, message.payload, message.device, message.counter);
         if !tnic_crypto::ct::ct_eq(&expected_mac, &message.mac) {
             self.stats.rejected += 1;
             return Err(DeviceError::BadAttestation);
@@ -418,6 +556,78 @@ mod tests {
         assert_eq!(encoded.len(), msg.wire_len());
         let decoded = AttestedMessage::decode(&encoded).unwrap();
         assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn attest_into_matches_owned_wire_format() {
+        let (mut tx_a, mut rx) = kernel_pair();
+        let mut tx_b = AttestationKernel::new(DeviceId(1), AttestationTiming::zero());
+        tx_b.install_session_key(SessionId(7), [9u8; 32]);
+        let (owned, cost_a) = tx_a.attest(SessionId(7), b"same payload").unwrap();
+        let mut wire = Vec::new();
+        let cost_b = tx_b
+            .attest_into(SessionId(7), b"same payload", &mut wire)
+            .unwrap();
+        assert_eq!(wire, owned.encode());
+        assert_eq!(cost_a, cost_b);
+        // The in-place wire bytes verify like any attested message.
+        let view = AttestedView::parse(&wire).unwrap();
+        rx.verify_view(&view).unwrap();
+    }
+
+    #[test]
+    fn attest_into_reuses_the_buffer_and_advances_counters() {
+        let (mut tx, mut rx) = kernel_pair();
+        let mut wire = Vec::new();
+        for expected in 0..3u64 {
+            wire.clear();
+            tx.attest_into(SessionId(7), b"m", &mut wire).unwrap();
+            let view = AttestedView::parse(&wire).unwrap();
+            assert_eq!(view.counter, expected);
+            rx.verify_view(&view).unwrap();
+        }
+    }
+
+    #[test]
+    fn view_parse_borrows_and_round_trips() {
+        let (mut tx, mut rx) = kernel_pair();
+        let (msg, _) = tx.attest(SessionId(7), b"view payload").unwrap();
+        let encoded = msg.encode();
+        let view = AttestedView::parse(&encoded).unwrap();
+        assert_eq!(view.payload, b"view payload");
+        assert_eq!(view.wire_len(), encoded.len());
+        assert_eq!(view.to_owned(), msg);
+        assert_eq!(msg.as_view(), view);
+        rx.verify_binding_view(&view).unwrap();
+        // Truncated and over-long buffers are rejected without allocation.
+        assert!(AttestedView::parse(&encoded[..WIRE_OVERHEAD - 1]).is_err());
+        assert!(AttestedView::parse(&encoded[..encoded.len() - 1]).is_err());
+        let mut extended = encoded.clone();
+        extended.push(0);
+        assert!(AttestedView::parse(&extended).is_err());
+    }
+
+    #[test]
+    fn tampered_view_rejected_before_any_copy() {
+        let (mut tx, mut rx) = kernel_pair();
+        let (msg, _) = tx.attest(SessionId(7), b"payload").unwrap();
+        let mut encoded = msg.encode();
+        let last = encoded.len() - 1;
+        encoded[last] ^= 1;
+        let view = AttestedView::parse(&encoded).unwrap();
+        assert_eq!(rx.verify_view(&view), Err(DeviceError::BadAttestation));
+    }
+
+    #[test]
+    fn encode_into_appends_to_reused_buffer() {
+        let (mut tx, _) = kernel_pair();
+        let (msg, _) = tx.attest(SessionId(7), b"abc").unwrap();
+        let mut buf = Vec::new();
+        msg.encode_into(&mut buf);
+        assert_eq!(buf, msg.encode());
+        buf.clear();
+        msg.encode_into(&mut buf);
+        assert_eq!(buf, msg.encode());
     }
 
     #[test]

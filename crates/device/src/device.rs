@@ -2,7 +2,10 @@
 //! ARP + registers + controller + resource model (paper Figure 2).
 
 use crate::arp::ArpServer;
-use crate::attestation::{AttestationKernel, AttestationStats, AttestationTiming, AttestedMessage};
+use crate::attestation::{
+    AttestationKernel, AttestationStats, AttestationTiming, AttestedMessage, AttestedView,
+    WIRE_OVERHEAD,
+};
 use crate::controller::{ControllerBinary, DeviceController, HardwareKey};
 use crate::dma::{DmaEngine, DmaMode, DmaStats};
 use crate::error::DeviceError;
@@ -224,7 +227,10 @@ impl TnicDevice {
         now: SimInstant,
     ) -> Result<(RocePacket, SimDuration), DeviceError> {
         let dma = self.dma.host_to_device(payload.len());
-        let (message, hmac_cost) = self.attestation.attest(session, payload)?;
+        // Attest straight into the buffer that becomes the packet payload:
+        // no intermediate `AttestedMessage` and no second serialisation pass.
+        let mut wire = Vec::with_capacity(WIRE_OVERHEAD + payload.len());
+        let hmac_cost = self.attestation.attest_into(session, payload, &mut wire)?;
         let remote_ip = self
             .transport
             .queue_pair(qp)
@@ -233,7 +239,7 @@ impl TnicDevice {
         let dst_mac = self.arp.lookup(remote_ip)?;
         let packet = self
             .transport
-            .send(qp, RdmaOpcode::Write, message.encode(), dst_mac, now)?;
+            .send(qp, RdmaOpcode::Write, wire, dst_mac, now)?;
         let wire = self.mac.transmit(packet.wire_len());
         Ok((packet, dma + hmac_cost + wire))
     }
@@ -259,11 +265,13 @@ impl TnicDevice {
         let delivered = match delivered_bytes {
             None => None,
             Some(bytes) => {
-                let message = AttestedMessage::decode(&bytes)?;
-                let verify_cost = self.attestation.verify(&message)?;
-                let dma = self.dma.device_to_host(message.payload.len());
+                // Parse a borrowed view and verify before any payload copy:
+                // rejected messages never allocate.
+                let view = AttestedView::parse(&bytes)?;
+                let verify_cost = self.attestation.verify_view(&view)?;
+                let dma = self.dma.device_to_host(view.payload.len());
                 elapsed += verify_cost + dma;
-                Some(message)
+                Some(view.to_owned())
             }
         };
         Ok(ReceiveOutcome {

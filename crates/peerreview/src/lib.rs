@@ -70,6 +70,7 @@ pub mod log;
 pub mod stats;
 pub mod system;
 pub mod wire;
+pub mod workload;
 
 pub use audit::{Misbehavior, Verdict, WitnessRecord};
 pub use log::{Authenticator, EntryKind, LogEntry, SecureLog};

@@ -23,6 +23,9 @@ pub struct AccountabilityStats {
     pub log_entries: u64,
     /// Commitments (authenticators) published by nodes.
     pub commitments_published: u64,
+    /// Commitments (announcements and gossip relays) that rode on existing
+    /// traffic instead of costing a dedicated message (piggyback mode).
+    pub piggybacked_commitments: u64,
     /// Challenges issued by witnesses.
     pub challenges: u64,
     /// Audit responses received by witnesses.

@@ -19,6 +19,7 @@ fn four_nodes(seed: u64) -> PeerReviewConfig {
         baseline: Baseline::Tnic,
         stack: NetworkStackKind::Tnic,
         seed,
+        ..PeerReviewConfig::default()
     }
 }
 
