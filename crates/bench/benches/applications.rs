@@ -21,6 +21,7 @@ fn main() {
         BftConfig {
             f: 1,
             batch_size: 8,
+            ..BftConfig::default()
         },
         7,
     )

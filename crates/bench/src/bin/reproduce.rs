@@ -1,11 +1,12 @@
 //! Reproduction runner: executes the PeerReview fault-injection scenarios
-//! and prints a results table.
+//! — on the raw substrate and stacked under the BFT and chain-replication
+//! transforms — and prints results tables.
 //!
 //! Usage: `cargo run --release -p tnic-bench --bin reproduce
-//! [--all-baselines] [--check] [--max-ctl-app RATIO]`
+//! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]`
 //!
-//! Every scenario runs a 4-node accountable deployment (3 rounds × 8
-//! application messages) with one Byzantine behaviour injected through
+//! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
+//! × 8 application messages) with one Byzantine behaviour injected through
 //! `tnic_net::adversary` — twice: with dedicated all-to-all commitments (the
 //! classic baseline) and with commitments piggybacked on application traffic
 //! over a rotating 2-witness set. The table reports the verdict reached by
@@ -14,12 +15,25 @@
 //! asserted. With `--all-baselines` the suite additionally runs over every
 //! attestation back-end (the paper's §8.3 methodology) instead of TNIC only.
 //!
+//! The `bft-acct`/`cr-acct` suite then stacks the *same* accountability
+//! engine under the BFT counter and the replicated KV chain: a fault-free
+//! control run plus one Byzantine node per application (an equivocating BFT
+//! replica, a tail-tampering chain node), in both commitment modes. The
+//! table reports ctl/app message overhead, virtual-time overhead against an
+//! engine-free twin, protocol liveness and replica state parity — the cost
+//! of accountability *on top of each transform*, not just the substrate.
+//!
 //! `--check` turns the run into a CI gate: the process exits non-zero if
-//! any verdict deviates from its expected classification in either mode, or
-//! if the piggybacked fault-free control overhead exceeds `--max-ctl-app`
-//! (default 2.0) control messages per application message.
+//! any verdict deviates from its expected classification in any mode, if a
+//! control run loses protocol liveness or state parity, or if a piggybacked
+//! fault-free overhead exceeds its ceiling — `--max-ctl-app` (default 2.0)
+//! for the raw substrate, `--max-acct-ctl-app` (default 3.0) for the engine
+//! stacked on BFT/CR.
 
-use tnic_bench::{render_table, run_scenario_mode, CommitMode, Scenario, ScenarioResult};
+use tnic_bench::{
+    render_acct_table, render_table, run_acct_scenario, run_scenario_mode, AcctScenario,
+    AcctScenarioResult, CommitMode, Scenario, ScenarioResult,
+};
 use tnic_tee::profile::Baseline;
 
 const MODES: [CommitMode; 2] = [
@@ -39,6 +53,7 @@ fn main() {
     let mut all_baselines = false;
     let mut check = false;
     let mut max_ctl_app = 2.0f64;
+    let mut max_acct_ctl_app = 3.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,10 +65,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--max-acct-ctl-app" => {
+                max_acct_ctl_app = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-acct-ctl-app requires a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO]"
+                     usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
+                     [--max-acct-ctl-app RATIO]"
                 );
                 std::process::exit(2);
             }
@@ -133,6 +155,75 @@ fn main() {
                 overhead_violations.push(format!(
                     "fault-free [{} / {}]: ctl/app {:.2} exceeds {max_ctl_app:.2}",
                     r.baseline.label(),
+                    r.mode.label(),
+                    r.overhead_ratio
+                ));
+            }
+        }
+    }
+
+    // ---- accountability stacked on the BFT / CR transforms --------------
+
+    println!(
+        "\naccountability as middleware: the same engine under the BFT counter and the KV chain\n\
+         (3 nodes, 3 rounds x 4 client operations; time-ovh = virtual time vs engine-free twin)\n"
+    );
+    let mut acct_results: Vec<AcctScenarioResult> = Vec::new();
+    for scenario in AcctScenario::suite() {
+        for mode in MODES {
+            match run_acct_scenario(&scenario, mode) {
+                Ok(result) => acct_results.push(result),
+                Err(err) => {
+                    failures += 1;
+                    eprintln!("scenario {} ({}): {err}", scenario.name, mode.label());
+                }
+            }
+        }
+    }
+    println!("{}", render_acct_table(&acct_results));
+    println!(
+        "expectations: fault-free=trusted, equivocation/tail-tampering=exposed — in both modes, \
+         with protocol commits and replica parity intact"
+    );
+
+    for r in &acct_results {
+        let expected = if r.name.ends_with("fault-free") {
+            "trusted"
+        } else {
+            "exposed"
+        };
+        if !r.unanimous || r.verdict != expected {
+            deviations.push(format!(
+                "{} [{}]: expected {expected}, got {}{}",
+                r.name,
+                r.mode.label(),
+                r.verdict,
+                if r.unanimous { "" } else { " (split)" }
+            ));
+        }
+        if !r.protocol_committed {
+            deviations.push(format!(
+                "{} [{}]: protocol lost liveness under accountability",
+                r.name,
+                r.mode.label()
+            ));
+        }
+        if !r.state_parity {
+            deviations.push(format!(
+                "{} [{}]: replicas diverged under accountability",
+                r.name,
+                r.mode.label()
+            ));
+        }
+        if r.name.ends_with("fault-free") && matches!(r.mode, CommitMode::Piggyback { .. }) {
+            println!(
+                "{}: ctl/app {:.2}, time overhead {:.2}x, {} commitments rode",
+                r.name, r.overhead_ratio, r.time_overhead, r.piggybacked
+            );
+            if r.overhead_ratio > max_acct_ctl_app {
+                overhead_violations.push(format!(
+                    "{} [{}]: ctl/app {:.2} exceeds {max_acct_ctl_app:.2}",
+                    r.name,
                     r.mode.label(),
                     r.overhead_ratio
                 ));

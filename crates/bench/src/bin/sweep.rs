@@ -1,6 +1,8 @@
 //! Accountability parameter sweep: payload size × cluster size × witness
 //! count × audit period, for dedicated and piggybacked commitments, emitting
-//! CSV (the data behind the overhead-scaling figures).
+//! CSV (the data behind the overhead-scaling figures). Besides the raw
+//! PeerReview substrate, the grid sweeps the engine stacked under the BFT
+//! counter and the replicated KV chain (`app` column = `bft` / `cr`).
 //!
 //! Usage: `cargo run --release -p tnic-bench --bin sweep [--full] [--out FILE]`
 //!
@@ -9,7 +11,7 @@
 //! root is a committed snapshot of the default grid.
 
 use std::io::Write;
-use tnic_bench::{run_sweep_point, CommitMode, SweepPoint, SWEEP_CSV_HEADER};
+use tnic_bench::{run_sweep_point, CommitMode, SweepApp, SweepPoint, SWEEP_CSV_HEADER};
 
 fn grid(full: bool) -> Vec<SweepPoint> {
     let payloads: &[usize] = if full {
@@ -30,6 +32,7 @@ fn grid(full: bool) -> Vec<SweepPoint> {
             for &period in periods {
                 let rounds = 4 * period;
                 let point = |mode| SweepPoint {
+                    app: SweepApp::PeerReview,
                     mode,
                     payload,
                     nodes,
@@ -42,6 +45,29 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                     if w >= 1 {
                         points.push(point(CommitMode::Piggyback { witnesses: w }));
                     }
+                }
+            }
+        }
+    }
+    // Accountability stacked on the BFT / CR transforms: the payload column
+    // is the request-context size (BFT) / value size (CR).
+    let acct_payloads: &[usize] = if full { &[16, 256, 1024] } else { &[16, 256] };
+    let acct_nodes: &[u32] = if full { &[3, 5] } else { &[3] };
+    for app in [SweepApp::Bft, SweepApp::Cr] {
+        for &payload in acct_payloads {
+            for &nodes in acct_nodes {
+                for &period in periods {
+                    let point = |mode| SweepPoint {
+                        app,
+                        mode,
+                        payload,
+                        nodes,
+                        audit_period: period,
+                        rounds: 4 * period,
+                        messages_per_round: 4,
+                    };
+                    points.push(point(CommitMode::Dedicated));
+                    points.push(point(CommitMode::Piggyback { witnesses: 2 }));
                 }
             }
         }

@@ -14,10 +14,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tnic_bft::{BftConfig, BftCounter};
 use tnic_core::error::CoreError;
+use tnic_cr::ChainReplication;
 use tnic_net::adversary::{FaultPlan, NodeFault};
 use tnic_net::stack::NetworkStackKind;
 use tnic_peerreview::audit::Verdict;
+use tnic_peerreview::engine::EngineConfig;
+use tnic_peerreview::stats::AccountabilityStats;
 use tnic_peerreview::system::{PeerReview, PeerReviewConfig};
 use tnic_tee::profile::Baseline;
 
@@ -136,6 +140,23 @@ impl CommitMode {
                 config.piggyback = true;
                 config.witness_count = Some(witnesses);
             }
+        }
+    }
+
+    /// The engine configuration this mode corresponds to.
+    #[must_use]
+    pub fn engine_config(self, seed: u64) -> EngineConfig {
+        match self {
+            CommitMode::Dedicated => EngineConfig {
+                seed,
+                ..EngineConfig::default()
+            },
+            CommitMode::Piggyback { witnesses } => EngineConfig {
+                seed,
+                piggyback: true,
+                witness_count: Some(witnesses),
+                ..EngineConfig::default()
+            },
         }
     }
 }
@@ -295,12 +316,406 @@ pub fn render_table(results: &[ScenarioResult]) -> String {
     out
 }
 
+/// Which accountable application a middleware scenario stacks the engine
+/// under (the PeerReview engine reused outside its own workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcctApp {
+    /// The `2f + 1` BFT replicated counter (`tnic-bft`).
+    Bft,
+    /// Byzantine chain replication of a KV store (`tnic-cr`).
+    Cr,
+}
+
+impl AcctApp {
+    /// Table/CSV label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AcctApp::Bft => "bft",
+            AcctApp::Cr => "cr",
+        }
+    }
+}
+
+/// One accountability-over-application scenario: the engine stacked under a
+/// BFT or chain-replication deployment, fault-free or with one faulty node.
+#[derive(Debug, Clone, Copy)]
+pub struct AcctScenario {
+    /// The application the engine runs under.
+    pub app: AcctApp,
+    /// Display name.
+    pub name: &'static str,
+    /// The faulty node and its behaviour (`None` = fault-free control run).
+    pub fault: Option<(u32, NodeFault)>,
+    /// Rounds of operations + audit.
+    pub rounds: u64,
+    /// Client operations per round.
+    pub ops_per_round: u64,
+}
+
+impl AcctScenario {
+    /// The `bft-acct`/`cr-acct` suite: a fault-free control run plus one
+    /// Byzantine node per application — an equivocating BFT replica and a
+    /// tail-tampering chain node, each of which the witnesses must *expose*
+    /// with verifiable evidence (the protocols alone only tolerate/detect).
+    #[must_use]
+    pub fn suite() -> Vec<AcctScenario> {
+        let base = |app, name, fault| AcctScenario {
+            app,
+            name,
+            fault,
+            rounds: 3,
+            ops_per_round: 4,
+        };
+        vec![
+            base(AcctApp::Bft, "bft-acct/fault-free", None),
+            base(
+                AcctApp::Bft,
+                "bft-acct/equivocation",
+                Some((1, NodeFault::Equivocate)),
+            ),
+            base(AcctApp::Cr, "cr-acct/fault-free", None),
+            base(
+                AcctApp::Cr,
+                "cr-acct/tail-tampering",
+                Some((2, NodeFault::TamperLogEntry { seq: 0 })),
+            ),
+        ]
+    }
+
+    /// The fault plan this scenario injects.
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        match self.fault {
+            Some((node, fault)) => FaultPlan::single(node, fault),
+            None => FaultPlan::all_correct(),
+        }
+    }
+}
+
+/// Summary of one accountability-over-application run.
+#[derive(Debug, Clone)]
+pub struct AcctScenarioResult {
+    /// The application the engine ran under.
+    pub app: AcctApp,
+    /// Scenario name.
+    pub name: &'static str,
+    /// The commitment mode the run used.
+    pub mode: CommitMode,
+    /// Verdict of the correct witnesses on the faulty node ("trusted" for a
+    /// clean control run, "FALSE-POSITIVE" if a control run convicted).
+    pub verdict: &'static str,
+    /// Whether every correct witness agreed on that verdict.
+    pub unanimous: bool,
+    /// Application (protocol) messages sent.
+    pub app_messages: u64,
+    /// Accountability control messages sent.
+    pub control_messages: u64,
+    /// Control messages per application message.
+    pub overhead_ratio: f64,
+    /// Commitments that rode on protocol traffic.
+    pub piggybacked: u64,
+    /// Whether every client operation committed at the protocol level (the
+    /// injected log-level faults must not break the dataflow).
+    pub protocol_committed: bool,
+    /// Whether all replicas agree on the committed application state.
+    pub state_parity: bool,
+    /// Virtual-time cost of accountability: accountable run time divided by
+    /// an identical run without the engine.
+    pub time_overhead: f64,
+    /// Total virtual time of the accountable run in microseconds.
+    pub virtual_time_us: u64,
+}
+
+/// Judges the witness verdicts of an accountable run: the expected faulty
+/// node's classification, or a clean-control check over every pair.
+fn judge_verdicts(
+    fault: Option<(u32, NodeFault)>,
+    nodes: u32,
+    witnesses_of: impl Fn(u32) -> Vec<u32>,
+    correct_witnesses_of: impl Fn(u32) -> Vec<u32>,
+    verdict_of: impl Fn(u32, u32) -> Verdict,
+) -> (&'static str, bool) {
+    match fault {
+        Some((faulty, _)) => {
+            let verdicts: Vec<Verdict> = correct_witnesses_of(faulty)
+                .into_iter()
+                .map(|w| verdict_of(w, faulty))
+                .collect();
+            let unanimous = verdicts.windows(2).all(|p| p[0] == p[1]);
+            (
+                verdicts
+                    .first()
+                    .copied()
+                    .unwrap_or(Verdict::Trusted)
+                    .label(),
+                unanimous,
+            )
+        }
+        None => {
+            let all_trusted = (0..nodes).all(|node| {
+                witnesses_of(node)
+                    .into_iter()
+                    .all(|w| verdict_of(w, node) == Verdict::Trusted)
+            });
+            (
+                if all_trusted {
+                    "trusted"
+                } else {
+                    "FALSE-POSITIVE"
+                },
+                true,
+            )
+        }
+    }
+}
+
+fn summarize_acct(
+    scenario: &AcctScenario,
+    mode: CommitMode,
+    stats: &AccountabilityStats,
+    verdict: (&'static str, bool),
+    protocol_committed: bool,
+    state_parity: bool,
+    times_us: (u64, u64),
+) -> AcctScenarioResult {
+    let (acct_time_us, bare_time_us) = times_us;
+    AcctScenarioResult {
+        app: scenario.app,
+        name: scenario.name,
+        mode,
+        verdict: verdict.0,
+        unanimous: verdict.1,
+        app_messages: stats.app_messages,
+        control_messages: stats.control_messages,
+        overhead_ratio: stats.control_overhead_ratio(),
+        piggybacked: stats.piggybacked_commitments,
+        protocol_committed,
+        state_parity,
+        time_overhead: if bare_time_us == 0 {
+            f64::NAN
+        } else {
+            acct_time_us as f64 / bare_time_us as f64
+        },
+        virtual_time_us: acct_time_us,
+    }
+}
+
+const ACCT_SEED: u64 = 42;
+
+fn run_bft_acct(
+    scenario: &AcctScenario,
+    mode: CommitMode,
+) -> Result<AcctScenarioResult, CoreError> {
+    let config = BftConfig::default();
+    let piggyback = matches!(mode, CommitMode::Piggyback { .. });
+    let mut system = BftCounter::with_accountability(
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        config,
+        ACCT_SEED,
+        mode.engine_config(ACCT_SEED),
+        scenario.fault_plan(),
+    )?;
+    let mut committed = true;
+    for _ in 0..scenario.rounds {
+        if piggyback {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..scenario.ops_per_round {
+            let result = system.client_increment()?;
+            committed &= system.is_committed(&result);
+        }
+        if piggyback {
+            system.finish_audit_round()?;
+        } else {
+            system.run_audit_round()?;
+        }
+    }
+    system.drain_audits()?;
+
+    // The bare twin: same workload, no engine attached.
+    let mut bare = BftCounter::new(Baseline::Tnic, NetworkStackKind::Tnic, config, ACCT_SEED)?;
+    for _ in 0..scenario.rounds * scenario.ops_per_round {
+        bare.client_increment()?;
+    }
+
+    let n = system.replica_count() as u32;
+    let parity_value = system.replica_value(tnic_core::api::NodeId(0));
+    let state_parity =
+        (0..n).all(|i| system.replica_value(tnic_core::api::NodeId(i)) == parity_value);
+    let verdict = judge_verdicts(
+        scenario.fault,
+        n,
+        |node| system.witnesses_of(node).to_vec(),
+        |node| system.correct_witnesses_of(node),
+        |w, node| system.verdict_of(w, node),
+    );
+    Ok(summarize_acct(
+        scenario,
+        mode,
+        &system.acct_stats(),
+        verdict,
+        committed,
+        state_parity,
+        (system.now().as_micros(), bare.now().as_micros()),
+    ))
+}
+
+fn run_cr_acct(scenario: &AcctScenario, mode: CommitMode) -> Result<AcctScenarioResult, CoreError> {
+    let nodes = 3u32;
+    let piggyback = matches!(mode, CommitMode::Piggyback { .. });
+    let mut system = ChainReplication::with_accountability(
+        nodes,
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        ACCT_SEED,
+        mode.engine_config(ACCT_SEED),
+        scenario.fault_plan(),
+    )?;
+    let mut committed = true;
+    let mut op = 0u32;
+    for _ in 0..scenario.rounds {
+        if piggyback {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..scenario.ops_per_round {
+            let key = format!("key-{op}");
+            let result = system.put(key.as_bytes(), b"value")?;
+            committed &= result.committed;
+            op += 1;
+        }
+        if piggyback {
+            system.finish_audit_round()?;
+        } else {
+            system.run_audit_round()?;
+        }
+    }
+    system.drain_audits()?;
+
+    // The bare twin: same workload, no engine attached.
+    let mut bare = ChainReplication::new(nodes, Baseline::Tnic, NetworkStackKind::Tnic, ACCT_SEED)?;
+    for i in 0..scenario.rounds * scenario.ops_per_round {
+        bare.put(format!("key-{i}").as_bytes(), b"value")?;
+    }
+
+    let digests: Vec<[u8; 32]> = system
+        .chain()
+        .iter()
+        .map(|&n| system.store_digest(n))
+        .collect();
+    let state_parity = digests.windows(2).all(|w| w[0] == w[1]);
+    let verdict = judge_verdicts(
+        scenario.fault,
+        nodes,
+        |node| system.witnesses_of(node).to_vec(),
+        |node| system.correct_witnesses_of(node),
+        |w, node| system.verdict_of(w, node),
+    );
+    Ok(summarize_acct(
+        scenario,
+        mode,
+        &system.acct_stats(),
+        verdict,
+        committed,
+        state_parity,
+        (system.now().as_micros(), bare.now().as_micros()),
+    ))
+}
+
+/// Runs one accountability-over-application scenario in the given
+/// commitment mode: the same engine that drives PeerReview stacked under a
+/// BFT or chain-replication deployment.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the run.
+pub fn run_acct_scenario(
+    scenario: &AcctScenario,
+    mode: CommitMode,
+) -> Result<AcctScenarioResult, CoreError> {
+    match scenario.app {
+        AcctApp::Bft => run_bft_acct(scenario, mode),
+        AcctApp::Cr => run_cr_acct(scenario, mode),
+    }
+}
+
+/// Formats accountability-over-application results as an aligned table.
+#[must_use]
+pub fn render_acct_table(results: &[AcctScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<15} {:<15} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7} {:>7} {:>12}\n",
+        "scenario",
+        "mode",
+        "verdict",
+        "app",
+        "ctl",
+        "ctl/app",
+        "rides",
+        "time-ovh",
+        "commit",
+        "parity",
+        "virt time us"
+    ));
+    out.push_str(&"-".repeat(132));
+    out.push('\n');
+    for r in results {
+        let verdict = if r.unanimous {
+            r.verdict.to_string()
+        } else {
+            format!("{} (split!)", r.verdict)
+        };
+        out.push_str(&format!(
+            "{:<24} {:<15} {:<15} {:>8} {:>8} {:>8.2} {:>8} {:>8.2}x {:>7} {:>7} {:>12}\n",
+            r.name,
+            r.mode.label(),
+            verdict,
+            r.app_messages,
+            r.control_messages,
+            r.overhead_ratio,
+            r.piggybacked,
+            r.time_overhead,
+            if r.protocol_committed { "ok" } else { "FAIL" },
+            if r.state_parity { "ok" } else { "FAIL" },
+            r.virtual_time_us
+        ));
+    }
+    out
+}
+
+/// Which workload a sweep point drives the accountability engine under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepApp {
+    /// The PeerReview round-robin counter workload (the classic substrate).
+    PeerReview,
+    /// Accountability stacked on the BFT replicated counter (`bft-acct`).
+    Bft,
+    /// Accountability stacked on chain replication (`cr-acct`).
+    Cr,
+}
+
+impl SweepApp {
+    /// CSV label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepApp::PeerReview => "peerreview",
+            SweepApp::Bft => "bft",
+            SweepApp::Cr => "cr",
+        }
+    }
+}
+
 /// One point of the accountability parameter sweep (fault-free workload).
 #[derive(Debug, Clone, Copy)]
 pub struct SweepPoint {
+    /// The workload under audit.
+    pub app: SweepApp,
     /// Commitment mode.
     pub mode: CommitMode,
-    /// Application payload size in bytes.
+    /// Application payload size in bytes (request context for BFT, value
+    /// size for chain replication).
     pub payload: usize,
     /// Cluster size.
     pub nodes: u32,
@@ -308,7 +723,8 @@ pub struct SweepPoint {
     pub audit_period: u64,
     /// Total workload rounds.
     pub rounds: u64,
-    /// Application messages per workload round.
+    /// Application operations per workload round (messages for PeerReview,
+    /// client operations for BFT/CR).
     pub messages_per_round: u64,
 }
 
@@ -340,7 +756,7 @@ pub struct SweepRow {
 }
 
 /// Header line of the sweep CSV.
-pub const SWEEP_CSV_HEADER: &str = "mode,payload_bytes,nodes,witnesses,audit_period,rounds,\
+pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit_period,rounds,\
 messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,challenges,log_entries,\
 audit_p50_us,audit_p99_us,app_p50_us,virt_time_us";
 
@@ -359,7 +775,8 @@ impl SweepRow {
     #[must_use]
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.1},{:.1},{:.1},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.1},{:.1},{:.1},{}",
+            self.point.app.label(),
             self.point.mode.label(),
             self.point.payload,
             self.point.nodes,
@@ -387,6 +804,35 @@ impl SweepRow {
 ///
 /// Propagates cluster/session errors from the run.
 pub fn run_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
+    match point.app {
+        SweepApp::PeerReview => run_peerreview_sweep_point(point),
+        SweepApp::Bft => run_bft_sweep_point(point),
+        SweepApp::Cr => run_cr_sweep_point(point),
+    }
+}
+
+fn sweep_row(
+    point: SweepPoint,
+    witnesses: u32,
+    stats: &AccountabilityStats,
+    virtual_time_us: u64,
+) -> SweepRow {
+    SweepRow {
+        point,
+        witnesses,
+        app_messages: stats.app_messages,
+        control_messages: stats.control_messages,
+        piggybacked: stats.piggybacked_commitments,
+        challenges: stats.challenges,
+        log_entries: stats.log_entries,
+        audit_p50_us: stats.audit_latency.percentile_us(0.5),
+        audit_p99_us: stats.audit_latency.percentile_us(0.99),
+        app_p50_us: stats.app_latency.percentile_us(0.5),
+        virtual_time_us,
+    }
+}
+
+fn run_peerreview_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
     let mut config = PeerReviewConfig {
         nodes: point.nodes,
         baseline: Baseline::Tnic,
@@ -399,19 +845,93 @@ pub fn run_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
     let mut pr = PeerReview::new(config, FaultPlan::all_correct())?;
     pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
     let stats = pr.stats();
-    Ok(SweepRow {
+    Ok(sweep_row(
         point,
-        witnesses: pr.witnesses_of(0).len() as u32,
-        app_messages: stats.app_messages,
-        control_messages: stats.control_messages,
-        piggybacked: stats.piggybacked_commitments,
-        challenges: stats.challenges,
-        log_entries: stats.log_entries,
-        audit_p50_us: stats.audit_latency.percentile_us(0.5),
-        audit_p99_us: stats.audit_latency.percentile_us(0.99),
-        app_p50_us: stats.app_latency.percentile_us(0.5),
-        virtual_time_us: pr.now().as_micros(),
-    })
+        pr.witnesses_of(0).len() as u32,
+        &stats,
+        pr.now().as_micros(),
+    ))
+}
+
+fn run_bft_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
+    let f = (point.nodes.max(3) - 1) / 2;
+    let config = BftConfig {
+        f,
+        batch_size: 1,
+        request_len: point.payload,
+    };
+    let piggyback = matches!(point.mode, CommitMode::Piggyback { .. });
+    let mut system = BftCounter::with_accountability(
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        config,
+        42,
+        point.mode.engine_config(42),
+        FaultPlan::all_correct(),
+    )?;
+    let period = point.audit_period.max(1);
+    for round in 0..point.rounds {
+        let audit = (round + 1) % period == 0;
+        if piggyback && audit {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..point.messages_per_round {
+            system.client_increment()?;
+        }
+        if audit {
+            if piggyback {
+                system.finish_audit_round()?;
+            } else {
+                system.run_audit_round()?;
+            }
+        }
+    }
+    let stats = system.acct_stats();
+    Ok(sweep_row(
+        point,
+        system.witnesses_of(0).len() as u32,
+        &stats,
+        system.now().as_micros(),
+    ))
+}
+
+fn run_cr_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
+    let piggyback = matches!(point.mode, CommitMode::Piggyback { .. });
+    let mut system = ChainReplication::with_accountability(
+        point.nodes.max(2),
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        42,
+        point.mode.engine_config(42),
+        FaultPlan::all_correct(),
+    )?;
+    let value = vec![0u8; point.payload];
+    let period = point.audit_period.max(1);
+    let mut op = 0u64;
+    for round in 0..point.rounds {
+        let audit = (round + 1) % period == 0;
+        if piggyback && audit {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..point.messages_per_round {
+            system.put(&op.to_le_bytes(), &value)?;
+            op += 1;
+        }
+        if audit {
+            if piggyback {
+                system.finish_audit_round()?;
+            } else {
+                system.run_audit_round()?;
+            }
+        }
+    }
+    let stats = system.acct_stats();
+    Ok(sweep_row(
+        point,
+        system.witnesses_of(0).len() as u32,
+        &stats,
+        system.now().as_micros(),
+    ))
 }
 
 #[cfg(test)]
@@ -487,6 +1007,7 @@ mod tests {
     #[test]
     fn sweep_rows_report_the_swept_parameters() {
         let row = run_sweep_point(SweepPoint {
+            app: SweepApp::PeerReview,
             mode: CommitMode::Piggyback { witnesses: 2 },
             payload: 256,
             nodes: 4,
@@ -499,12 +1020,111 @@ mod tests {
         assert_eq!(row.app_messages, 32);
         assert!(row.piggybacked > 0);
         let csv = row.to_csv();
-        assert!(csv.starts_with("piggyback(w=2),256,4,2,2,4,8,32,"));
+        assert!(csv.starts_with("peerreview,piggyback(w=2),256,4,2,2,4,8,32,"));
         assert_eq!(
             csv.split(',').count(),
             SWEEP_CSV_HEADER.split(',').count(),
             "row matches header arity"
         );
+    }
+
+    #[test]
+    fn bft_and_cr_sweep_points_measure_the_stacked_engine() {
+        for app in [SweepApp::Bft, SweepApp::Cr] {
+            let row = run_sweep_point(SweepPoint {
+                app,
+                mode: CommitMode::Piggyback { witnesses: 2 },
+                payload: 64,
+                nodes: 3,
+                audit_period: 1,
+                rounds: 3,
+                messages_per_round: 4,
+            })
+            .unwrap();
+            assert_eq!(row.witnesses, 2, "{app:?}");
+            assert!(row.app_messages > 0, "{app:?}");
+            assert!(row.challenges > 0, "{app:?}: audits actually ran");
+            assert!(row.log_entries > 0, "{app:?}");
+            let csv = row.to_csv();
+            assert!(csv.starts_with(app.label()), "{app:?}");
+            assert_eq!(csv.split(',').count(), SWEEP_CSV_HEADER.split(',').count());
+        }
+    }
+
+    #[test]
+    fn acct_suite_covers_both_apps_with_control_runs() {
+        let suite = AcctScenario::suite();
+        assert_eq!(suite.len(), 4);
+        for app in [AcctApp::Bft, AcctApp::Cr] {
+            assert_eq!(
+                suite
+                    .iter()
+                    .filter(|s| s.app == app && s.fault.is_none())
+                    .count(),
+                1,
+                "one control run per app"
+            );
+            assert_eq!(
+                suite
+                    .iter()
+                    .filter(|s| s.app == app && s.fault.is_some())
+                    .count(),
+                1,
+                "one Byzantine run per app"
+            );
+        }
+    }
+
+    #[test]
+    fn acct_scenarios_classify_and_keep_protocol_health_in_both_modes() {
+        for scenario in AcctScenario::suite() {
+            let expected = if scenario.fault.is_some() {
+                "exposed"
+            } else {
+                "trusted"
+            };
+            for mode in [
+                CommitMode::Dedicated,
+                CommitMode::Piggyback { witnesses: 2 },
+            ] {
+                let result = run_acct_scenario(&scenario, mode).unwrap();
+                assert_eq!(
+                    result.verdict,
+                    expected,
+                    "{} in {}",
+                    scenario.name,
+                    mode.label()
+                );
+                assert!(result.unanimous, "{}", scenario.name);
+                assert!(
+                    result.protocol_committed,
+                    "{}: log-level faults must not break the dataflow",
+                    scenario.name
+                );
+                assert!(result.state_parity, "{}", scenario.name);
+                assert!(result.control_messages > 0);
+                assert!(
+                    result.time_overhead > 1.0,
+                    "{}: accountability costs virtual time",
+                    scenario.name
+                );
+                if matches!(mode, CommitMode::Piggyback { .. }) {
+                    assert!(result.piggybacked > 0, "{}", scenario.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acct_table_renders_one_row_per_result() {
+        let result = run_acct_scenario(
+            &AcctScenario::suite()[0],
+            CommitMode::Piggyback { witnesses: 2 },
+        )
+        .unwrap();
+        let table = render_acct_table(&[result]);
+        assert!(table.contains("bft-acct/fault-free"));
+        assert_eq!(table.lines().count(), 3);
     }
 
     #[test]

@@ -8,18 +8,47 @@
 //! observes every `auth_send`/`multicast` on the sender side and every
 //! verified delivery on the receiver side, in the same way the
 //! [`transform`](crate::transform) wrappers observe application state.
+//! The hooks fire for *all* cluster traffic — application dataflow,
+//! replication protocol messages, audit control traffic — so the layer's
+//! tamper-evident record covers whatever protocol happens to run on top.
 //!
 //! The layer is *almost* passive: it cannot veto traffic (that is the
 //! attestation kernel's job), but it may **piggyback** control data on
 //! outbound messages through [`AccountabilityLayer::wrap_outbound`] — the
 //! cluster offers every unicast `auth_send` payload to the layer before
 //! attesting it, and the layer may return a wrapped payload carrying e.g. a
-//! pending log commitment. This mirrors PeerReview's design, where the
-//! commitment protocol piggybacks on the existing message flow and all
-//! enforcement happens asynchronously in the audit protocol.
+//! pending log commitment. Group traffic is offered once per multicast
+//! through [`AccountabilityLayer::wrap_multicast`]: the wrapped payload is
+//! attested once and the identical bytes reach every receiver, preserving
+//! the single-attestation property that makes multicast equivocation-free.
+//! This mirrors PeerReview's design, where the commitment protocol
+//! piggybacks on the existing message flow and all enforcement happens
+//! asynchronously in the audit protocol.
 //!
-//! The concrete PeerReview implementation lives in the `tnic-peerreview`
-//! crate; this module only defines the interface so `tnic-core` stays free of
+//! # Engine / driver split
+//!
+//! The concrete accountability machinery lives in the `tnic-peerreview`
+//! crate, split in two:
+//!
+//! * the **engine** (`tnic_peerreview::engine`) — an application-agnostic
+//!   middleware: the `CommitmentLayer` implementing this module's trait,
+//!   witness audit/challenge/evidence handling, verdict tracking and the
+//!   piggyback ride queue, driven through the `AccountedApp` trait
+//!   (`execute`, `snapshot_digest`, replay machine, message taps);
+//! * the **drivers** — thin clients of the engine: the PeerReview workload
+//!   itself (`tnic_peerreview::system`), and the BFT (`tnic-bft`) and chain
+//!   replication (`tnic-cr`) deployments via their `with_accountability`
+//!   constructors.
+//!
+//! To attach accountability to a new application: implement `AccountedApp`
+//! for the application state (a deterministic `execute` for delivered
+//! commands, a `snapshot_digest` of per-node state, and a fresh reference
+//! machine witnesses replay), wrap the application's protocol payloads as
+//! `Envelope::App`, build the engine over the application's `Cluster`, and
+//! route every `Cluster::poll` through the engine — it peels piggybacked
+//! commitments, consumes audit control traffic, registers executions in the
+//! tamper-evident log and hands the application back its own messages. This
+//! module only defines the interface so `tnic-core` stays free of
 //! application policy.
 
 use crate::api::{Delivered, NodeId};
@@ -52,11 +81,29 @@ pub trait AccountabilityLayer {
     ///
     /// The wrapped payload is what gets attested, logged by `on_sent` and
     /// delivered — sender and receiver observe identical bytes, so
-    /// tamper-evident logs stay consistent. Multicast payloads are never
-    /// offered: the same attested message goes to every receiver, so
-    /// per-receiver wrapping would break the single-attestation property.
+    /// tamper-evident logs stay consistent. Multicast payloads go through
+    /// [`AccountabilityLayer::wrap_multicast`] instead: per-receiver
+    /// wrapping would break the single-attestation property.
     fn wrap_outbound(&mut self, from: NodeId, to: NodeId, payload: &[u8]) -> Option<Vec<u8>> {
         let _ = (from, to, payload);
+        None
+    }
+
+    /// Offered the outbound `payload` of a
+    /// [`Cluster::multicast`](crate::api::Cluster::multicast) *once*, before
+    /// it is attested. Returning `Some(wrapped)` replaces the payload on the
+    /// wire for **every** receiver — the cluster still attests a single
+    /// message, so the equivocation-free multicast property is preserved.
+    /// Receivers the ride was not addressed to simply ignore the carried
+    /// control data (commitments are self-describing and witnesses discard
+    /// ones for nodes they do not audit).
+    fn wrap_multicast(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        payload: &[u8],
+    ) -> Option<Vec<u8>> {
+        let _ = (from, receivers, payload);
         None
     }
 

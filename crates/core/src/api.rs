@@ -20,7 +20,9 @@ use tnic_crypto::ed25519::{Keypair, Signature, VerifyingKey};
 use tnic_crypto::sha256::sha256;
 use tnic_device::attestation::AttestedMessage;
 use tnic_device::dma::DmaRegion;
-use tnic_device::types::{DeviceId, SessionId};
+use tnic_device::roce::packet::{PacketHeader, RdmaOpcode, RocePacket};
+use tnic_device::types::{DeviceId, Ipv4Addr, MacAddr, QueuePairId, SessionId};
+use tnic_net::adversary::Adversary;
 use tnic_net::stack::NetworkStackKind;
 use tnic_sim::clock::SimClock;
 use tnic_sim::rng::DetRng;
@@ -113,6 +115,7 @@ pub struct Cluster {
     trace: TraceLog,
     stats: ClusterStats,
     accountability: Option<SharedAccountability>,
+    adversary: Option<(Adversary, DetRng)>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -145,6 +148,7 @@ impl Cluster {
             trace: TraceLog::new(),
             stats: ClusterStats::default(),
             accountability: None,
+            adversary: None,
         }
     }
 
@@ -215,6 +219,30 @@ impl Cluster {
     /// Detaches and returns the current accountability layer, if any.
     pub fn detach_accountability(&mut self) -> Option<SharedAccountability> {
         self.accountability.take()
+    }
+
+    /// Installs a packet-level network [`Adversary`] on the delivery path:
+    /// every message sent with [`Cluster::auth_send`] or
+    /// [`Cluster::multicast`] is framed as a RoCE packet and run through the
+    /// adversary before delivery.
+    ///
+    /// The attested channel sits *above* the RoCE transport, whose go-back-N
+    /// recovery retransmits lost or corrupted packets (the attestation
+    /// kernel's strict receive counters assume a lossless, ordered stream —
+    /// that is exactly what non-equivocation requires). The adversary
+    /// therefore costs **retransmission latency** and rejected packets
+    /// (tampered payloads fail the MAC, replayed duplicates fail the
+    /// counter check; both land in [`ClusterStats::messages_rejected`]), but
+    /// never silently loses an attested message. Used to compose node-level
+    /// fault plans with a lossy/hostile network and show the accountability
+    /// classification is stable under it.
+    pub fn set_adversary(&mut self, adversary: Adversary, seed: u64) {
+        self.adversary = Some((adversary, DetRng::new(seed)));
+    }
+
+    /// Removes the installed packet-level adversary, if any.
+    pub fn clear_adversary(&mut self) -> Option<Adversary> {
+        self.adversary.take().map(|(a, _)| a)
     }
 
     /// The attached accountability layer, if any.
@@ -470,8 +498,75 @@ impl Cluster {
         self.stats.messages_sent += 1;
         let latency = self.network_latency(msg.wire_len());
         self.clock.advance(latency);
-        self.deliver(from, to, msg.clone())?;
+        if self.adversary.is_some() {
+            self.deliver_via_adversary(from, to, &msg)?;
+        } else {
+            self.deliver(from, to, msg.clone())?;
+        }
         Ok(msg)
+    }
+
+    /// Frames `msg` as a RoCE packet, runs it through the installed
+    /// [`Adversary`] and delivers it through the transport's loss recovery:
+    /// every attempt the adversary drops or corrupts costs one
+    /// retransmission round trip (go-back-N), then the packet is offered
+    /// again. Duplicates and tampered copies that do reach the receiver are
+    /// rejected by the verification path and counted; the message itself is
+    /// always eventually delivered — a Byzantine network degrades latency,
+    /// never the attested channel's lossless ordering.
+    fn deliver_via_adversary(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &AttestedMessage,
+    ) -> Result<(), CoreError> {
+        // Retransmission bound: keeps the simulation finite against an
+        // adversary that censors every attempt (e.g. drop probability 1.0);
+        // the final attempt bypasses it, modelling the out-of-band recovery
+        // a production transport escalates to.
+        const MAX_RETRANSMITS: u32 = 16;
+        let packet = RocePacket {
+            header: PacketHeader {
+                src_mac: MacAddr::from_device(from.device()),
+                dst_mac: MacAddr::from_device(to.device()),
+                src_ip: Ipv4Addr::from_device(from.device()),
+                dst_ip: Ipv4Addr::from_device(to.device()),
+                udp_port: 4791,
+                opcode: RdmaOpcode::Write,
+                qp: QueuePairId(to.0),
+                psn: msg.counter as u32,
+                msn: msg.counter as u32,
+                ack_psn: 0,
+            },
+            payload: msg.encode(),
+        };
+        for _ in 0..MAX_RETRANSMITS {
+            let surviving = {
+                let (adversary, rng) = self.adversary.as_mut().expect("adversary installed");
+                adversary.apply(&packet, rng)
+            };
+            let mut delivered = false;
+            for packet in surviving {
+                match AttestedMessage::decode(&packet.payload) {
+                    Ok(received) => {
+                        // Rejections (tampered MAC, duplicate or stale
+                        // counter) are counted inside `deliver` and trigger
+                        // a retransmission, not a sender-side error.
+                        if self.deliver(from, to, received).is_ok() {
+                            delivered = true;
+                        }
+                    }
+                    Err(_) => self.stats.messages_rejected += 1,
+                }
+            }
+            if delivered {
+                return Ok(());
+            }
+            // Timeout + retransmission: one extra network traversal.
+            let latency = self.network_latency(msg.wire_len());
+            self.clock.advance(latency);
+        }
+        self.deliver(from, to, msg.clone())
     }
 
     /// Delivers an already-attested message to `to`, verifying it there. Used
@@ -513,6 +608,13 @@ impl Cluster {
     /// Equivocation-free multicast (§6.1): the same attested message generated
     /// on the sender's group session is unicast to every receiver.
     ///
+    /// If an accountability layer is attached, the payload is offered *once*
+    /// to
+    /// [`AccountabilityLayer::wrap_multicast`](crate::accountability::AccountabilityLayer::wrap_multicast)
+    /// before attestation — the identical wrapped bytes reach every receiver,
+    /// so the single-attestation property is preserved while pending control
+    /// data (e.g. log commitments) rides the group traffic.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoSession`] if no group session exists, or the
@@ -531,6 +633,11 @@ impl Cluster {
                 from: from.0,
                 to: from.0,
             })?;
+        let wrapped = self
+            .accountability
+            .as_ref()
+            .and_then(|layer| layer.borrow_mut().wrap_multicast(from, receivers, payload));
+        let payload = wrapped.as_deref().unwrap_or(payload);
         let (msg, attest_cost) = self.endpoint_mut(from)?.provider.attest(session, payload)?;
         self.clock.advance(attest_cost);
         self.record_sent(from, &msg);
@@ -539,7 +646,11 @@ impl Cluster {
             self.stats.messages_sent += 1;
             let latency = self.network_latency(msg.wire_len());
             self.clock.advance(latency);
-            self.deliver(from, to, msg.clone())?;
+            if self.adversary.is_some() {
+                self.deliver_via_adversary(from, to, &msg)?;
+            } else {
+                self.deliver(from, to, msg.clone())?;
+            }
         }
         Ok(msg)
     }
@@ -588,12 +699,15 @@ impl Cluster {
         payload.extend_from_slice(&(offset as u64).to_le_bytes());
         payload.extend_from_slice(data);
         self.auth_send(from, to, &payload)?;
-        // Consume the delivered message and apply the write.
-        let delivered = self
-            .endpoint_mut(to)?
-            .inbox
-            .pop_back()
-            .expect("just delivered");
+        // Consume the delivered message and apply the write. Under an
+        // installed adversary the packet may have been lost in transit.
+        let delivered =
+            self.endpoint_mut(to)?
+                .inbox
+                .pop_back()
+                .ok_or(CoreError::TransformViolation(
+                    "remote write lost in transit",
+                ))?;
         let body = &delivered.message.payload[8..];
         self.endpoint_mut(to)?
             .memory

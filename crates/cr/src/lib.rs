@@ -9,18 +9,36 @@
 //! forwards. Unlike CFT chain replication, reads cannot be served by the tail
 //! alone in a Byzantine setting, so every operation traverses the whole chain
 //! and the client waits for identical replies from all chained nodes.
+//!
+//! # Accountability
+//!
+//! [`ChainReplication::with_accountability`] stacks the application-agnostic
+//! PeerReview engine ([`tnic_peerreview::engine`]) under the chain: the
+//! forwarded proofs travel wrapped as [`Envelope::App`], every hop's
+//! delivery and execution is registered in per-node tamper-evident logs,
+//! commitments piggyback on the chain traffic, and witness audits replay
+//! each node's proof stream against [`CrReplayMachine`]. A tampering node —
+//! e.g. a tail that rewrites an execution it already committed to — is
+//! thereby *exposed* with transferable evidence
+//! ([`Verdict::Exposed`](tnic_peerreview::audit::Verdict)) at every correct
+//! witness, rather than merely causing a failed commit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use tnic_core::api::{Cluster, NodeId};
 use tnic_core::error::CoreError;
+use tnic_core::transform::StateMachine;
 use tnic_core::{Baseline, NetworkStackKind};
 use tnic_crypto::ed25519::Signature;
 use tnic_crypto::sha256::sha256;
+use tnic_net::adversary::FaultPlan;
+use tnic_peerreview::audit::{Misbehavior, Verdict};
+use tnic_peerreview::engine::{AccountabilityEngine, AccountedApp, EngineConfig};
+use tnic_peerreview::stats::AccountabilityStats;
+use tnic_peerreview::wire::Envelope;
 use tnic_sim::time::SimInstant;
 
 /// A client operation against the replicated key-value store.
@@ -173,7 +191,7 @@ impl ChainedProof {
         off += 8;
         let count = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
-        let mut outputs = Vec::with_capacity(count);
+        let mut outputs = Vec::with_capacity(count.min(bytes.len() / 4));
         for _ in 0..count {
             if bytes.len() < off + 4 {
                 return Err(err());
@@ -191,6 +209,78 @@ impl ChainedProof {
             commit_index,
             outputs,
         })
+    }
+}
+
+/// The shared deterministic per-hop execution step: decode the forwarded
+/// proof, decode the client operation it carries and apply it to the local
+/// store. Used identically by live nodes ([`CrApp`]) and witness replay
+/// ([`CrReplayMachine`]) — any divergence between the two would falsely
+/// expose an honest node.
+fn process_proof(store: &mut KvStore, proof_bytes: &[u8]) -> Vec<u8> {
+    let Ok(proof) = ChainedProof::decode(proof_bytes) else {
+        return b"<malformed proof>".to_vec();
+    };
+    let Ok(op) = KvOperation::decode(&proof.operation) else {
+        return b"<malformed operation>".to_vec();
+    };
+    store.apply(&op)
+}
+
+/// The replicated application state: one [`KvStore`] per chain node. This
+/// is the [`AccountedApp`] the accountability engine drives.
+#[derive(Debug)]
+pub struct CrApp {
+    stores: BTreeMap<u32, KvStore>,
+}
+
+impl CrApp {
+    fn new(nodes: &[NodeId]) -> Self {
+        CrApp {
+            stores: nodes.iter().map(|&n| (n.0, KvStore::new())).collect(),
+        }
+    }
+
+    fn store_mut(&mut self, node: u32) -> &mut KvStore {
+        self.stores.get_mut(&node).expect("store exists")
+    }
+}
+
+impl AccountedApp for CrApp {
+    type Machine = CrReplayMachine;
+
+    fn replay_machine(&self) -> CrReplayMachine {
+        CrReplayMachine::default()
+    }
+
+    fn execute(&mut self, node: u32, command: &[u8]) -> Vec<u8> {
+        process_proof(self.store_mut(node), command)
+    }
+
+    fn snapshot_digest(&self, node: u32) -> [u8; 32] {
+        self.stores.get(&node).map_or([0u8; 32], KvStore::digest)
+    }
+
+    fn label(&self) -> &'static str {
+        "chain-replication"
+    }
+}
+
+/// The reference machine witnesses replay against a chain node's logged
+/// proof stream: the same deterministic decode-and-apply step as the live
+/// node.
+#[derive(Debug, Clone, Default)]
+pub struct CrReplayMachine {
+    store: KvStore,
+}
+
+impl StateMachine for CrReplayMachine {
+    fn execute(&mut self, command: &[u8]) -> Vec<u8> {
+        process_proof(&mut self.store, command)
+    }
+
+    fn state_digest(&self) -> [u8; 32] {
+        self.store.digest()
     }
 }
 
@@ -221,9 +311,10 @@ pub struct ChainResult {
 pub struct ChainReplication {
     cluster: Cluster,
     chain: Vec<NodeId>,
-    stores: HashMap<NodeId, KvStore>,
+    app: CrApp,
     commit_index: u64,
     byzantine_node: Option<NodeId>,
+    acct: Option<AccountabilityEngine<CrApp>>,
 }
 
 impl ChainReplication {
@@ -241,14 +332,42 @@ impl ChainReplication {
         assert!(nodes >= 2, "a chain needs at least a head and a tail");
         let cluster = Cluster::fully_connected(nodes, baseline, stack, seed);
         let chain: Vec<NodeId> = (0..nodes).map(NodeId).collect();
-        let stores = chain.iter().map(|&n| (n, KvStore::new())).collect();
+        let app = CrApp::new(&chain);
         Ok(ChainReplication {
             cluster,
             chain,
-            stores,
+            app,
             commit_index: 0,
             byzantine_node: None,
+            acct: None,
         })
+    }
+
+    /// Builds the chain with the PeerReview accountability engine stacked
+    /// underneath: every forwarded proof is registered in per-node
+    /// tamper-evident logs, commitments piggyback on the chain traffic
+    /// (when `acct.piggyback` is set) and tampering nodes named in `faults`
+    /// are *exposed* by witness audits. Drive audits with
+    /// [`ChainReplication::run_audit_round`] (or the piggyback-pipelined
+    /// [`ChainReplication::begin_audit_round`] /
+    /// [`ChainReplication::finish_audit_round`]) and close the pipeline
+    /// with [`ChainReplication::drain_audits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn with_accountability(
+        nodes: u32,
+        baseline: Baseline,
+        stack: NetworkStackKind,
+        seed: u64,
+        acct: EngineConfig,
+        faults: FaultPlan,
+    ) -> Result<Self, CoreError> {
+        let mut system = ChainReplication::new(nodes, baseline, stack, seed)?;
+        let engine = AccountabilityEngine::attach(&mut system.cluster, &system.app, acct, faults);
+        system.acct = Some(engine);
+        Ok(system)
     }
 
     /// The chain order (head first).
@@ -272,7 +391,109 @@ impl ChainReplication {
     /// The store contents digest at one replica.
     #[must_use]
     pub fn store_digest(&self, node: NodeId) -> [u8; 32] {
-        self.stores.get(&node).map_or([0u8; 32], KvStore::digest)
+        self.app.snapshot_digest(node.0)
+    }
+
+    /// The accountability engine, if the deployment was built with one.
+    #[must_use]
+    pub fn accountability(&self) -> Option<&AccountabilityEngine<CrApp>> {
+        self.acct.as_ref()
+    }
+
+    /// Runs one full audit round of the attached accountability engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`ChainReplication::with_accountability`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn run_audit_round(&mut self) -> Result<(), CoreError> {
+        let engine = self.acct.as_mut().expect("accountability enabled");
+        engine.run_audit_round(&mut self.cluster, &mut self.app)
+    }
+
+    /// Commit step of a piggyback-pipelined audit round: call before the
+    /// round's operations so commitments can ride the chain traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`ChainReplication::with_accountability`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn begin_audit_round(&mut self) -> Result<(), CoreError> {
+        let engine = self.acct.as_mut().expect("accountability enabled");
+        engine.begin_audit_round(&mut self.cluster)
+    }
+
+    /// Flush/challenge/classify step closing a piggyback-pipelined audit
+    /// round (see [`ChainReplication::begin_audit_round`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`ChainReplication::with_accountability`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn finish_audit_round(&mut self) -> Result<(), CoreError> {
+        let engine = self.acct.as_mut().expect("accountability enabled");
+        engine.finish_audit_round(&mut self.cluster, &mut self.app)
+    }
+
+    /// Audits everything still in the pipeline (final piggyback round).
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`ChainReplication::with_accountability`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn drain_audits(&mut self) -> Result<(), CoreError> {
+        let engine = self.acct.as_mut().expect("accountability enabled");
+        engine.drain_audits(&mut self.cluster, &mut self.app)
+    }
+
+    /// The witness ids assigned to `node` (accountability deployments).
+    #[must_use]
+    pub fn witnesses_of(&self, node: u32) -> &[u32] {
+        self.acct.as_ref().map_or(&[], |e| e.witnesses_of(node))
+    }
+
+    /// The correct witnesses of `node` under the fault plan.
+    #[must_use]
+    pub fn correct_witnesses_of(&self, node: u32) -> Vec<u32> {
+        self.acct
+            .as_ref()
+            .map_or_else(Vec::new, |e| e.correct_witnesses_of(node))
+    }
+
+    /// `witness`'s verdict on `node` (accountability deployments).
+    #[must_use]
+    pub fn verdict_of(&self, witness: u32, node: u32) -> Verdict {
+        self.acct
+            .as_ref()
+            .map_or(Verdict::Trusted, |e| e.verdict_of(witness, node))
+    }
+
+    /// The evidence `witness` holds against `node`.
+    #[must_use]
+    pub fn evidence_of(&self, witness: u32, node: u32) -> &[Misbehavior] {
+        self.acct
+            .as_ref()
+            .map_or(&[], |e| e.evidence_of(witness, node))
+    }
+
+    /// Accountability counters (empty stats without accountability).
+    #[must_use]
+    pub fn acct_stats(&self) -> AccountabilityStats {
+        self.acct
+            .as_ref()
+            .map_or_else(AccountabilityStats::new, AccountabilityEngine::stats)
     }
 
     /// Executes one client operation through the whole chain.
@@ -286,13 +507,12 @@ impl ChainReplication {
         self.commit_index += 1;
         let op_bytes = operation.encode();
 
-        // Head executes and builds the initial proof of execution.
+        // Head executes and builds the initial proof of execution. The
+        // head's client-facing execution is not log-driven (there is no
+        // cluster `Recv` for client ingress), so it is validated by the
+        // chain's own output cross-checking rather than by witness replay.
         let head = self.chain[0];
-        let head_output = self
-            .stores
-            .get_mut(&head)
-            .expect("head store")
-            .apply(operation);
+        let head_output = self.app.store_mut(head.0).apply(operation);
         let mut proof = ChainedProof {
             operation: op_bytes.clone(),
             commit_index,
@@ -305,14 +525,28 @@ impl ChainReplication {
         for window in 0..self.chain.len() - 1 {
             let from = self.chain[window];
             let to = self.chain[window + 1];
-            self.cluster.auth_send(from, to, &proof.encode())?;
-            let delivered = self.cluster.poll(to)?;
-            let mut received =
-                ChainedProof::decode(&delivered.last().expect("delivered").message.payload)?;
-            // Validate the previous nodes' outputs by simulating the request
-            // on our own deterministic store.
-            let op = KvOperation::decode(&received.operation)?;
-            let our_output = self.stores.get_mut(&to).expect("store").apply(&op);
+            let proof_bytes = proof.encode();
+            let (received_bytes, our_output) = if let Some(engine) = self.acct.as_mut() {
+                let wire = Envelope::App(proof_bytes.clone()).encode();
+                let t0 = self.cluster.now();
+                self.cluster.auth_send(from, to, &wire)?;
+                let latency = self.cluster.now().duration_since(t0);
+                engine.record_app_send(latency);
+                let delivery = engine
+                    .poll(&mut self.cluster, &mut self.app, to)?
+                    .pop()
+                    .expect("proof delivered");
+                (delivery.command, delivery.output)
+            } else {
+                self.cluster.auth_send(from, to, &proof_bytes)?;
+                let delivered = self.cluster.poll(to)?;
+                let payload = delivered.last().expect("delivered").message.payload.clone();
+                let output = self.app.execute(to.0, &payload);
+                (payload, output)
+            };
+            let mut received = ChainedProof::decode(&received_bytes)?;
+            // Validate the previous nodes' outputs against our own
+            // deterministic execution of the same request.
             if received.commit_index != commit_index
                 || received.outputs.iter().any(|o| *o != our_output)
             {
@@ -406,9 +640,27 @@ impl ChainReplication {
 mod tests {
     use super::*;
     use tnic_core::TraceChecker;
+    use tnic_net::adversary::NodeFault;
 
     fn chain() -> ChainReplication {
         ChainReplication::new(3, Baseline::Tnic, NetworkStackKind::Tnic, 5).unwrap()
+    }
+
+    fn accountable_chain(faults: FaultPlan, piggyback: bool) -> ChainReplication {
+        ChainReplication::with_accountability(
+            3,
+            Baseline::Tnic,
+            NetworkStackKind::Tnic,
+            5,
+            EngineConfig {
+                seed: 5,
+                piggyback,
+                witness_count: Some(2),
+                ..EngineConfig::default()
+            },
+            faults,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -516,5 +768,90 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.len(), 1);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn accountable_fault_free_chain_commits_and_stays_trusted() {
+        for piggyback in [false, true] {
+            let mut cr = accountable_chain(FaultPlan::all_correct(), piggyback);
+            for round in 0..3 {
+                if piggyback {
+                    cr.begin_audit_round().unwrap();
+                }
+                for i in 0..4u32 {
+                    let key = format!("k{round}-{i}");
+                    let put = cr.put(key.as_bytes(), b"v").unwrap();
+                    assert!(put.committed, "round {round} op {i}");
+                }
+                if piggyback {
+                    cr.finish_audit_round().unwrap();
+                } else {
+                    cr.run_audit_round().unwrap();
+                }
+            }
+            cr.drain_audits().unwrap();
+            let stats = cr.acct_stats();
+            assert_eq!(stats.unanswered_challenges, 0, "piggyback={piggyback}");
+            assert!(stats.challenges > 0);
+            for node in 0..3 {
+                for &w in cr.witnesses_of(node) {
+                    assert_eq!(
+                        cr.verdict_of(w, node),
+                        Verdict::Trusted,
+                        "node {node} witness {w} piggyback={piggyback}"
+                    );
+                    assert!(cr.evidence_of(w, node).is_empty());
+                }
+            }
+            if piggyback {
+                assert!(stats.piggybacked_commitments > 0, "rides found traffic");
+            }
+            // Replication still converges under accountability.
+            let digests: Vec<[u8; 32]> = cr.chain().iter().map(|&n| cr.store_digest(n)).collect();
+            assert!(digests.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn tail_tampering_node_is_exposed_with_evidence() {
+        for piggyback in [false, true] {
+            let tail = 2u32;
+            let mut cr = accountable_chain(
+                FaultPlan::single(tail, NodeFault::TamperLogEntry { seq: 0 }),
+                piggyback,
+            );
+            for round in 0..3 {
+                if piggyback {
+                    cr.begin_audit_round().unwrap();
+                }
+                for i in 0..4u32 {
+                    let key = format!("k{round}-{i}");
+                    cr.put(key.as_bytes(), b"v").unwrap();
+                }
+                if piggyback {
+                    cr.finish_audit_round().unwrap();
+                } else {
+                    cr.run_audit_round().unwrap();
+                }
+            }
+            cr.drain_audits().unwrap();
+            for w in cr.correct_witnesses_of(tail) {
+                assert_eq!(
+                    cr.verdict_of(w, tail),
+                    Verdict::Exposed,
+                    "witness {w} piggyback={piggyback}"
+                );
+                assert!(cr
+                    .evidence_of(w, tail)
+                    .iter()
+                    .any(|e| matches!(e, Misbehavior::ExecDivergence { .. })));
+            }
+            // Correct nodes keep clean records.
+            for node in [0u32, 1] {
+                for w in cr.correct_witnesses_of(node) {
+                    assert_eq!(cr.verdict_of(w, node), Verdict::Trusted, "node {node}");
+                }
+            }
+        }
     }
 }

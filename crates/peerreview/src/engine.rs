@@ -1,0 +1,1491 @@
+//! The application-agnostic accountability engine.
+//!
+//! This module is the reusable middleware half of the PeerReview split: the
+//! commitment protocol ([`CommitmentLayer`]), the witness audit machinery
+//! (challenge/verify/classify over [`WitnessRecord`]s), verdict tracking,
+//! evidence transfer and the piggyback ride queue — everything that is *not*
+//! specific to a particular workload. Applications plug in through the
+//! [`AccountedApp`] trait and drive the engine over their own
+//! [`Cluster`]; the `tnic-peerreview` crate's own [`crate::system::PeerReview`]
+//! is just one such client, alongside the BFT (`tnic-bft`) and chain
+//! replication (`tnic-cr`) deployments.
+//!
+//! # Protocol
+//!
+//! The engine attaches a [`CommitmentLayer`] to the cluster (every
+//! `auth_send` appends a `Send` entry to the sender's log, every verified
+//! delivery a `Recv` entry to the receiver's — see
+//! [`tnic_core::accountability`]), assigns every node a witness set, and
+//! drives the audit protocol in explicit rounds:
+//!
+//! 1. **Commit** — every node seals its current log head per witness and
+//!    announces it ([`Envelope::Announce`]); witnesses verify the seal,
+//!    gossip commitments to fellow witnesses and cross-check for conflicts.
+//! 2. **Challenge** — each witness challenges its auditee for the log
+//!    segment between the last audited commitment and the newest one.
+//! 3. **Verify** — responses are length- and chain-checked and replayed
+//!    against the application's reference machine ([`AccountedApp::Machine`]);
+//!    unanswered challenges downgrade the node to *suspected*, verifiable
+//!    failures to *exposed*, and equivocation evidence is broadcast so every
+//!    correct witness convicts.
+//!
+//! Byzantine behaviours are injected through
+//! [`tnic_net::adversary::FaultPlan`], keeping the audit machinery itself
+//! identical for honest and adversarial runs.
+//!
+//! # Attaching accountability to a new application
+//!
+//! 1. Implement [`AccountedApp`] for the application state: a deterministic
+//!    [`AccountedApp::execute`] for delivered commands, a
+//!    [`AccountedApp::snapshot_digest`] of per-node state, and a fresh
+//!    [`AccountedApp::replay_machine`] witnesses replay.
+//! 2. Wrap the application's protocol payloads as [`Envelope::App`] before
+//!    sending them through the cluster.
+//! 3. Build the engine with [`AccountabilityEngine::attach`] over the
+//!    application's cluster, and route every `Cluster::poll` through
+//!    [`AccountabilityEngine::poll`]: the engine peels piggybacked
+//!    commitments, consumes audit control traffic, registers executions in
+//!    the tamper-evident log and hands back the application's own messages
+//!    as [`AppDelivery`] records.
+//! 4. Interleave [`AccountabilityEngine::run_audit_round`] with the
+//!    application workload (or, in piggyback mode,
+//!    [`AccountabilityEngine::begin_audit_round`] before the workload and
+//!    [`AccountabilityEngine::finish_audit_round`] after it, so commitments
+//!    can ride the traffic), and call [`AccountabilityEngine::drain_audits`]
+//!    at teardown.
+//!
+//! # Witness sets and rotation
+//!
+//! By default every node is witnessed by all other nodes (`w = n - 1`).
+//! [`EngineConfig::witness_count`] shrinks the set to `w < n - 1` witnesses
+//! assigned by deterministic rotation: node `i` is audited by nodes
+//! `i+1, …, i+w (mod n)`. The rotation keeps assignments balanced (every
+//! node witnesses exactly `w` others) and the exposure guarantees hold as
+//! long as at least one correct witness audits each node — witness gossip
+//! and evidence transfer then propagate verdicts to the rest of the set.
+//!
+//! # Commitment piggybacking
+//!
+//! With [`EngineConfig::piggyback`] enabled, the commit step stops sending
+//! dedicated `Announce`/`Gossip` messages. Instead each node seals its
+//! commitment *before* the round's application workload and queues it for
+//! its first witness; the cluster's
+//! [`wrap_outbound`](tnic_core::accountability::AccountabilityLayer::wrap_outbound)
+//! (and, for group traffic,
+//! [`wrap_multicast`](tnic_core::accountability::AccountabilityLayer::wrap_multicast))
+//! hook splices up to [`MAX_PIGGYBACK_RIDERS`] pending authenticators onto
+//! the next outbound envelope ([`Envelope::Piggyback`]). Witnesses relay
+//! directly received commitments to fellow witnesses the same way (on their
+//! own application sends and audit replies). Pending items that found no
+//! ride by the end of the workload are flushed in dedicated messages —
+//! repeatedly, until no relay is outstanding — before challenges are
+//! issued, so *every* witness audits in *every* round. The audit pipeline
+//! runs one workload round behind the traffic it rides on (commitments
+//! sealed before round `k`'s workload cover rounds `< k`); a finite run
+//! therefore leaves its final round unaudited until
+//! [`AccountabilityEngine::drain_audits`] closes the tail.
+
+use crate::audit::{commitments_conflict, Misbehavior, Verdict, WitnessRecord};
+use crate::log::{log_session, Authenticator, EntryKind, LogEntry, SecureLog};
+use crate::stats::AccountabilityStats;
+use crate::wire::{Envelope, PiggybackRider, MAX_PIGGYBACK_RIDERS};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+use tnic_core::accountability::AccountabilityLayer;
+use tnic_core::api::{Cluster, Delivered, NodeId};
+use tnic_core::error::CoreError;
+use tnic_core::provider::Provider;
+use tnic_core::transform::{CounterMachine, StateMachine};
+use tnic_device::types::DeviceId;
+use tnic_net::adversary::{FaultPlan, NodeFault};
+use tnic_sim::clock::SimClock;
+use tnic_sim::rng::DetRng;
+use tnic_sim::time::{SimDuration, SimInstant};
+use tnic_tee::profile::Baseline;
+
+/// An application whose execution the engine holds accountable.
+///
+/// The engine observes the application's cluster traffic through the
+/// [`CommitmentLayer`]; this trait supplies the pieces only the application
+/// knows: how to execute a delivered command (and what output to commit to
+/// the tamper-evident log), how to summarise per-node state, and a fresh
+/// deterministic reference machine witnesses replay during audits.
+///
+/// `execute` **must** be a deterministic function of the per-node command
+/// stream, and [`AccountedApp::replay_machine`] must reproduce it exactly —
+/// a divergence between the two is indistinguishable from a Byzantine
+/// execution and would falsely expose an honest node.
+pub trait AccountedApp {
+    /// The deterministic reference machine witnesses replay. One fresh
+    /// instance audits one node's log from genesis.
+    type Machine: StateMachine;
+
+    /// A fresh reference machine at the application's genesis state.
+    fn replay_machine(&self) -> Self::Machine;
+
+    /// Executes a delivered application command on `node`'s live state and
+    /// returns the output, which the engine appends to `node`'s log as an
+    /// `Exec` entry (the claim witnesses replay).
+    fn execute(&mut self, node: u32, command: &[u8]) -> Vec<u8>;
+
+    /// Digest of `node`'s current application state (used for cross-replica
+    /// parity checks in scenario harnesses).
+    fn snapshot_digest(&self, node: u32) -> [u8; 32];
+
+    /// Tap: an audit-protocol envelope was delivered to `node` from `from`.
+    /// Default: ignored. Applications can observe the control plane (e.g.
+    /// for instrumentation) without owning it.
+    fn on_control(&mut self, node: u32, from: u32, envelope: &Envelope) {
+        let _ = (node, from, envelope);
+    }
+
+    /// Human-readable name used in diagnostics.
+    fn label(&self) -> &'static str {
+        "accounted-app"
+    }
+}
+
+/// The plain replicated-counter application: the original PeerReview
+/// workload, and the simplest possible [`AccountedApp`].
+#[derive(Debug, Default)]
+pub struct CounterApp {
+    machines: BTreeMap<u32, CounterMachine>,
+}
+
+impl CounterApp {
+    /// A counter per node id in `nodes`.
+    #[must_use]
+    pub fn new(nodes: &[NodeId]) -> Self {
+        CounterApp {
+            machines: nodes.iter().map(|n| (n.0, CounterMachine::new())).collect(),
+        }
+    }
+
+    /// The counter value at `node`.
+    #[must_use]
+    pub fn value(&self, node: u32) -> u64 {
+        self.machines.get(&node).map_or(0, CounterMachine::value)
+    }
+}
+
+impl AccountedApp for CounterApp {
+    type Machine = CounterMachine;
+
+    fn replay_machine(&self) -> CounterMachine {
+        CounterMachine::new()
+    }
+
+    fn execute(&mut self, node: u32, command: &[u8]) -> Vec<u8> {
+        self.machines
+            .get_mut(&node)
+            .expect("node registered")
+            .execute(command)
+    }
+
+    fn snapshot_digest(&self, node: u32) -> [u8; 32] {
+        self.machines
+            .get(&node)
+            .map_or([0u8; 32], CounterMachine::state_digest)
+    }
+
+    fn label(&self) -> &'static str {
+        "counter"
+    }
+}
+
+/// Engine configuration — the accountability knobs shared by every driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Attestation back-end sealing log commitments.
+    pub baseline: Baseline,
+    /// Determinism seed (log-session keys, suppression coin flips).
+    pub seed: u64,
+    /// Witnesses per node, assigned by deterministic rotation (`None` =
+    /// all-to-all, i.e. `n - 1`). Values are clamped to `1..=n-1`.
+    pub witness_count: Option<u32>,
+    /// Piggyback commitments on application traffic instead of dedicated
+    /// announce/gossip messages (see the module docs).
+    pub piggyback: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            baseline: Baseline::Tnic,
+            seed: 42,
+            witness_count: None,
+            piggyback: false,
+        }
+    }
+}
+
+/// Per-node state held by the commitment layer.
+#[derive(Debug)]
+struct NodeState {
+    log: SecureLog,
+    /// The node's attestation provider sealing its log commitments (honest
+    /// by assumption — the paper's trust model keeps the device inside the
+    /// TCB). Using the provider abstraction keeps commitment-seal costs on
+    /// the configured baseline's latency model, not hardwired to TNIC.
+    sealer: Provider,
+}
+
+/// A commitment waiting for a ride on outbound traffic (piggyback mode).
+#[derive(Debug, Clone)]
+struct PendingRide {
+    auth: Authenticator,
+    /// `true` for witness-to-witness relays, `false` for a node's own
+    /// announcement.
+    gossip: bool,
+}
+
+/// The commitment protocol: an [`AccountabilityLayer`] maintaining one
+/// tamper-evident [`SecureLog`] per node, fed by the cluster's send/deliver
+/// hooks, plus the node-local operations (execution logging, commitment
+/// sealing, audit-segment extraction and the Byzantine host operations used
+/// by fault injection). In piggyback mode it additionally queues pending
+/// authenticators per `(sender, receiver)` pair and splices batches of up
+/// to [`MAX_PIGGYBACK_RIDERS`] onto outbound envelopes through
+/// [`AccountabilityLayer::wrap_outbound`] /
+/// [`AccountabilityLayer::wrap_multicast`].
+#[derive(Debug, Default)]
+pub struct CommitmentLayer {
+    states: BTreeMap<u32, NodeState>,
+    /// Commitments waiting for a ride, per directed pair.
+    pending: BTreeMap<(u32, u32), VecDeque<PendingRide>>,
+    /// Commitments that found a ride on outbound traffic.
+    piggybacked: u64,
+}
+
+impl CommitmentLayer {
+    /// Creates an empty layer.
+    #[must_use]
+    pub fn new() -> Self {
+        CommitmentLayer::default()
+    }
+
+    /// Registers `node` with its log-session key; commitments are sealed by
+    /// an attestation provider of the given `baseline`.
+    pub fn register_node(&mut self, node: u32, baseline: Baseline, key: [u8; 32]) {
+        let mut sealer = Provider::new(baseline, DeviceId(node), u64::from(node) + 1);
+        sealer.install_session_key(log_session(node), key);
+        self.states.insert(
+            node,
+            NodeState {
+                log: SecureLog::new(),
+                sealer,
+            },
+        );
+    }
+
+    fn state_mut(&mut self, node: u32) -> &mut NodeState {
+        self.states.get_mut(&node).expect("node registered")
+    }
+
+    fn state(&self, node: u32) -> &NodeState {
+        self.states.get(&node).expect("node registered")
+    }
+
+    /// Appends the claimed output of an application execution to `node`'s
+    /// log as an `Exec` entry — the record witnesses replay against the
+    /// reference machine.
+    pub fn record_exec(&mut self, node: u32, output: Vec<u8>) {
+        self.state_mut(node).log.append(EntryKind::Exec, output);
+    }
+
+    /// `(seq, head, forked_head)` of `node`'s log — the data a commitment
+    /// covers, plus the head an equivocator would commit towards part of its
+    /// witness set.
+    #[must_use]
+    pub fn commitment_data(&self, node: u32) -> (u64, [u8; 32], [u8; 32]) {
+        let log = &self.state(node).log;
+        (log.len(), log.head(), log.forked_head())
+    }
+
+    /// Seals a commitment on `node`'s TNIC; returns the authenticator and
+    /// the virtual time the in-fabric attestation took.
+    pub fn seal(&mut self, node: u32, seq: u64, head: [u8; 32]) -> (Authenticator, SimDuration) {
+        let payload = Authenticator::payload(node, seq, &head);
+        let state = self.state_mut(node);
+        let (attestation, cost) = state
+            .sealer
+            .attest(log_session(node), &payload)
+            .expect("log session installed");
+        (
+            Authenticator {
+                node,
+                seq,
+                head,
+                attestation,
+            },
+            cost,
+        )
+    }
+
+    /// The entries `from_seq..upto_seq` of `node`'s log.
+    #[must_use]
+    pub fn segment(&self, node: u32, from_seq: u64, upto_seq: u64) -> Vec<LogEntry> {
+        self.state(node).log.segment(from_seq, upto_seq).to_vec()
+    }
+
+    /// Current log length of `node`.
+    #[must_use]
+    pub fn log_len(&self, node: u32) -> u64 {
+        self.state(node).log.len()
+    }
+
+    /// Total entries across all logs (commitment-protocol volume).
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        self.states.values().map(|s| s.log.len()).sum()
+    }
+
+    /// Queues `auth` for a piggyback ride on the next outbound message
+    /// `from → to`. Commitments are cumulative, so a newer commitment by the
+    /// same origin supersedes a queued older one for the same pair — unless
+    /// the heads conflict at the same sequence number, in which case both
+    /// are kept (the pair *is* the evidence an equivocator produces).
+    pub fn enqueue_ride(&mut self, from: u32, to: u32, auth: Authenticator, gossip: bool) {
+        let queue = self.pending.entry((from, to)).or_default();
+        if queue
+            .iter()
+            .any(|p| p.auth.node == auth.node && p.auth.seq == auth.seq && p.auth.head == auth.head)
+        {
+            return; // identical content already waiting
+        }
+        queue.retain(|p| p.auth.node != auth.node || p.auth.seq >= auth.seq);
+        queue.push_back(PendingRide { auth, gossip });
+    }
+
+    /// Pops up to `limit` queued commitments for the directed pair, in
+    /// queue order. Entries beyond the limit stay queued (they ride later
+    /// traffic or the end-of-round dedicated flush).
+    fn pop_riders(&mut self, from: u32, to: u32, limit: usize) -> Vec<PiggybackRider> {
+        let Some(queue) = self.pending.get_mut(&(from, to)) else {
+            return Vec::new();
+        };
+        let take = queue.len().min(limit);
+        let riders: Vec<PiggybackRider> = queue
+            .drain(..take)
+            .map(|r| PiggybackRider {
+                auth: r.auth,
+                gossip: r.gossip,
+            })
+            .collect();
+        if queue.is_empty() {
+            self.pending.remove(&(from, to));
+        }
+        riders
+    }
+
+    /// Drains every queued commitment (the end-of-workload dedicated flush):
+    /// `((from, to), auth, gossip)` triples in deterministic order.
+    pub fn drain_pending(&mut self) -> Vec<((u32, u32), Authenticator, bool)> {
+        let mut out = Vec::new();
+        for (&pair, queue) in &mut self.pending {
+            for ride in queue.drain(..) {
+                out.push((pair, ride.auth, ride.gossip));
+            }
+        }
+        self.pending.retain(|_, q| !q.is_empty());
+        out
+    }
+
+    /// Number of commitments still waiting for a ride.
+    #[must_use]
+    pub fn pending_rides(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of commitments that found a ride on outbound traffic.
+    #[must_use]
+    pub fn piggybacked(&self) -> u64 {
+        self.piggybacked
+    }
+
+    /// **Fault injection**: truncates the tail of `node`'s log.
+    pub fn truncate_tail(&mut self, node: u32, n: u64) {
+        self.state_mut(node).log.truncate_tail(n);
+    }
+
+    /// **Fault injection**: rewrites the first `Exec` entry at or after
+    /// `seq` (re-chaining the hashes) so the node's logged output diverges
+    /// from the deterministic specification. Returns `false` when no such
+    /// entry exists yet.
+    pub fn tamper_exec_at_or_after(&mut self, node: u32, seq: u64) -> bool {
+        let state = self.state_mut(node);
+        let target = state
+            .log
+            .entries()
+            .iter()
+            .find(|e| e.seq >= seq && e.kind == EntryKind::Exec)
+            .map(|e| e.seq);
+        match target {
+            Some(seq) => state
+                .log
+                .tamper_and_rechain(seq, b"<tampered output>".to_vec()),
+            None => false,
+        }
+    }
+}
+
+/// What a log entry records about a message payload.
+///
+/// Application payloads are logged in full — witnesses must replay the
+/// commands against the reference state machine. Control payloads
+/// (commitments, challenges, audit responses, evidence) are logged by
+/// digest only: logging an audit response verbatim would make the *next*
+/// response contain it, growing the log geometrically. PeerReview makes the
+/// same choice — the log commits to `H(message)`, full content is kept only
+/// where replay needs it.
+fn logged_content(payload: &[u8]) -> Vec<u8> {
+    if Envelope::app_command(payload).is_some() {
+        crate::log::content_full(payload)
+    } else {
+        crate::log::content_digest(payload)
+    }
+}
+
+impl AccountabilityLayer for CommitmentLayer {
+    fn on_sent(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: &tnic_device::attestation::AttestedMessage,
+        _at: SimInstant,
+    ) {
+        self.state_mut(from.0).log.append(
+            EntryKind::Send { to: to.0 },
+            logged_content(&message.payload),
+        );
+    }
+
+    fn on_delivered(&mut self, to: NodeId, delivered: &Delivered) {
+        self.state_mut(to.0).log.append(
+            EntryKind::Recv {
+                from: delivered.from.0,
+            },
+            logged_content(&delivered.message.payload),
+        );
+    }
+
+    fn wrap_outbound(&mut self, from: NodeId, to: NodeId, payload: &[u8]) -> Option<Vec<u8>> {
+        // Only protocol envelopes can carry a ride, and rides never nest.
+        if !Envelope::is_envelope(payload) || Envelope::is_piggyback(payload) {
+            return None;
+        }
+        let riders = self.pop_riders(from.0, to.0, MAX_PIGGYBACK_RIDERS);
+        if riders.is_empty() {
+            return None;
+        }
+        self.piggybacked += riders.len() as u64;
+        Some(Envelope::piggyback_raw(&riders, payload))
+    }
+
+    fn wrap_multicast(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        payload: &[u8],
+    ) -> Option<Vec<u8>> {
+        if !Envelope::is_envelope(payload) || Envelope::is_piggyback(payload) {
+            return None;
+        }
+        // One batch serves every receiver: gather pending rides addressed to
+        // any of them (the identical wrapped bytes reach all, and witnesses
+        // ignore commitments for nodes they do not audit — extra copies only
+        // speed up propagation).
+        let mut riders = Vec::new();
+        for &to in receivers {
+            let budget = MAX_PIGGYBACK_RIDERS - riders.len();
+            if budget == 0 {
+                break;
+            }
+            riders.extend(self.pop_riders(from.0, to.0, budget));
+        }
+        if riders.is_empty() {
+            return None;
+        }
+        self.piggybacked += riders.len() as u64;
+        Some(Envelope::piggyback_raw(&riders, payload))
+    }
+
+    fn label(&self) -> &'static str {
+        "accountability-engine"
+    }
+}
+
+/// An application message the engine unwrapped and executed while
+/// processing a node's inbox — handed back to the driving protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDelivery {
+    /// The sending node.
+    pub from: NodeId,
+    /// The delivered application command (the [`Envelope::App`] payload).
+    pub command: Vec<u8>,
+    /// The output [`AccountedApp::execute`] produced (already committed to
+    /// the receiving node's tamper-evident log).
+    pub output: Vec<u8>,
+}
+
+/// The accountability engine: witness protocol + commitment layer over one
+/// application's cluster. See the module docs for the protocol and for how
+/// to attach the engine to a new application.
+pub struct AccountabilityEngine<A: AccountedApp> {
+    config: EngineConfig,
+    clock: SimClock,
+    layer: Rc<RefCell<CommitmentLayer>>,
+    faults: FaultPlan,
+    nodes: Vec<NodeId>,
+    /// witness ids per audited node (every other node by default).
+    witnesses: BTreeMap<u32, Vec<u32>>,
+    /// (witness, audited node) → record.
+    records: BTreeMap<(u32, u32), WitnessRecord<A::Machine>>,
+    /// Witness-side verification providers holding every log-session key.
+    audit_kernels: BTreeMap<u32, Provider>,
+    challenge_started: BTreeMap<(u32, u32), SimInstant>,
+    tamper_applied: BTreeSet<u32>,
+    truncation_applied: BTreeSet<u32>,
+    rng: DetRng,
+    stats: AccountabilityStats,
+    /// Application messages unwrapped during dispatch, per node, until the
+    /// driver collects them through [`AccountabilityEngine::poll`].
+    app_inbox: BTreeMap<u32, Vec<AppDelivery>>,
+}
+
+impl<A: AccountedApp> std::fmt::Debug for AccountabilityEngine<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccountabilityEngine")
+            .field("config", &self.config)
+            .field("faults", &self.faults)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl<A: AccountedApp> AccountabilityEngine<A> {
+    /// Builds the engine over `cluster` and attaches its commitment layer:
+    /// from here on every attested send and verified delivery lands in a
+    /// tamper-evident log. Witness sets are assigned by deterministic
+    /// rotation: node `i` is audited by `i+1, …, i+w (mod n)` where `w` is
+    /// [`EngineConfig::witness_count`] (all other nodes by default).
+    pub fn attach(cluster: &mut Cluster, app: &A, config: EngineConfig, faults: FaultPlan) -> Self {
+        let clock = cluster.clock();
+        let nodes: Vec<NodeId> = cluster.nodes();
+        let mut rng = DetRng::new(config.seed ^ 0x005e_edac_0123);
+
+        // Log-session keys: generated by the bootstrapping protocol and
+        // installed on each node's device and on every witness's
+        // verification kernel (the witnesses are exactly the parties
+        // entitled to audit).
+        let mut layer = CommitmentLayer::new();
+        let mut audit_kernels: BTreeMap<u32, Provider> = nodes
+            .iter()
+            .map(|n| (n.0, Provider::new(config.baseline, n.device(), config.seed)))
+            .collect();
+        for node in &nodes {
+            let key = rng.bytes32();
+            layer.register_node(node.0, config.baseline, key);
+            for kernel in audit_kernels.values_mut() {
+                kernel.install_session_key(log_session(node.0), key);
+            }
+        }
+
+        let n = nodes.len() as u32;
+        let w = config
+            .witness_count
+            .unwrap_or(n.saturating_sub(1))
+            .clamp(u32::from(n > 1), n.saturating_sub(1).max(1));
+        let mut witnesses = BTreeMap::new();
+        let mut records = BTreeMap::new();
+        for node in &nodes {
+            let set: Vec<u32> = (1..=w)
+                .map(|j| (node.0 + j) % n)
+                .filter(|&wit| wit != node.0)
+                .collect();
+            for &witness in &set {
+                records.insert((witness, node.0), WitnessRecord::new(app.replay_machine()));
+            }
+            witnesses.insert(node.0, set);
+        }
+
+        let layer = Rc::new(RefCell::new(layer));
+        cluster.attach_accountability(layer.clone() as Rc<RefCell<dyn AccountabilityLayer>>);
+
+        AccountabilityEngine {
+            config,
+            clock,
+            layer,
+            faults,
+            nodes,
+            witnesses,
+            records,
+            audit_kernels,
+            challenge_started: BTreeMap::new(),
+            tamper_applied: BTreeSet::new(),
+            truncation_applied: BTreeSet::new(),
+            rng,
+            stats: AccountabilityStats::new(),
+            app_inbox: BTreeMap::new(),
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The fault plan driving Byzantine behaviour injection.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The witness ids assigned to `node`.
+    #[must_use]
+    pub fn witnesses_of(&self, node: u32) -> &[u32] {
+        self.witnesses.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// The witnesses of `node` that are themselves correct under the fault
+    /// plan.
+    #[must_use]
+    pub fn correct_witnesses_of(&self, node: u32) -> Vec<u32> {
+        self.witnesses_of(node)
+            .iter()
+            .copied()
+            .filter(|&w| !self.faults.fault_of(w).is_byzantine())
+            .collect()
+    }
+
+    /// `witness`'s verdict on `node`.
+    #[must_use]
+    pub fn verdict_of(&self, witness: u32, node: u32) -> Verdict {
+        self.records
+            .get(&(witness, node))
+            .map_or(Verdict::Trusted, |r| r.verdict)
+    }
+
+    /// The evidence `witness` holds against `node`.
+    #[must_use]
+    pub fn evidence_of(&self, witness: u32, node: u32) -> &[Misbehavior] {
+        self.records
+            .get(&(witness, node))
+            .map_or(&[], |r| r.evidence.as_slice())
+    }
+
+    /// Current log length of `node` (the next commitment's coverage).
+    #[must_use]
+    pub fn log_len(&self, node: u32) -> u64 {
+        self.layer.borrow().log_len(node)
+    }
+
+    /// Snapshot of the accountability counters.
+    #[must_use]
+    pub fn stats(&self) -> AccountabilityStats {
+        let mut stats = self.stats.clone();
+        let layer = self.layer.borrow();
+        stats.log_entries = layer.total_entries();
+        stats.piggybacked_commitments = layer.piggybacked();
+        stats
+    }
+
+    /// Per-node application state digests, for cross-replica parity checks.
+    #[must_use]
+    pub fn snapshots(&self, app: &A) -> Vec<(u32, [u8; 32])> {
+        self.nodes
+            .iter()
+            .map(|n| (n.0, app.snapshot_digest(n.0)))
+            .collect()
+    }
+
+    /// Records one application message the driver sent through the cluster
+    /// (the engine counts control traffic itself; application traffic is
+    /// the driver's to report, since only it knows which sends are
+    /// workload).
+    pub fn record_app_send(&mut self, latency: SimDuration) {
+        self.stats.app_messages += 1;
+        self.stats.app_latency.record(latency);
+    }
+
+    /// Drains `node`'s cluster inbox through the engine: audit control
+    /// traffic is consumed, piggybacked commitments are peeled and stored,
+    /// and [`Envelope::App`] commands are executed through `app` (with the
+    /// output committed to the node's tamper-evident log) and returned for
+    /// the driving protocol to act on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on generated control replies.
+    pub fn poll(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+        node: NodeId,
+    ) -> Result<Vec<AppDelivery>, CoreError> {
+        self.dispatch(cluster, app, node)?;
+        Ok(self.app_inbox.remove(&node.0).unwrap_or_default())
+    }
+
+    /// Runs one full audit round: commit, gossip, challenge, verify,
+    /// classify. In piggyback mode the commit step queues authenticators
+    /// for rides instead of sending them; called standalone (with no
+    /// workload in between) they are flushed as dedicated messages
+    /// immediately, so the round is self-contained either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn run_audit_round(&mut self, cluster: &mut Cluster, app: &mut A) -> Result<(), CoreError> {
+        self.begin_audit_round(cluster)?;
+        self.finish_audit_round(cluster, app)
+    }
+
+    /// The commit step of an audit round: scheduled log tampering is
+    /// applied (a forging host rewrites *before* committing), then every
+    /// node seals and announces its commitment — queued for piggyback rides
+    /// in piggyback mode, sent as dedicated messages otherwise. In
+    /// piggyback mode, run the application workload between this and
+    /// [`AccountabilityEngine::finish_audit_round`] so commitments ride it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn begin_audit_round(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
+        self.apply_scheduled_tampering();
+        self.announce_commitments(cluster)
+    }
+
+    /// Flush + challenge + classify: the audit round after the commit step.
+    ///
+    /// Flushing is looped until no ride is pending: delivering a dedicated
+    /// announcement enqueues gossip relays, which must also reach their
+    /// fellows *before* challenges are issued — otherwise witnesses beyond
+    /// the first would audit a round late. The loop terminates because
+    /// relays are never re-relayed (at most announce → relay → stored).
+    /// When every commitment found a ride during the workload, the loop
+    /// sends nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn finish_audit_round(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+    ) -> Result<(), CoreError> {
+        loop {
+            self.flush_pending(cluster)?;
+            self.sweep_until_quiet(cluster, app)?;
+            if self.layer.borrow().pending_rides() == 0 {
+                break;
+            }
+        }
+        self.issue_challenges(cluster)?;
+        self.sweep_until_quiet(cluster, app)?;
+        self.finish_round();
+        Ok(())
+    }
+
+    /// Audits everything still in the pipeline: one extra audit round whose
+    /// commit step covers every log entry that exists when it is called —
+    /// in particular, in piggyback mode, the final workload round that the
+    /// pipelined drivers leave unaudited (the audit pipeline runs one round
+    /// behind the traffic it rides on). The commitments have no later
+    /// traffic to ride, so this round pays dedicated announcements;
+    /// steady-state deployments only pay it at teardown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn drain_audits(&mut self, cluster: &mut Cluster, app: &mut A) -> Result<(), CoreError> {
+        self.run_audit_round(cluster, app)
+    }
+
+    // ---- internal protocol machinery ------------------------------------
+
+    /// A host that tampers with its log does so before committing, so the
+    /// forged log is internally consistent and only replay can expose it.
+    fn apply_scheduled_tampering(&mut self) {
+        for node in self.faults.byzantine_nodes() {
+            if let NodeFault::TamperLogEntry { seq } = self.faults.fault_of(node) {
+                if !self.tamper_applied.contains(&node)
+                    && self.layer.borrow_mut().tamper_exec_at_or_after(node, seq)
+                {
+                    self.tamper_applied.insert(node);
+                }
+            }
+        }
+    }
+
+    /// Sends every commitment still waiting for a ride as dedicated
+    /// traffic. Run after the round's workload and before challenges, so
+    /// piggybacking changes the message count but never which witness holds
+    /// which commitment at challenge time.
+    ///
+    /// Rides for the same directed pair are batched: the first becomes the
+    /// dedicated envelope and up to [`MAX_PIGGYBACK_RIDERS`] further ones
+    /// ride it as a [`Envelope::Piggyback`] — one message per batch instead
+    /// of one per authenticator.
+    fn flush_pending(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
+        let pending = self.layer.borrow_mut().drain_pending();
+        // `drain_pending` yields pairs in sorted order; batch consecutive
+        // runs of the same pair.
+        let mut i = 0;
+        while i < pending.len() {
+            let (pair, _, _) = pending[i];
+            let mut j = i + 1;
+            while j < pending.len() && pending[j].0 == pair && j - i < 1 + MAX_PIGGYBACK_RIDERS {
+                j += 1;
+            }
+            let dedicated = |auth: &Authenticator, gossip: bool| {
+                if gossip {
+                    Envelope::Gossip(auth.clone())
+                } else {
+                    Envelope::Announce(auth.clone())
+                }
+            };
+            let envelope = if j - i == 1 {
+                dedicated(&pending[i].1, pending[i].2)
+            } else {
+                Envelope::Piggyback {
+                    riders: pending[i + 1..j]
+                        .iter()
+                        .map(|(_, auth, gossip)| PiggybackRider {
+                            auth: auth.clone(),
+                            gossip: *gossip,
+                        })
+                        .collect(),
+                    inner: Box::new(dedicated(&pending[i].1, pending[i].2)),
+                }
+            };
+            self.send_control(cluster, NodeId(pair.0), NodeId(pair.1), &envelope)?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// The commit step. Dedicated mode seals one authenticator per witness
+    /// and sends it in its own message; piggyback mode seals one per node
+    /// (two for an equivocator) and queues them for rides.
+    fn announce_commitments(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
+        if self.config.piggyback {
+            self.queue_commitments();
+            return Ok(());
+        }
+        // Seal first, send second: commitments of one round must all cover
+        // the same prefix, and sending an announcement itself appends `Send`
+        // entries to the log.
+        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        for node in self.nodes.clone() {
+            let fault = self.faults.fault_of(node.0);
+            let (seq, head, forked_head) = self.layer.borrow().commitment_data(node.0);
+            let witness_set = self.witnesses_of(node.0).to_vec();
+            for (idx, &witness) in witness_set.iter().enumerate() {
+                // An equivocating host commits to a forked head towards every
+                // other witness; each seal is genuine (the TNIC attests
+                // whatever the host hands it) — the *pair* is the crime.
+                // With a single witness there is nobody to partition, so the
+                // fork goes to that witness directly and is exposed by the
+                // audit itself (head mismatch) rather than by gossip.
+                let fork_here = idx % 2 == 1 || witness_set.len() == 1;
+                let committed_head = if fault == NodeFault::Equivocate && fork_here {
+                    forked_head
+                } else {
+                    head
+                };
+                let (auth, cost) = self.layer.borrow_mut().seal(node.0, seq, committed_head);
+                self.clock.advance(cost);
+                self.stats.commitments_published += 1;
+                outgoing.push((node, NodeId(witness), Envelope::Announce(auth)));
+            }
+        }
+        for (from, to, env) in outgoing {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        Ok(())
+    }
+
+    /// Piggyback-mode commit step: each node seals its current head and
+    /// queues it for its first witness; witness gossip (also riding) covers
+    /// the rest of the set. An equivocating host additionally seals a forked
+    /// head towards its second witness — the classic partition attempt,
+    /// defeated by gossip cross-checking. With a single witness the fork
+    /// goes to it directly and is exposed by the audit (head mismatch).
+    fn queue_commitments(&mut self) {
+        for node in self.nodes.clone() {
+            let fault = self.faults.fault_of(node.0);
+            let (seq, head, forked_head) = self.layer.borrow().commitment_data(node.0);
+            let witness_set = self.witnesses_of(node.0).to_vec();
+            if seq == 0 || witness_set.is_empty() {
+                continue; // nothing to commit / nobody to commit to
+            }
+            let equivocating = fault == NodeFault::Equivocate;
+            let primary_head = if equivocating && witness_set.len() == 1 {
+                forked_head
+            } else {
+                head
+            };
+            let (auth, cost) = self.layer.borrow_mut().seal(node.0, seq, primary_head);
+            self.clock.advance(cost);
+            self.stats.commitments_published += 1;
+            self.layer
+                .borrow_mut()
+                .enqueue_ride(node.0, witness_set[0], auth, false);
+            if equivocating && witness_set.len() > 1 {
+                let (fork, cost) = self.layer.borrow_mut().seal(node.0, seq, forked_head);
+                self.clock.advance(cost);
+                self.stats.commitments_published += 1;
+                self.layer
+                    .borrow_mut()
+                    .enqueue_ride(node.0, witness_set[1], fork, false);
+            }
+        }
+    }
+
+    fn issue_challenges(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
+        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        let now = self.clock.now();
+        for (&(witness, node), record) in &mut self.records {
+            if record.verdict == Verdict::Exposed || record.pending_challenge.is_some() {
+                continue;
+            }
+            if let Some(target) = record.next_audit_target().cloned() {
+                outgoing.push((
+                    NodeId(witness),
+                    NodeId(node),
+                    Envelope::Challenge {
+                        from_seq: record.audited_seq,
+                        upto_seq: target.seq,
+                    },
+                ));
+                record.pending_challenge = Some(target);
+                self.challenge_started.insert((witness, node), now);
+                self.stats.challenges += 1;
+            }
+        }
+        for (from, to, env) in outgoing {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        Ok(())
+    }
+
+    fn finish_round(&mut self) {
+        for (&(witness, node), record) in &mut self.records {
+            if record.pending_challenge.take().is_some() {
+                self.stats.unanswered_challenges += 1;
+                record.mark_unresponsive();
+                self.challenge_started.remove(&(witness, node));
+            }
+        }
+    }
+
+    fn sweep_until_quiet(&mut self, cluster: &mut Cluster, app: &mut A) -> Result<(), CoreError> {
+        loop {
+            let pending: Vec<NodeId> = self
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    cluster
+                        .endpoint_of(n)
+                        .map(|e| e.pending() > 0)
+                        .unwrap_or(false)
+                })
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            for node in pending {
+                self.dispatch(cluster, app, node)?;
+            }
+        }
+    }
+
+    /// Drains `node`'s inbox and runs the protocol handlers.
+    fn dispatch(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+        node: NodeId,
+    ) -> Result<(), CoreError> {
+        let delivered = cluster.poll(node)?;
+        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        for d in delivered {
+            let Ok(envelope) = Envelope::decode(&d.message.payload) else {
+                continue;
+            };
+            self.handle_envelope(app, node, d.from.0, envelope, &mut outgoing);
+        }
+        for (from, to, env) in outgoing {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one protocol handler; a piggybacked envelope is the carried
+    /// commitment batch plus the inner envelope, handled in that order
+    /// (decode rejects nesting, so the recursion is one level deep).
+    fn handle_envelope(
+        &mut self,
+        app: &mut A,
+        node: NodeId,
+        from: u32,
+        envelope: Envelope,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        if !matches!(envelope, Envelope::App(_)) {
+            app.on_control(node.0, from, &envelope);
+        }
+        match envelope {
+            Envelope::App(command) => {
+                let output = app.execute(node.0, &command);
+                self.layer.borrow_mut().record_exec(node.0, output.clone());
+                self.app_inbox.entry(node.0).or_default().push(AppDelivery {
+                    from: NodeId(from),
+                    command,
+                    output,
+                });
+            }
+            Envelope::Announce(auth) => {
+                self.handle_commitment(node.0, auth, true, outgoing);
+            }
+            Envelope::Gossip(auth) => {
+                self.handle_commitment(node.0, auth, false, outgoing);
+            }
+            Envelope::Challenge { from_seq, upto_seq } => {
+                self.handle_challenge(node.0, from, from_seq, upto_seq, outgoing);
+            }
+            Envelope::Response { from_seq, entries } => {
+                self.handle_response(node.0, from, from_seq, &entries);
+            }
+            Envelope::Evidence { a, b } => {
+                self.handle_evidence(node.0, &a, &b);
+            }
+            Envelope::Piggyback { riders, inner } => {
+                for rider in riders {
+                    self.handle_commitment(node.0, rider.auth, !rider.gossip, outgoing);
+                }
+                self.handle_envelope(app, node, from, *inner, outgoing);
+            }
+        }
+    }
+
+    /// Verifies a commitment's TNIC seal and structural claims.
+    fn seal_verifies(&mut self, witness: u32, auth: &Authenticator) -> bool {
+        if !auth.consistent() {
+            return false;
+        }
+        let kernel = self
+            .audit_kernels
+            .get_mut(&witness)
+            .expect("witness kernel");
+        match kernel.verify_binding(&auth.attestation) {
+            Ok(cost) => {
+                self.clock.advance(cost);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn handle_commitment(
+        &mut self,
+        witness: u32,
+        auth: Authenticator,
+        direct: bool,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        let accused = auth.node;
+        if !self.witnesses_of(accused).contains(&witness) || !self.seal_verifies(witness, &auth) {
+            return;
+        }
+        let record = self
+            .records
+            .get_mut(&(witness, accused))
+            .expect("record exists");
+        let conflict = record.store_commitment(auth.clone());
+        if let Some(Misbehavior::ConflictingCommitments { a, b }) = conflict {
+            // Evidence transfer: the pair convinces any correct third party.
+            for &fellow in self.witnesses.get(&accused).expect("witness set") {
+                if fellow != witness && fellow != accused {
+                    self.stats.evidence_transfers += 1;
+                    outgoing.push((
+                        NodeId(witness),
+                        NodeId(fellow),
+                        Envelope::Evidence {
+                            a: (*a).clone(),
+                            b: (*b).clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        if direct {
+            // Gossip the directly received commitment to fellow witnesses so
+            // an equivocator cannot keep its witness set partitioned. In
+            // piggyback mode the relay rides the witness's own outbound
+            // traffic (or the next dedicated flush) instead of costing a
+            // message now.
+            for &fellow in self.witnesses.get(&accused).expect("witness set") {
+                if fellow != witness && fellow != accused {
+                    if self.config.piggyback {
+                        self.layer
+                            .borrow_mut()
+                            .enqueue_ride(witness, fellow, auth.clone(), true);
+                    } else {
+                        outgoing.push((
+                            NodeId(witness),
+                            NodeId(fellow),
+                            Envelope::Gossip(auth.clone()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_challenge(
+        &mut self,
+        node: u32,
+        witness: u32,
+        from_seq: u64,
+        upto_seq: u64,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        match self.faults.fault_of(node) {
+            NodeFault::SuppressAudits { probability } if self.rng.chance(probability) => {
+                return; // the node stays silent
+            }
+            // The host rewrites its storage once, *after* having committed:
+            // it discards everything from `drop_tail` entries before the
+            // challenged commitment onwards, so no audit can cover the
+            // committed prefix any more.
+            NodeFault::TruncateLog { drop_tail } if !self.truncation_applied.contains(&node) => {
+                let len = self.layer.borrow().log_len(node);
+                let keep = upto_seq.saturating_sub(drop_tail);
+                self.layer
+                    .borrow_mut()
+                    .truncate_tail(node, len.saturating_sub(keep));
+                self.truncation_applied.insert(node);
+            }
+            _ => {}
+        }
+        let entries = self.layer.borrow().segment(node, from_seq, upto_seq);
+        outgoing.push((
+            NodeId(node),
+            NodeId(witness),
+            Envelope::Response { from_seq, entries },
+        ));
+    }
+
+    fn handle_response(&mut self, witness: u32, node: u32, from_seq: u64, entries: &[LogEntry]) {
+        let Some(record) = self.records.get_mut(&(witness, node)) else {
+            return;
+        };
+        // The response must answer the outstanding challenge: its `from_seq`
+        // echoes the challenged range start, which is exactly the witness's
+        // audited prefix (challenges are issued with `from_seq =
+        // audited_seq`, and the prefix only advances on a valid response).
+        // A stale or forged range is ignored — the challenge stays pending
+        // and unresponsiveness handling takes over at round end.
+        if record.pending_challenge.is_some() && from_seq != record.audited_seq {
+            return;
+        }
+        let Some(target) = record.pending_challenge.take() else {
+            return;
+        };
+        self.stats.responses += 1;
+        // The verdict transition happens inside the record; failures are
+        // locally verified evidence, so no further transfer is needed —
+        // every witness audits independently.
+        let _ = record.check_response(&target, entries);
+        if let Some(started) = self.challenge_started.remove(&(witness, node)) {
+            self.stats
+                .audit_latency
+                .record(self.clock.now().duration_since(started));
+        }
+    }
+
+    fn handle_evidence(&mut self, witness: u32, a: &Authenticator, b: &Authenticator) {
+        if !commitments_conflict(a, b)
+            || !self.seal_verifies(witness, a)
+            || !self.seal_verifies(witness, b)
+        {
+            return; // not verifiable proof; ignore
+        }
+        let Some(record) = self.records.get_mut(&(witness, a.node)) else {
+            return;
+        };
+        let already_convicted = record
+            .evidence
+            .iter()
+            .any(|e| matches!(e, Misbehavior::ConflictingCommitments { .. }));
+        if !already_convicted {
+            record.convict(Misbehavior::ConflictingCommitments {
+                a: Box::new(a.clone()),
+                b: Box::new(b.clone()),
+            });
+        }
+    }
+
+    fn send_control(
+        &mut self,
+        cluster: &mut Cluster,
+        from: NodeId,
+        to: NodeId,
+        envelope: &Envelope,
+    ) -> Result<(), CoreError> {
+        let payload = envelope.encode();
+        let msg = cluster.auth_send(from, to, &payload)?;
+        self.stats.control_messages += 1;
+        self.stats.control_bytes += msg.wire_len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_net::stack::NetworkStackKind;
+
+    fn counter_deployment(
+        faults: FaultPlan,
+    ) -> (Cluster, CounterApp, AccountabilityEngine<CounterApp>) {
+        let mut cluster = Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+        let app = CounterApp::new(&cluster.nodes());
+        let engine =
+            AccountabilityEngine::attach(&mut cluster, &app, EngineConfig::default(), faults);
+        (cluster, app, engine)
+    }
+
+    #[test]
+    fn engine_logs_sends_receives_and_execs() {
+        let (mut cluster, mut app, mut engine) = counter_deployment(FaultPlan::all_correct());
+        let payload = crate::workload::app_payload();
+        for i in 0..4u32 {
+            let from = NodeId(i % 4);
+            let to = NodeId((i + 1) % 4);
+            cluster.auth_send(from, to, &payload).unwrap();
+            let deliveries = engine.poll(&mut cluster, &mut app, to).unwrap();
+            assert_eq!(deliveries.len(), 1);
+            assert_eq!(deliveries[0].from, from);
+        }
+        // Each message: Send at sender, Recv + Exec at receiver.
+        assert_eq!(engine.stats().log_entries, 12);
+        assert_eq!(app.value(1), 1);
+    }
+
+    #[test]
+    fn mismatched_response_from_seq_is_ignored_and_node_suspected() {
+        let (mut cluster, mut app, mut engine) = counter_deployment(FaultPlan::all_correct());
+        let payload = crate::workload::app_payload();
+        for i in 0..8u32 {
+            let from = NodeId(i % 4);
+            let to = NodeId((i + 1) % 4);
+            cluster.auth_send(from, to, &payload).unwrap();
+            engine.poll(&mut cluster, &mut app, to).unwrap();
+        }
+        // Seed the witness with a commitment and an outstanding challenge.
+        let (seq, head, _) = engine.layer.borrow().commitment_data(1);
+        let (auth, _) = engine.layer.borrow_mut().seal(1, seq, head);
+        let mut outgoing = Vec::new();
+        engine.handle_commitment(0, auth, false, &mut outgoing);
+        engine.issue_challenges(&mut cluster).unwrap();
+        assert!(engine
+            .records
+            .get(&(0, 1))
+            .unwrap()
+            .pending_challenge
+            .is_some());
+        // A response whose `from_seq` does not match the challenged range
+        // start must be ignored: the challenge stays pending and round end
+        // downgrades the node.
+        let entries = engine.layer.borrow().segment(1, 0, seq);
+        engine.handle_response(0, 1, 7, &entries);
+        assert!(engine
+            .records
+            .get(&(0, 1))
+            .unwrap()
+            .pending_challenge
+            .is_some());
+        engine.finish_round();
+        assert_eq!(engine.verdict_of(0, 1), Verdict::Suspected);
+    }
+
+    #[test]
+    fn multicast_traffic_carries_piggyback_rides() {
+        let mut cluster = Cluster::fully_connected(3, Baseline::Tnic, NetworkStackKind::Tnic, 7);
+        cluster
+            .establish_group(NodeId(0), &[NodeId(1), NodeId(2)])
+            .unwrap();
+        let app = CounterApp::new(&cluster.nodes());
+        let config = EngineConfig {
+            piggyback: true,
+            witness_count: Some(2),
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            AccountabilityEngine::attach(&mut cluster, &app, config, FaultPlan::all_correct());
+        let mut app = app;
+        // Give node 0 something to commit to, then queue the commitment.
+        let payload = crate::workload::app_payload();
+        cluster.auth_send(NodeId(0), NodeId(1), &payload).unwrap();
+        engine.poll(&mut cluster, &mut app, NodeId(1)).unwrap();
+        engine.begin_audit_round(&mut cluster).unwrap();
+        let queued = engine.layer.borrow().pending_rides();
+        assert!(queued > 0, "commitments queued for rides");
+        // A multicast from node 0 picks the pending ride up.
+        cluster
+            .multicast(NodeId(0), &[NodeId(1), NodeId(2)], &payload)
+            .unwrap();
+        assert!(engine.layer.borrow().piggybacked() > 0);
+        for node in [NodeId(1), NodeId(2)] {
+            engine.poll(&mut cluster, &mut app, node).unwrap();
+        }
+        engine.finish_audit_round(&mut cluster, &mut app).unwrap();
+    }
+
+    #[test]
+    fn multicast_budget_overflow_keeps_rides_queued_instead_of_dropping() {
+        let (_cluster, _, engine) = counter_deployment(FaultPlan::all_correct());
+        // Fill the whole batch budget from receiver 1's queue, plus two
+        // rides for receiver 2 that cannot fit this multicast.
+        for (origin, head) in [(0u32, 1u8), (1, 2), (2, 3), (3, 4)] {
+            let (auth, _) = engine.layer.borrow_mut().seal(origin, 1, [head; 32]);
+            engine.layer.borrow_mut().enqueue_ride(0, 1, auth, true);
+        }
+        for (origin, head) in [(1u32, 5u8), (2, 6)] {
+            let (auth, _) = engine.layer.borrow_mut().seal(origin, 1, [head; 32]);
+            engine.layer.borrow_mut().enqueue_ride(0, 2, auth, true);
+        }
+        let payload = crate::workload::app_payload();
+        let wrapped = engine
+            .layer
+            .borrow_mut()
+            .wrap_multicast(NodeId(0), &[NodeId(1), NodeId(2)], &payload)
+            .expect("rides attached");
+        let Envelope::Piggyback { riders, .. } = Envelope::decode(&wrapped).unwrap() else {
+            panic!("wrapped payload must be a piggyback");
+        };
+        assert_eq!(riders.len(), MAX_PIGGYBACK_RIDERS);
+        // The overflow must stay queued for the dedicated flush — a sealed
+        // commitment is never silently destroyed.
+        assert_eq!(engine.layer.borrow().pending_rides(), 2);
+    }
+
+    /// A [`CounterApp`] wrapper counting the control envelopes its
+    /// [`AccountedApp::on_control`] tap observes.
+    struct TappedApp {
+        inner: CounterApp,
+        control_seen: usize,
+    }
+
+    impl AccountedApp for TappedApp {
+        type Machine = CounterMachine;
+
+        fn replay_machine(&self) -> CounterMachine {
+            self.inner.replay_machine()
+        }
+
+        fn execute(&mut self, node: u32, command: &[u8]) -> Vec<u8> {
+            self.inner.execute(node, command)
+        }
+
+        fn snapshot_digest(&self, node: u32) -> [u8; 32] {
+            self.inner.snapshot_digest(node)
+        }
+
+        fn on_control(&mut self, _node: u32, _from: u32, envelope: &Envelope) {
+            assert!(!matches!(envelope, Envelope::App(_)));
+            self.control_seen += 1;
+        }
+    }
+
+    #[test]
+    fn on_control_tap_observes_audit_traffic() {
+        let mut cluster = Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+        let mut app = TappedApp {
+            inner: CounterApp::new(&cluster.nodes()),
+            control_seen: 0,
+        };
+        let mut engine = AccountabilityEngine::attach(
+            &mut cluster,
+            &app,
+            EngineConfig::default(),
+            FaultPlan::all_correct(),
+        );
+        let payload = crate::workload::app_payload();
+        for i in 0..4u32 {
+            cluster
+                .auth_send(NodeId(i % 4), NodeId((i + 1) % 4), &payload)
+                .unwrap();
+            engine
+                .poll(&mut cluster, &mut app, NodeId((i + 1) % 4))
+                .unwrap();
+        }
+        assert_eq!(app.control_seen, 0, "app traffic is not control traffic");
+        engine.run_audit_round(&mut cluster, &mut app).unwrap();
+        assert!(
+            app.control_seen > 0,
+            "announce/challenge/response traffic reaches the tap"
+        );
+    }
+
+    #[test]
+    fn dedicated_flush_batches_same_pair_rides_into_one_message() {
+        let (mut cluster, _, mut engine) = counter_deployment(FaultPlan::all_correct());
+        // Five rides for the same directed pair: one dedicated envelope can
+        // carry them all (1 inner + MAX_PIGGYBACK_RIDERS riders). One origin
+        // contributes a conflicting pair (kept by the supersede rule — the
+        // pair is evidence), the rest are distinct origins.
+        for (i, (origin, head)) in [(0u32, 1u8), (0, 2), (1, 3), (2, 4), (3, 5)]
+            .into_iter()
+            .enumerate()
+        {
+            let (auth, _) = engine.layer.borrow_mut().seal(origin, 1, [head; 32]);
+            engine.layer.borrow_mut().enqueue_ride(0, 1, auth, true);
+            assert_eq!(engine.layer.borrow().pending_rides(), i + 1);
+        }
+        assert_eq!(
+            engine.layer.borrow().pending_rides(),
+            1 + MAX_PIGGYBACK_RIDERS
+        );
+        engine.flush_pending(&mut cluster).unwrap();
+        assert_eq!(engine.layer.borrow().pending_rides(), 0);
+        assert_eq!(
+            engine.stats().control_messages,
+            1,
+            "the whole batch travels in one dedicated message"
+        );
+    }
+
+    #[test]
+    fn batched_rides_carry_multiple_commitments_per_message() {
+        let (_cluster, _, engine) = counter_deployment(FaultPlan::all_correct());
+        // Queue more rides for (0 -> 1) than one message may carry.
+        for seq in 1..=(MAX_PIGGYBACK_RIDERS as u64 + 2) {
+            // Distinct origins so the cumulative-supersede rule keeps all.
+            let origin = (seq % 4) as u32;
+            let (auth, _) = engine.layer.borrow_mut().seal(origin, seq, [seq as u8; 32]);
+            engine.layer.borrow_mut().enqueue_ride(0, 1, auth, false);
+        }
+        let queued = engine.layer.borrow().pending_rides();
+        let payload = crate::workload::app_payload();
+        let wrapped = engine
+            .layer
+            .borrow_mut()
+            .wrap_outbound(NodeId(0), NodeId(1), &payload)
+            .expect("ride attached");
+        let Envelope::Piggyback { riders, .. } = Envelope::decode(&wrapped).unwrap() else {
+            panic!("wrapped payload must be a piggyback");
+        };
+        assert_eq!(riders.len(), MAX_PIGGYBACK_RIDERS, "full batch rides");
+        assert_eq!(
+            engine.layer.borrow().pending_rides(),
+            queued - MAX_PIGGYBACK_RIDERS
+        );
+    }
+}

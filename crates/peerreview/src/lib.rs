@@ -1,6 +1,13 @@
 //! PeerReview-style accountability on the TNIC attest/verify substrate
 //! (the paper's fourth application case study, §6).
 //!
+//! The crate is split engine/driver: [`engine`] is an application-agnostic
+//! accountability middleware (commitment layer, witness audits, verdicts,
+//! piggyback ride queue) any deployment can attach to its cluster through
+//! the [`engine::AccountedApp`] trait; [`system`] is the PeerReview workload
+//! driver — just one client of that engine, alongside the accountable BFT
+//! (`tnic-bft`) and chain-replication (`tnic-cr`) deployments.
+//!
 //! # What this crate reproduces
 //!
 //! The paper argues that the TNIC primitives — *transferable
@@ -66,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod engine;
 pub mod log;
 pub mod stats;
 pub mod system;
@@ -73,7 +81,10 @@ pub mod wire;
 pub mod workload;
 
 pub use audit::{Misbehavior, Verdict, WitnessRecord};
+pub use engine::{
+    AccountabilityEngine, AccountedApp, AppDelivery, CommitmentLayer, CounterApp, EngineConfig,
+};
 pub use log::{Authenticator, EntryKind, LogEntry, SecureLog};
 pub use stats::AccountabilityStats;
-pub use system::{CommitmentLayer, PeerReview, PeerReviewConfig};
+pub use system::{PeerReview, PeerReviewConfig};
 pub use wire::Envelope;

@@ -16,9 +16,9 @@
 //! * [`Envelope::Response`] — the audited node's segment.
 //! * [`Envelope::Evidence`] — a verifiable proof of misbehaviour
 //!   (conflicting commitments) broadcast between witnesses (leg 2).
-//! * [`Envelope::Piggyback`] — any of the above *plus* one commitment riding
-//!   along, the control-plane optimisation that makes fault-free rounds
-//!   nearly announce-free.
+//! * [`Envelope::Piggyback`] — any of the above *plus* a small batch of
+//!   commitments riding along, the control-plane optimisation that makes
+//!   fault-free rounds nearly announce-free.
 //!
 //! # The piggyback protocol
 //!
@@ -29,16 +29,19 @@
 //! are queued per destination and the cluster's
 //! [`wrap_outbound`](tnic_core::accountability::AccountabilityLayer::wrap_outbound)
 //! hook wraps the next outbound envelope to that destination as
-//! `Piggyback { auth, gossip, inner }`. Application traffic carries
-//! announcements to the node's first witness; witnesses relay (`gossip =
-//! true`) directly received commitments to fellow witnesses on *their* own
-//! outbound traffic (application sends and audit responses). Whatever has
-//! not found a ride by the end of the round's workload is flushed in
-//! dedicated messages before challenges are issued, so within an audit
-//! round every witness holds every commitment. Because commitments ride
-//! the traffic they precede, the audit pipeline trails the workload by one
-//! round; `PeerReview::drain_audits` closes that tail at the end of a
-//! finite run.
+//! `Piggyback { riders, inner }`, where `riders` carries up to
+//! [`MAX_PIGGYBACK_RIDERS`] queued authenticators (batching matters when the
+//! witness set is larger than the application traffic's fan-out — with one
+//! rider per message the end-of-round flush still pays dedicated sends).
+//! Application traffic carries announcements to the node's first witness;
+//! witnesses relay ([`PiggybackRider::gossip`] `= true`) directly received
+//! commitments to fellow witnesses on *their* own outbound traffic
+//! (application sends and audit responses). Whatever has not found a ride by
+//! the end of the round's workload is flushed in dedicated messages before
+//! challenges are issued, so within an audit round every witness holds every
+//! commitment. Because commitments ride the traffic they precede, the audit
+//! pipeline trails the workload by one round; `PeerReview::drain_audits`
+//! closes that tail at the end of a finite run.
 //!
 //! A piggybacked envelope never nests another piggyback: decoding enforces
 //! `inner ≠ Piggyback`, bounding recursion to one level.
@@ -52,6 +55,11 @@ use tnic_device::error::DeviceError;
 /// proof whose first byte happens to be 0) would otherwise be replayed as a
 /// command and falsely expose an honest node.
 const ENVELOPE_MAGIC: [u8; 2] = [0xA7, 0x5E];
+
+/// Maximum number of authenticators one [`Envelope::Piggyback`] ride
+/// carries. Bounded so a single application message cannot be inflated
+/// arbitrarily (and so decode can cap preallocation on untrusted input).
+pub const MAX_PIGGYBACK_RIDERS: usize = 4;
 
 const TAG_APP: u8 = 0;
 const TAG_ANNOUNCE: u8 = 1;
@@ -93,19 +101,26 @@ pub enum Envelope {
         /// The other conflicting commitment.
         b: Authenticator,
     },
-    /// A commitment riding on another envelope (the piggyback protocol, see
-    /// the module docs). `gossip = false` marks a direct announcement by the
-    /// committing node itself (the receiver relays it onwards); `gossip =
-    /// true` marks a witness-to-witness relay (not re-relayed).
+    /// A batch of commitments riding on another envelope (the piggyback
+    /// protocol, see the module docs). Each rider is independently either a
+    /// direct announcement by the committing node itself (the receiver
+    /// relays it onwards) or a witness-to-witness relay (not re-relayed).
     Piggyback {
-        /// The commitment riding along.
-        auth: Authenticator,
-        /// Whether the commitment is relayed (gossip) rather than announced
-        /// by its own node.
-        gossip: bool,
-        /// The envelope the commitment rides on (never itself a piggyback).
+        /// The commitments riding along (1 to [`MAX_PIGGYBACK_RIDERS`]).
+        riders: Vec<PiggybackRider>,
+        /// The envelope the commitments ride on (never itself a piggyback).
         inner: Box<Envelope>,
     },
+}
+
+/// One commitment riding on a piggybacked envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiggybackRider {
+    /// The commitment riding along.
+    pub auth: Authenticator,
+    /// Whether the commitment is relayed (gossip) rather than announced by
+    /// its own node.
+    pub gossip: bool,
 }
 
 fn push_block(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -161,16 +176,12 @@ impl Envelope {
                 push_block(&mut out, &a.encode());
                 push_block(&mut out, &b.encode());
             }
-            Envelope::Piggyback {
-                auth,
-                gossip,
-                inner,
-            } => {
+            Envelope::Piggyback { riders, inner } => {
                 debug_assert!(
                     !matches!(**inner, Envelope::Piggyback { .. }),
                     "piggybacks never nest"
                 );
-                return Envelope::piggyback_raw(auth, *gossip, &inner.encode());
+                return Envelope::piggyback_raw(riders, &inner.encode());
             }
         }
         out
@@ -179,16 +190,27 @@ impl Envelope {
     /// Builds the wire form of a [`Envelope::Piggyback`] directly over the
     /// already-encoded `inner` envelope bytes, without decoding them. This is
     /// the hot-path constructor used by the cluster's `wrap_outbound` hook:
-    /// the pending authenticator is spliced in front of the outbound payload
-    /// as-is.
+    /// the pending authenticators are spliced in front of the outbound
+    /// payload as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `riders` is empty or exceeds [`MAX_PIGGYBACK_RIDERS`] — the
+    /// ride queue pops at most that many.
     #[must_use]
-    pub fn piggyback_raw(auth: &Authenticator, gossip: bool, inner: &[u8]) -> Vec<u8> {
-        let auth_bytes = auth.encode();
-        let mut out = Vec::with_capacity(2 + 1 + 1 + 4 + auth_bytes.len() + inner.len());
+    pub fn piggyback_raw(riders: &[PiggybackRider], inner: &[u8]) -> Vec<u8> {
+        assert!(
+            !riders.is_empty() && riders.len() <= MAX_PIGGYBACK_RIDERS,
+            "a ride carries 1..={MAX_PIGGYBACK_RIDERS} commitments"
+        );
+        let mut out = Vec::with_capacity(2 + 2 + riders.len() * (1 + 4 + 160) + inner.len());
         out.extend_from_slice(&ENVELOPE_MAGIC);
         out.push(TAG_PIGGYBACK);
-        out.push(u8::from(gossip));
-        push_block(&mut out, &auth_bytes);
+        out.push(riders.len() as u8);
+        for rider in riders {
+            out.push(u8::from(rider.gossip));
+            push_block(&mut out, &rider.auth.encode());
+        }
         out.extend_from_slice(inner);
         out
     }
@@ -270,21 +292,32 @@ impl Envelope {
                 })
             }
             TAG_PIGGYBACK => {
-                let (&flag, rest) = rest.split_first().ok_or_else(malformed)?;
-                let gossip = match flag {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(malformed()),
-                };
-                let (auth_block, used) = read_block(rest).ok_or_else(malformed)?;
-                let inner_bytes = &rest[used..];
-                if Envelope::is_piggyback(inner_bytes) {
+                let (&count, mut rest) = rest.split_first().ok_or_else(malformed)?;
+                let count = count as usize;
+                if count == 0 || count > MAX_PIGGYBACK_RIDERS {
+                    return Err(DeviceError::MalformedMessage("bad piggyback rider count"));
+                }
+                let mut riders = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (&flag, after_flag) = rest.split_first().ok_or_else(malformed)?;
+                    let gossip = match flag {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(malformed()),
+                    };
+                    let (auth_block, used) = read_block(after_flag).ok_or_else(malformed)?;
+                    riders.push(PiggybackRider {
+                        auth: Authenticator::decode(auth_block)?,
+                        gossip,
+                    });
+                    rest = &after_flag[used..];
+                }
+                if Envelope::is_piggyback(rest) {
                     return Err(DeviceError::MalformedMessage("nested piggyback"));
                 }
                 Ok(Envelope::Piggyback {
-                    auth: Authenticator::decode(auth_block)?,
-                    gossip,
-                    inner: Box::new(Envelope::decode(inner_bytes)?),
+                    riders,
+                    inner: Box::new(Envelope::decode(rest)?),
                 })
             }
             _ => Err(DeviceError::MalformedMessage("unknown envelope tag")),
@@ -300,17 +333,26 @@ impl Envelope {
         match raw.strip_prefix(&ENVELOPE_MAGIC)?.split_first() {
             Some((&TAG_APP, command)) => Some(command),
             Some((&TAG_PIGGYBACK, rest)) => {
-                // Skip the gossip flag and the length-prefixed authenticator
-                // block, then peel exactly one level (nesting is rejected by
-                // `decode`, and a nested wrapper here would return `None`
-                // through the recursive call's tag check anyway).
-                let (_, rest) = rest.split_first()?;
-                let (_, used) = read_block(rest)?;
-                let inner = &rest[used..];
-                if Envelope::is_piggyback(inner) {
+                // Skip the rider batch (per rider: gossip flag plus the
+                // length-prefixed authenticator block), then peel exactly one
+                // level (nesting is rejected by `decode`, and a nested
+                // wrapper here would return `None` through the recursive
+                // call's tag check anyway).
+                // Mirror `decode`'s validation: replay must execute exactly
+                // the commands the live dispatch would have executed.
+                let (&count, mut rest) = rest.split_first()?;
+                if count == 0 || count as usize > MAX_PIGGYBACK_RIDERS {
                     return None;
                 }
-                Envelope::app_command(inner)
+                for _ in 0..count {
+                    let (_, after_flag) = rest.split_first()?;
+                    let (_, used) = read_block(after_flag)?;
+                    rest = &after_flag[used..];
+                }
+                if Envelope::is_piggyback(rest) {
+                    return None;
+                }
+                Envelope::app_command(rest)
             }
             _ => None,
         }
@@ -412,9 +454,15 @@ mod tests {
         assert!(Envelope::decode(&bytes).is_err());
     }
 
+    fn rider(node: u32, gossip: bool) -> PiggybackRider {
+        PiggybackRider {
+            auth: sealed_auth(node),
+            gossip,
+        }
+    }
+
     #[test]
     fn piggyback_round_trip_over_every_inner_kind() {
-        let auth = sealed_auth(3);
         let mut log = SecureLog::new();
         log.append(EntryKind::Exec, b"out".to_vec());
         let inners = [
@@ -436,8 +484,7 @@ mod tests {
         for inner in inners {
             for gossip in [false, true] {
                 let env = Envelope::Piggyback {
-                    auth: auth.clone(),
-                    gossip,
+                    riders: vec![rider(3, gossip)],
                     inner: Box::new(inner.clone()),
                 };
                 let bytes = env.encode();
@@ -448,13 +495,46 @@ mod tests {
     }
 
     #[test]
+    fn piggyback_batch_round_trips_up_to_the_cap() {
+        for batch in 1..=MAX_PIGGYBACK_RIDERS {
+            let riders: Vec<PiggybackRider> =
+                (0..batch).map(|i| rider(i as u32, i % 2 == 1)).collect();
+            let env = Envelope::Piggyback {
+                riders,
+                inner: Box::new(Envelope::App(b"incr".to_vec())),
+            };
+            let bytes = env.encode();
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env, "batch {batch}");
+            assert_eq!(Envelope::app_command(&bytes), Some(b"incr".as_slice()));
+        }
+    }
+
+    #[test]
+    fn piggyback_rider_count_out_of_range_rejected() {
+        // Zero riders.
+        let mut zero = ENVELOPE_MAGIC.to_vec();
+        zero.push(TAG_PIGGYBACK);
+        zero.push(0);
+        zero.extend_from_slice(&Envelope::App(b"x".to_vec()).encode());
+        assert!(Envelope::decode(&zero).is_err());
+        assert_eq!(Envelope::app_command(&zero), None);
+        // One over the cap: forge the count byte on an otherwise valid ride.
+        let riders: Vec<PiggybackRider> = (0..MAX_PIGGYBACK_RIDERS)
+            .map(|i| rider(i as u32, false))
+            .collect();
+        let mut over = Envelope::piggyback_raw(&riders, &Envelope::App(b"x".to_vec()).encode());
+        over[3] = (MAX_PIGGYBACK_RIDERS + 1) as u8;
+        assert!(Envelope::decode(&over).is_err());
+        assert_eq!(Envelope::app_command(&over), None);
+    }
+
+    #[test]
     fn piggyback_raw_matches_enum_encoding_and_app_command_peels() {
-        let auth = sealed_auth(2);
+        let riders = vec![rider(2, false), rider(1, true)];
         let inner = Envelope::App(b"incr".to_vec());
-        let raw = Envelope::piggyback_raw(&auth, false, &inner.encode());
+        let raw = Envelope::piggyback_raw(&riders, &inner.encode());
         let enum_encoded = Envelope::Piggyback {
-            auth,
-            gossip: false,
+            riders,
             inner: Box::new(inner),
         }
         .encode();
@@ -463,8 +543,7 @@ mod tests {
         assert_eq!(Envelope::app_command(&raw), Some(b"incr".as_slice()));
         // Non-app inner payloads stay control traffic.
         let ctl = Envelope::piggyback_raw(
-            &sealed_auth(2),
-            true,
+            &[rider(2, true)],
             &Envelope::Challenge {
                 from_seq: 0,
                 upto_seq: 1,
@@ -476,9 +555,9 @@ mod tests {
 
     #[test]
     fn nested_piggyback_rejected() {
-        let auth = sealed_auth(1);
-        let once = Envelope::piggyback_raw(&auth, false, &Envelope::App(b"x".to_vec()).encode());
-        let twice = Envelope::piggyback_raw(&auth, true, &once);
+        let riders = vec![rider(1, false)];
+        let once = Envelope::piggyback_raw(&riders, &Envelope::App(b"x".to_vec()).encode());
+        let twice = Envelope::piggyback_raw(&riders, &once);
         assert!(Envelope::decode(&twice).is_err());
         assert_eq!(Envelope::app_command(&twice), None);
     }
@@ -493,14 +572,12 @@ mod tests {
         let samples = [
             Envelope::App(b"incr".to_vec()).encode(),
             Envelope::Piggyback {
-                auth: sealed_auth(1),
-                gossip: false,
+                riders: vec![rider(1, false)],
                 inner: Box::new(Envelope::App(b"incr".to_vec())),
             }
             .encode(),
             Envelope::Piggyback {
-                auth: sealed_auth(2),
-                gossip: true,
+                riders: vec![rider(2, true), rider(3, false), rider(1, true)],
                 inner: Box::new(Envelope::Response {
                     from_seq: 0,
                     entries: log.entries().to_vec(),

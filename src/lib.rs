@@ -47,7 +47,9 @@ pub use tnic_stack;
 pub use tnic_tee;
 
 pub use tnic_core::{Baseline, Cluster, CoreError, NetworkStackKind, NodeId};
-pub use tnic_peerreview::{PeerReview, PeerReviewConfig, Verdict};
+pub use tnic_peerreview::{
+    AccountabilityEngine, AccountedApp, EngineConfig, PeerReview, PeerReviewConfig, Verdict,
+};
 
 /// Commonly used types, importable in one line.
 pub mod prelude {
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use tnic_core::{Baseline, CoreError, NetworkStackKind};
     pub use tnic_net::adversary::{Adversary, FaultPlan, NodeFault};
     pub use tnic_peerreview::audit::Verdict;
+    pub use tnic_peerreview::engine::{AccountabilityEngine, AccountedApp, EngineConfig};
     pub use tnic_peerreview::system::{PeerReview, PeerReviewConfig};
     pub use tnic_sim::time::{SimDuration, SimInstant};
 }
