@@ -3,43 +3,70 @@
 //! transforms — and prints results tables.
 //!
 //! Usage: `cargo run --release -p tnic-bench --bin reproduce
-//! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]`
+//! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
+//! [--max-retained-entries N]`
 //!
 //! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
 //! × 8 application messages) with one Byzantine behaviour injected through
-//! `tnic_net::adversary` — twice: with dedicated all-to-all commitments (the
-//! classic baseline) and with commitments piggybacked on application traffic
-//! over a rotating 2-witness set. The table reports the verdict reached by
-//! the correct witnesses, the control-message overhead per mode and the
-//! audit latency distribution, so the piggybacking win is measured, not
-//! asserted. With `--all-baselines` the suite additionally runs over every
-//! attestation back-end (the paper's §8.3 methodology) instead of TNIC only.
+//! `tnic_net::adversary` — three times: with dedicated all-to-all
+//! commitments (the classic baseline), with commitments piggybacked on
+//! application traffic over a rotating 2-witness set, and with
+//! piggybacking plus cosigned checkpointing every audit round (the
+//! long-running configuration — the whole fault suite must classify
+//! identically with garbage collection on). The table reports the verdict
+//! reached by the correct witnesses, the control-message overhead per mode
+//! and the audit latency distribution, so the piggybacking win is
+//! measured, not asserted. With `--all-baselines` the suite additionally
+//! runs over every attestation back-end (the paper's §8.3 methodology)
+//! instead of TNIC only.
 //!
-//! The `bft-acct`/`cr-acct` suite then stacks the *same* accountability
-//! engine under the BFT counter and the replicated KV chain: a fault-free
-//! control run plus one Byzantine node per application (an equivocating BFT
-//! replica, a tail-tampering chain node), in both commitment modes. The
-//! table reports ctl/app message overhead, virtual-time overhead against an
-//! engine-free twin, protocol liveness and replica state parity — the cost
-//! of accountability *on top of each transform*, not just the substrate.
+//! The `bft-acct`/`cr-acct`/`a2m-acct` suite then stacks the *same*
+//! accountability engine under the BFT counter, the replicated KV chain
+//! and the replicated A2M: a fault-free control run plus one Byzantine
+//! node per application (an equivocating BFT replica, a tail-tampering
+//! chain node, a log-rewriting A2M replica), in every commitment mode. The
+//! table reports ctl/app message overhead, virtual-time overhead against
+//! an engine-free twin, protocol liveness and replica state parity — the
+//! cost of accountability *on top of each transform*, not just the
+//! substrate.
+//!
+//! A 200-audit-round retention probe then certifies the bounded-memory
+//! story: with checkpointing every 4 rounds, retained log entries and
+//! stored commitments must stay O(interval), not O(rounds).
 //!
 //! `--check` turns the run into a CI gate: the process exits non-zero if
 //! any verdict deviates from its expected classification in any mode, if a
-//! control run loses protocol liveness or state parity, or if a piggybacked
-//! fault-free overhead exceeds its ceiling — `--max-ctl-app` (default 2.0)
-//! for the raw substrate, `--max-acct-ctl-app` (default 3.0) for the engine
-//! stacked on BFT/CR.
+//! control run loses protocol liveness or state parity, or if an overhead
+//! or memory bound is exceeded — `--max-ctl-app` (default 2.0) for the raw
+//! substrate's piggyback rows, `--max-acct-ctl-app` (default 3.0) for the
+//! engine stacked on BFT/CR/A2M, a relative factor for the checkpointed
+//! rows ([`CKPT_OVERHEAD_FACTOR`] × the piggyback row), and
+//! `--max-retained-entries` (default 600) for the retention probe.
 
 use tnic_bench::{
-    render_acct_table, render_table, run_acct_scenario, run_scenario_mode, AcctScenario,
-    AcctScenarioResult, CommitMode, Scenario, ScenarioResult,
+    render_acct_table, render_table, run_acct_scenario, run_retention_probe, run_scenario_mode,
+    AcctScenario, AcctScenarioResult, CommitMode, Scenario, ScenarioResult,
 };
 use tnic_tee::profile::Baseline;
 
-const MODES: [CommitMode; 2] = [
+const MODES: [CommitMode; 3] = [
     CommitMode::Dedicated,
     CommitMode::Piggyback { witnesses: 2 },
+    CommitMode::Checkpointed {
+        witnesses: 2,
+        interval: 1,
+    },
 ];
+
+/// Audit rounds and checkpoint interval of the bounded-memory probe.
+const PROBE_ROUNDS: u64 = 200;
+const PROBE_INTERVAL: u64 = 4;
+
+/// A fault-free checkpointed row may cost at most this factor over the
+/// corresponding piggyback row's ctl/app ratio (interval 1 is the
+/// worst case — every audit round pays proposals, cosignatures and a
+/// commit certificate; measured ~2.0-2.5x today).
+const CKPT_OVERHEAD_FACTOR: f64 = 3.0;
 
 fn expected_verdict(scenario_name: &str) -> &'static str {
     match scenario_name {
@@ -54,6 +81,7 @@ fn main() {
     let mut check = false;
     let mut max_ctl_app = 2.0f64;
     let mut max_acct_ctl_app = 3.0f64;
+    let mut max_retained_entries = 600u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,11 +99,18 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--max-retained-entries" => {
+                max_retained_entries =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-retained-entries requires a number");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
-                     [--max-acct-ctl-app RATIO]"
+                     [--max-acct-ctl-app RATIO] [--max-retained-entries N]"
                 );
                 std::process::exit(2);
             }
@@ -161,6 +196,33 @@ fn main() {
             }
         }
     }
+    // Checkpointing pays bounded extra control traffic (proposals,
+    // cosignatures, commit certificates); gate it relative to the
+    // piggyback row so a checkpoint-path regression cannot hide.
+    for r in &results {
+        if r.name != "fault-free" || !matches!(r.mode, CommitMode::Checkpointed { .. }) {
+            continue;
+        }
+        let piggy = results
+            .iter()
+            .find(|d| {
+                d.name == r.name
+                    && d.baseline == r.baseline
+                    && matches!(d.mode, CommitMode::Piggyback { .. })
+            })
+            .map_or(f64::NAN, |d| d.overhead_ratio);
+        // A missing piggyback row yields NaN, which must trip the gate
+        // rather than silently pass it.
+        if piggy.is_nan() || r.overhead_ratio > CKPT_OVERHEAD_FACTOR * piggy {
+            overhead_violations.push(format!(
+                "fault-free [{} / {}]: ctl/app {:.2} exceeds {CKPT_OVERHEAD_FACTOR:.1}x the \
+                 piggyback row's {piggy:.2}",
+                r.baseline.label(),
+                r.mode.label(),
+                r.overhead_ratio
+            ));
+        }
+    }
 
     // ---- accountability stacked on the BFT / CR transforms --------------
 
@@ -228,6 +290,71 @@ fn main() {
                     r.overhead_ratio
                 ));
             }
+        }
+    }
+    // Relative gate on the checkpointed acct rows (see CKPT_OVERHEAD_FACTOR).
+    for r in &acct_results {
+        if !r.name.ends_with("fault-free") || !matches!(r.mode, CommitMode::Checkpointed { .. }) {
+            continue;
+        }
+        let piggy = acct_results
+            .iter()
+            .find(|d| d.name == r.name && matches!(d.mode, CommitMode::Piggyback { .. }))
+            .map_or(f64::NAN, |d| d.overhead_ratio);
+        // A missing piggyback row yields NaN, which must trip the gate
+        // rather than silently pass it.
+        if piggy.is_nan() || r.overhead_ratio > CKPT_OVERHEAD_FACTOR * piggy {
+            overhead_violations.push(format!(
+                "{} [{}]: ctl/app {:.2} exceeds {CKPT_OVERHEAD_FACTOR:.1}x the piggyback \
+                 row's {piggy:.2}",
+                r.name,
+                r.mode.label(),
+                r.overhead_ratio
+            ));
+        }
+    }
+
+    // ---- bounded-memory probe: long-running checkpointed deployment ------
+
+    println!(
+        "\nretention probe: {PROBE_ROUNDS} audit rounds, checkpoint every {PROBE_INTERVAL}, \
+         piggyback w=2 (retained entries/commitments must stay O(interval), not O(rounds))"
+    );
+    match run_retention_probe(PROBE_ROUNDS, PROBE_INTERVAL) {
+        Ok(report) => {
+            println!(
+                "  max retained entries {} / max stored commitments {} (of {} entries ever \
+                 appended); final retained {} entries / {} bytes; {} checkpoints certified",
+                report.max_retained_entries,
+                report.max_retained_commitments,
+                report.total_log_entries,
+                report.final_retained_entries,
+                report.final_retained_bytes,
+                report.checkpoints_completed
+            );
+            if !report.verdicts_clean {
+                deviations
+                    .push("retention probe: false verdict in a fault-free long run".to_string());
+            }
+            if report.checkpoints_completed == 0 {
+                deviations.push("retention probe: no checkpoint ever certified".to_string());
+            }
+            if report.max_retained_entries > max_retained_entries {
+                overhead_violations.push(format!(
+                    "retention probe: {} retained entries exceed {max_retained_entries}",
+                    report.max_retained_entries
+                ));
+            }
+            if report.max_retained_commitments > max_retained_entries {
+                overhead_violations.push(format!(
+                    "retention probe: {} stored commitments exceed {max_retained_entries}",
+                    report.max_retained_commitments
+                ));
+            }
+        }
+        Err(err) => {
+            failures += 1;
+            eprintln!("retention probe: {err}");
         }
     }
 

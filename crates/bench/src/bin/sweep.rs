@@ -39,6 +39,7 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                     audit_period: period,
                     rounds,
                     messages_per_round: 2 * u64::from(nodes),
+                    checkpoint_interval: None,
                 };
                 points.push(point(CommitMode::Dedicated));
                 for &w in &witness_counts {
@@ -46,14 +47,22 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                         points.push(point(CommitMode::Piggyback { witnesses: w }));
                     }
                 }
+                // The long-running configuration: piggybacked commitments
+                // plus cosigned checkpointing every other audit round
+                // (retained entries/bytes columns show the GC effect).
+                points.push(point(CommitMode::Checkpointed {
+                    witnesses: 2,
+                    interval: 2,
+                }));
             }
         }
     }
-    // Accountability stacked on the BFT / CR transforms: the payload column
-    // is the request-context size (BFT) / value size (CR).
+    // Accountability stacked on the BFT / CR transforms and the replicated
+    // A2M: the payload column is the request-context size (BFT) / value
+    // size (CR) / entry size (A2M).
     let acct_payloads: &[usize] = if full { &[16, 256, 1024] } else { &[16, 256] };
     let acct_nodes: &[u32] = if full { &[3, 5] } else { &[3] };
-    for app in [SweepApp::Bft, SweepApp::Cr] {
+    for app in [SweepApp::Bft, SweepApp::Cr, SweepApp::A2m] {
         for &payload in acct_payloads {
             for &nodes in acct_nodes {
                 for &period in periods {
@@ -65,9 +74,14 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                         audit_period: period,
                         rounds: 4 * period,
                         messages_per_round: 4,
+                        checkpoint_interval: None,
                     };
                     points.push(point(CommitMode::Dedicated));
                     points.push(point(CommitMode::Piggyback { witnesses: 2 }));
+                    points.push(point(CommitMode::Checkpointed {
+                        witnesses: 2,
+                        interval: 2,
+                    }));
                 }
             }
         }

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tnic_a2m::AccountableA2m;
 use tnic_bft::{BftConfig, BftCounter};
 use tnic_core::error::CoreError;
 use tnic_cr::ChainReplication;
@@ -121,15 +122,36 @@ pub enum CommitMode {
         /// Witnesses per node (clamped to `1..=n-1` by the deployment).
         witnesses: u32,
     },
+    /// Piggybacked commitments plus cosigned checkpointing: every
+    /// `interval` audit rounds the audited prefix is certified and
+    /// garbage-collected (bounded logs and stored commitments — the
+    /// long-running deployment configuration).
+    Checkpointed {
+        /// Witnesses per node (clamped to `1..=n-1` by the deployment).
+        witnesses: u32,
+        /// Audit rounds between checkpoint rounds.
+        interval: u64,
+    },
 }
 
 impl CommitMode {
+    /// Whether the mode drives the piggyback-pipelined audit rounds
+    /// (everything except the dedicated baseline).
+    #[must_use]
+    pub fn is_piggyback(self) -> bool {
+        !matches!(self, CommitMode::Dedicated)
+    }
+
     /// Table/CSV label.
     #[must_use]
     pub fn label(self) -> String {
         match self {
             CommitMode::Dedicated => "dedicated".to_string(),
             CommitMode::Piggyback { witnesses } => format!("piggyback(w={witnesses})"),
+            CommitMode::Checkpointed {
+                witnesses,
+                interval,
+            } => format!("ckpt(w={witnesses},i={interval})"),
         }
     }
 
@@ -139,6 +161,14 @@ impl CommitMode {
             CommitMode::Piggyback { witnesses } => {
                 config.piggyback = true;
                 config.witness_count = Some(witnesses);
+            }
+            CommitMode::Checkpointed {
+                witnesses,
+                interval,
+            } => {
+                config.piggyback = true;
+                config.witness_count = Some(witnesses);
+                config.checkpoint_interval = Some(interval);
             }
         }
     }
@@ -155,6 +185,16 @@ impl CommitMode {
                 seed,
                 piggyback: true,
                 witness_count: Some(witnesses),
+                ..EngineConfig::default()
+            },
+            CommitMode::Checkpointed {
+                witnesses,
+                interval,
+            } => EngineConfig {
+                seed,
+                piggyback: true,
+                witness_count: Some(witnesses),
+                checkpoint_interval: Some(interval),
                 ..EngineConfig::default()
             },
         }
@@ -324,6 +364,8 @@ pub enum AcctApp {
     Bft,
     /// Byzantine chain replication of a KV store (`tnic-cr`).
     Cr,
+    /// The replicated attested append-only memory (`tnic-a2m`).
+    A2m,
 }
 
 impl AcctApp {
@@ -333,6 +375,7 @@ impl AcctApp {
         match self {
             AcctApp::Bft => "bft",
             AcctApp::Cr => "cr",
+            AcctApp::A2m => "a2m",
         }
     }
 }
@@ -354,10 +397,11 @@ pub struct AcctScenario {
 }
 
 impl AcctScenario {
-    /// The `bft-acct`/`cr-acct` suite: a fault-free control run plus one
-    /// Byzantine node per application — an equivocating BFT replica and a
-    /// tail-tampering chain node, each of which the witnesses must *expose*
-    /// with verifiable evidence (the protocols alone only tolerate/detect).
+    /// The `bft-acct`/`cr-acct`/`a2m-acct` suite: a fault-free control run
+    /// plus one Byzantine node per application — an equivocating BFT
+    /// replica, a tail-tampering chain node and a log-rewriting A2M
+    /// replica, each of which the witnesses must *expose* with verifiable
+    /// evidence (the protocols alone only tolerate/detect).
     #[must_use]
     pub fn suite() -> Vec<AcctScenario> {
         let base = |app, name, fault| AcctScenario {
@@ -379,6 +423,12 @@ impl AcctScenario {
                 AcctApp::Cr,
                 "cr-acct/tail-tampering",
                 Some((2, NodeFault::TamperLogEntry { seq: 0 })),
+            ),
+            base(AcctApp::A2m, "a2m-acct/fault-free", None),
+            base(
+                AcctApp::A2m,
+                "a2m-acct/log-rewriting",
+                Some((1, NodeFault::TamperLogEntry { seq: 0 })),
             ),
         ]
     }
@@ -508,7 +558,7 @@ fn run_bft_acct(
     mode: CommitMode,
 ) -> Result<AcctScenarioResult, CoreError> {
     let config = BftConfig::default();
-    let piggyback = matches!(mode, CommitMode::Piggyback { .. });
+    let piggyback = mode.is_piggyback();
     let mut system = BftCounter::with_accountability(
         Baseline::Tnic,
         NetworkStackKind::Tnic,
@@ -564,7 +614,7 @@ fn run_bft_acct(
 
 fn run_cr_acct(scenario: &AcctScenario, mode: CommitMode) -> Result<AcctScenarioResult, CoreError> {
     let nodes = 3u32;
-    let piggyback = matches!(mode, CommitMode::Piggyback { .. });
+    let piggyback = mode.is_piggyback();
     let mut system = ChainReplication::with_accountability(
         nodes,
         Baseline::Tnic,
@@ -623,9 +673,88 @@ fn run_cr_acct(scenario: &AcctScenario, mode: CommitMode) -> Result<AcctScenario
     ))
 }
 
+fn run_a2m_acct(
+    scenario: &AcctScenario,
+    mode: CommitMode,
+) -> Result<AcctScenarioResult, CoreError> {
+    let nodes = 3u32;
+    let piggyback = mode.is_piggyback();
+    let mut system = AccountableA2m::new(
+        nodes,
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        ACCT_SEED,
+        mode.engine_config(ACCT_SEED),
+        scenario.fault_plan(),
+    )?;
+    let mut committed = true;
+    let mut op = 0u64;
+    for _ in 0..scenario.rounds {
+        if piggyback {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..scenario.ops_per_round {
+            // Three appends, then a lookup of an existing position.
+            let result = if op % 4 == 3 {
+                system.lookup(op / 2)?
+            } else {
+                system.append(format!("entry-{op}").as_bytes())?
+            };
+            committed &= result.committed;
+            op += 1;
+        }
+        if piggyback {
+            system.finish_audit_round()?;
+        } else {
+            system.run_audit_round()?;
+        }
+    }
+    system.drain_audits()?;
+
+    // The bare twin: identical replication traffic, no engine attached.
+    let mut bare = tnic_core::api::Cluster::fully_connected(
+        nodes,
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        ACCT_SEED,
+    );
+    let bare_nodes = bare.nodes();
+    for op in 0..scenario.rounds * scenario.ops_per_round {
+        let command = if op % 4 == 3 {
+            tnic_a2m::lookup_command(op / 2)
+        } else {
+            tnic_a2m::append_command(format!("entry-{op}").as_bytes())
+        };
+        let wire = tnic_peerreview::wire::Envelope::App(command).encode();
+        for &replica in &bare_nodes[1..] {
+            bare.auth_send(bare_nodes[0], replica, &wire)?;
+            bare.poll(replica)?;
+        }
+    }
+
+    let head = system.replica_digest(tnic_core::api::NodeId(0));
+    let state_parity = (0..nodes).all(|i| system.replica_digest(tnic_core::api::NodeId(i)) == head);
+    let verdict = judge_verdicts(
+        scenario.fault,
+        nodes,
+        |node| system.witnesses_of(node).to_vec(),
+        |node| system.correct_witnesses_of(node),
+        |w, node| system.verdict_of(w, node),
+    );
+    Ok(summarize_acct(
+        scenario,
+        mode,
+        &system.acct_stats(),
+        verdict,
+        committed,
+        state_parity,
+        (system.now().as_micros(), bare.now().as_micros()),
+    ))
+}
+
 /// Runs one accountability-over-application scenario in the given
 /// commitment mode: the same engine that drives PeerReview stacked under a
-/// BFT or chain-replication deployment.
+/// BFT, chain-replication or replicated-A2M deployment.
 ///
 /// # Errors
 ///
@@ -637,7 +766,85 @@ pub fn run_acct_scenario(
     match scenario.app {
         AcctApp::Bft => run_bft_acct(scenario, mode),
         AcctApp::Cr => run_cr_acct(scenario, mode),
+        AcctApp::A2m => run_a2m_acct(scenario, mode),
     }
+}
+
+/// The bounded-memory report of a long checkpointed PeerReview run (the
+/// `reproduce --check --max-retained-entries` CI gate): retained log
+/// entries and stored commitments must stay O(checkpoint interval) over an
+/// O(rounds) run.
+#[derive(Debug, Clone)]
+pub struct RetentionReport {
+    /// Audit rounds driven.
+    pub rounds: u64,
+    /// Audit rounds between checkpoint rounds.
+    pub checkpoint_interval: u64,
+    /// Maximum retained log entries (across all nodes) observed at any
+    /// round boundary.
+    pub max_retained_entries: u64,
+    /// Maximum stored witness commitments observed at any round boundary.
+    pub max_retained_commitments: u64,
+    /// Retained log entries at the end of the run.
+    pub final_retained_entries: u64,
+    /// Retained bytes at the end of the run.
+    pub final_retained_bytes: u64,
+    /// Log entries ever appended (the unbounded twin would retain these).
+    pub total_log_entries: u64,
+    /// Certified (and pruned) checkpoints.
+    pub checkpoints_completed: u64,
+    /// Whether every witness of every node ended the run trusting it.
+    pub verdicts_clean: bool,
+}
+
+/// Drives a fault-free piggybacked PeerReview deployment for `rounds` audit
+/// rounds with checkpointing every `checkpoint_interval` rounds, sampling
+/// the retained-memory footprint at every round boundary.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the run.
+pub fn run_retention_probe(
+    rounds: u64,
+    checkpoint_interval: u64,
+) -> Result<RetentionReport, CoreError> {
+    let config = PeerReviewConfig {
+        nodes: 4,
+        piggyback: true,
+        witness_count: Some(2),
+        checkpoint_interval: Some(checkpoint_interval),
+        seed: 42,
+        ..PeerReviewConfig::default()
+    };
+    let mut pr = PeerReview::new(config, FaultPlan::all_correct())?;
+    let mut max_retained_entries = 0u64;
+    let mut max_retained_commitments = 0u64;
+    for _ in 0..rounds {
+        pr.begin_audit_round()?;
+        pr.run_workload(4)?;
+        pr.finish_audit_round()?;
+        let stats = pr.stats();
+        max_retained_entries = max_retained_entries.max(stats.retained_log_entries);
+        max_retained_commitments = max_retained_commitments.max(stats.retained_commitments);
+    }
+    pr.drain_audits()?;
+    let stats = pr.stats();
+    let verdicts_clean = (0..pr.config().nodes).all(|node| {
+        pr.witnesses_of(node)
+            .iter()
+            .all(|&w| pr.verdict_of(w, node) == Verdict::Trusted)
+    });
+    Ok(RetentionReport {
+        rounds,
+        checkpoint_interval,
+        max_retained_entries,
+        max_retained_commitments,
+        final_retained_entries: stats.retained_log_entries,
+        final_retained_bytes: stats.retained_log_bytes,
+        total_log_entries: stats.log_entries,
+        checkpoints_completed: stats.checkpoints_completed,
+        verdicts_clean,
+    })
 }
 
 /// Formats accountability-over-application results as an aligned table.
@@ -693,6 +900,8 @@ pub enum SweepApp {
     Bft,
     /// Accountability stacked on chain replication (`cr-acct`).
     Cr,
+    /// Accountability stacked on the replicated A2M (`a2m-acct`).
+    A2m,
 }
 
 impl SweepApp {
@@ -703,6 +912,7 @@ impl SweepApp {
             SweepApp::PeerReview => "peerreview",
             SweepApp::Bft => "bft",
             SweepApp::Cr => "cr",
+            SweepApp::A2m => "a2m",
         }
     }
 }
@@ -726,6 +936,20 @@ pub struct SweepPoint {
     /// Application operations per workload round (messages for PeerReview,
     /// client operations for BFT/CR).
     pub messages_per_round: u64,
+    /// Audit rounds between cosigned checkpoint rounds (`None` = no
+    /// checkpointing; logs retain everything).
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl SweepPoint {
+    /// The engine configuration of this point: the commit mode's config
+    /// with the sweep's explicit checkpoint interval as fallback.
+    #[must_use]
+    pub fn engine_config(&self, seed: u64) -> EngineConfig {
+        let mut config = self.mode.engine_config(seed);
+        config.checkpoint_interval = config.checkpoint_interval.or(self.checkpoint_interval);
+        config
+    }
 }
 
 /// The measured row for one [`SweepPoint`].
@@ -745,6 +969,10 @@ pub struct SweepRow {
     pub challenges: u64,
     /// Log entries across all nodes.
     pub log_entries: u64,
+    /// Log entries still retained in memory at the end of the run.
+    pub retained_entries: u64,
+    /// Approximate bytes of retained log entries at the end of the run.
+    pub retained_bytes: u64,
     /// Median audit latency (virtual µs).
     pub audit_p50_us: f64,
     /// Tail audit latency (virtual µs).
@@ -756,9 +984,10 @@ pub struct SweepRow {
 }
 
 /// Header line of the sweep CSV.
-pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit_period,rounds,\
-messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,challenges,log_entries,\
-audit_p50_us,audit_p99_us,app_p50_us,virt_time_us";
+pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit_period,\
+checkpoint_interval,rounds,messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,\
+challenges,log_entries,retained_entries,retained_bytes,audit_p50_us,audit_p99_us,app_p50_us,\
+virt_time_us";
 
 impl SweepRow {
     /// Control messages per application message.
@@ -771,17 +1000,29 @@ impl SweepRow {
         }
     }
 
+    /// The effective checkpoint interval of the run (from the mode or the
+    /// explicit sweep dimension).
+    #[must_use]
+    pub fn effective_checkpoint_interval(&self) -> Option<u64> {
+        match self.point.mode {
+            CommitMode::Checkpointed { interval, .. } => Some(interval),
+            _ => self.point.checkpoint_interval,
+        }
+    }
+
     /// The CSV record for this row (matches [`SWEEP_CSV_HEADER`]).
     #[must_use]
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.1},{:.1},{:.1},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{}",
             self.point.app.label(),
             self.point.mode.label(),
             self.point.payload,
             self.point.nodes,
             self.witnesses,
             self.point.audit_period,
+            self.effective_checkpoint_interval()
+                .map_or_else(|| "-".to_string(), |i| i.to_string()),
             self.point.rounds,
             self.point.messages_per_round,
             self.app_messages,
@@ -790,6 +1031,8 @@ impl SweepRow {
             self.piggybacked,
             self.challenges,
             self.log_entries,
+            self.retained_entries,
+            self.retained_bytes,
             self.audit_p50_us,
             self.audit_p99_us,
             self.app_p50_us,
@@ -808,6 +1051,7 @@ pub fn run_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
         SweepApp::PeerReview => run_peerreview_sweep_point(point),
         SweepApp::Bft => run_bft_sweep_point(point),
         SweepApp::Cr => run_cr_sweep_point(point),
+        SweepApp::A2m => run_a2m_sweep_point(point),
     }
 }
 
@@ -825,6 +1069,8 @@ fn sweep_row(
         piggybacked: stats.piggybacked_commitments,
         challenges: stats.challenges,
         log_entries: stats.log_entries,
+        retained_entries: stats.retained_log_entries,
+        retained_bytes: stats.retained_log_bytes,
         audit_p50_us: stats.audit_latency.percentile_us(0.5),
         audit_p99_us: stats.audit_latency.percentile_us(0.99),
         app_p50_us: stats.app_latency.percentile_us(0.5),
@@ -839,6 +1085,7 @@ fn run_peerreview_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> 
         stack: NetworkStackKind::Tnic,
         seed: 42,
         app_payload_len: point.payload,
+        checkpoint_interval: point.checkpoint_interval,
         ..PeerReviewConfig::default()
     };
     point.mode.apply(&mut config);
@@ -860,13 +1107,14 @@ fn run_bft_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
         batch_size: 1,
         request_len: point.payload,
     };
-    let piggyback = matches!(point.mode, CommitMode::Piggyback { .. });
+    let piggyback = point.mode.is_piggyback();
+    let engine_config = point.engine_config(42);
     let mut system = BftCounter::with_accountability(
         Baseline::Tnic,
         NetworkStackKind::Tnic,
         config,
         42,
-        point.mode.engine_config(42),
+        engine_config,
         FaultPlan::all_correct(),
     )?;
     let period = point.audit_period.max(1);
@@ -895,14 +1143,53 @@ fn run_bft_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
     ))
 }
 
+fn run_a2m_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
+    let piggyback = point.mode.is_piggyback();
+    let engine_config = point.engine_config(42);
+    let mut system = AccountableA2m::new(
+        point.nodes.max(2),
+        Baseline::Tnic,
+        NetworkStackKind::Tnic,
+        42,
+        engine_config,
+        FaultPlan::all_correct(),
+    )?;
+    let payload = vec![0u8; point.payload];
+    let period = point.audit_period.max(1);
+    for round in 0..point.rounds {
+        let audit = (round + 1) % period == 0;
+        if piggyback && audit {
+            system.begin_audit_round()?;
+        }
+        for _ in 0..point.messages_per_round {
+            system.append(&payload)?;
+        }
+        if audit {
+            if piggyback {
+                system.finish_audit_round()?;
+            } else {
+                system.run_audit_round()?;
+            }
+        }
+    }
+    let stats = system.acct_stats();
+    Ok(sweep_row(
+        point,
+        system.witnesses_of(0).len() as u32,
+        &stats,
+        system.now().as_micros(),
+    ))
+}
+
 fn run_cr_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
-    let piggyback = matches!(point.mode, CommitMode::Piggyback { .. });
+    let piggyback = point.mode.is_piggyback();
+    let engine_config = point.engine_config(42);
     let mut system = ChainReplication::with_accountability(
         point.nodes.max(2),
         Baseline::Tnic,
         NetworkStackKind::Tnic,
         42,
-        point.mode.engine_config(42),
+        engine_config,
         FaultPlan::all_correct(),
     )?;
     let value = vec![0u8; point.payload];
@@ -1014,13 +1301,14 @@ mod tests {
             audit_period: 2,
             rounds: 4,
             messages_per_round: 8,
+            checkpoint_interval: None,
         })
         .unwrap();
         assert_eq!(row.witnesses, 2);
         assert_eq!(row.app_messages, 32);
         assert!(row.piggybacked > 0);
         let csv = row.to_csv();
-        assert!(csv.starts_with("peerreview,piggyback(w=2),256,4,2,2,4,8,32,"));
+        assert!(csv.starts_with("peerreview,piggyback(w=2),256,4,2,2,-,4,8,32,"));
         assert_eq!(
             csv.split(',').count(),
             SWEEP_CSV_HEADER.split(',').count(),
@@ -1030,7 +1318,7 @@ mod tests {
 
     #[test]
     fn bft_and_cr_sweep_points_measure_the_stacked_engine() {
-        for app in [SweepApp::Bft, SweepApp::Cr] {
+        for app in [SweepApp::Bft, SweepApp::Cr, SweepApp::A2m] {
             let row = run_sweep_point(SweepPoint {
                 app,
                 mode: CommitMode::Piggyback { witnesses: 2 },
@@ -1039,6 +1327,7 @@ mod tests {
                 audit_period: 1,
                 rounds: 3,
                 messages_per_round: 4,
+                checkpoint_interval: None,
             })
             .unwrap();
             assert_eq!(row.witnesses, 2, "{app:?}");
@@ -1054,8 +1343,8 @@ mod tests {
     #[test]
     fn acct_suite_covers_both_apps_with_control_runs() {
         let suite = AcctScenario::suite();
-        assert_eq!(suite.len(), 4);
-        for app in [AcctApp::Bft, AcctApp::Cr] {
+        assert_eq!(suite.len(), 6);
+        for app in [AcctApp::Bft, AcctApp::Cr, AcctApp::A2m] {
             assert_eq!(
                 suite
                     .iter()

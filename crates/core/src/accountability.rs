@@ -32,8 +32,11 @@
 //!
 //! * the **engine** (`tnic_peerreview::engine`) — an application-agnostic
 //!   middleware: the `CommitmentLayer` implementing this module's trait,
-//!   witness audit/challenge/evidence handling, verdict tracking and the
-//!   piggyback ride queue, driven through the `AccountedApp` trait
+//!   witness audit/challenge/evidence handling, verdict tracking, the
+//!   piggyback ride queue, and the cosigned checkpoint/garbage-collection
+//!   protocol (`tnic_peerreview::checkpoint`) that keeps the tamper-evident
+//!   logs bounded for long-lived deployments and rotates witness sets at
+//!   epoch boundaries, driven through the `AccountedApp` trait
 //!   (`execute`, `snapshot_digest`, replay machine, message taps);
 //! * the **drivers** — thin clients of the engine: the PeerReview workload
 //!   itself (`tnic_peerreview::system`), and the BFT (`tnic-bft`) and chain

@@ -129,6 +129,18 @@ pub enum NodeFault {
         /// Sequence number of the rewritten entry.
         seq: u64,
     },
+    /// **Byzantine witness**: the node performs its audit duties but never
+    /// cosigns checkpoint proposals, trying to starve its auditees' garbage
+    /// collection. A quorum of the remaining witnesses still certifies the
+    /// checkpoint (pruning is delayed, never blocked), and epoch rotation
+    /// eventually moves the withholder out of the set.
+    WithholdCosignatures,
+    /// **Byzantine witness**: the node returns *forged* cosignatures — its
+    /// (honest) device seals a different state digest than proposed, and
+    /// the host claims the cosignature covers the real checkpoint. The
+    /// proposer's content/seal checks reject it; accuracy is unaffected
+    /// because a TNIC cannot be made to lie about what it sealed.
+    ForgeCosignatures,
 }
 
 impl NodeFault {
@@ -147,6 +159,8 @@ impl NodeFault {
             NodeFault::SuppressAudits { .. } => "suppress-audits",
             NodeFault::TruncateLog { .. } => "truncate-log",
             NodeFault::TamperLogEntry { .. } => "tamper-entry",
+            NodeFault::WithholdCosignatures => "withhold-cosign",
+            NodeFault::ForgeCosignatures => "forge-cosign",
         }
     }
 }

@@ -97,6 +97,13 @@ pub enum Misbehavior {
         /// Sequence number of the diverging `Exec` entry.
         at_seq: u64,
     },
+    /// A logged checkpoint mark is malformed or its embedded application
+    /// state digest diverges from the reference machine replayed to that
+    /// point — the node recorded (and committed to) a false checkpoint.
+    CheckpointMismatch {
+        /// Sequence number of the diverging `Checkpoint` entry.
+        at_seq: u64,
+    },
 }
 
 impl Misbehavior {
@@ -110,6 +117,7 @@ impl Misbehavior {
             Misbehavior::BrokenChain { .. } => "broken-chain",
             Misbehavior::HeadMismatch { .. } => "head-mismatch",
             Misbehavior::ExecDivergence { .. } => "exec-divergence",
+            Misbehavior::CheckpointMismatch { .. } => "checkpoint-mismatch",
         }
     }
 }
@@ -218,6 +226,76 @@ impl<S: StateMachine> WitnessRecord<S> {
         }
     }
 
+    /// Garbage-collects commitments covered by a certified checkpoint:
+    /// everything at or below `cut` is subsumed by the cosigned root (a
+    /// conflict inside the covered prefix would already have been detected
+    /// when the second commitment arrived, and the resulting evidence is
+    /// kept separately). Returns the number of commitments dropped.
+    pub fn drop_commitments_upto(&mut self, cut: u64) -> usize {
+        let before = self.commitments.len();
+        self.commitments.retain(|c| c.seq > cut);
+        before - self.commitments.len()
+    }
+
+    /// Fast-forwards the audit state to a certified checkpoint boundary: a
+    /// witness that lagged behind the cosigning quorum (its challenge went
+    /// unanswered while a majority advanced) adopts the quorum-vouched
+    /// `(cut, head)` and the transferred replay state instead of demanding
+    /// pruned history. No-op if the record is already at or past `cut`.
+    pub fn fast_forward(&mut self, cut: u64, head: [u8; 32], machine: S, pending: Vec<Vec<u8>>) {
+        if self.audited_seq >= cut {
+            return;
+        }
+        self.audited_seq = cut;
+        self.audited_head = head;
+        self.machine = machine;
+        self.expected_outputs = pending.into();
+        self.pending_challenge = None;
+        if self.verdict == Verdict::Suspected {
+            self.verdict = Verdict::Trusted;
+        }
+    }
+
+    /// The replay-in-flight outputs (a `Recv` executed but its `Exec` not
+    /// yet replayed), used to transfer replay state across witness
+    /// rotation.
+    #[must_use]
+    pub fn pending_outputs(&self) -> Vec<Vec<u8>> {
+        self.expected_outputs.iter().cloned().collect()
+    }
+
+    /// A record for an incoming witness taking over at a certified
+    /// checkpoint: the audit prefix starts at the cosigned `(cut, head)`
+    /// with the transferred replay machine and in-flight outputs (state
+    /// handover, verified against the certificate's digest by the caller),
+    /// plus any evidence the outgoing set holds (evidence handover —
+    /// conflicting commitments are transferable by construction; replay
+    /// verdicts are re-derivable from the retained suffix).
+    #[must_use]
+    pub fn starting_at(
+        cut: u64,
+        head: [u8; 32],
+        machine: S,
+        pending: Vec<Vec<u8>>,
+        evidence: Vec<Misbehavior>,
+    ) -> Self {
+        let verdict = if evidence.is_empty() {
+            Verdict::Trusted
+        } else {
+            Verdict::Exposed
+        };
+        WitnessRecord {
+            audited_seq: cut,
+            audited_head: head,
+            commitments: Vec::new(),
+            machine,
+            verdict,
+            evidence,
+            pending_challenge: None,
+            expected_outputs: pending.into(),
+        }
+    }
+
     /// Verifies an audit response against the commitment `upto` and replays
     /// it on the reference machine. On success the audited prefix advances
     /// and the verdict (unless already `Exposed`) returns to `Trusted`.
@@ -280,6 +358,19 @@ impl<S: StateMachine> WitnessRecord<S> {
                     let expected_out = self.expected_outputs.pop_front();
                     if expected_out.as_deref() != Some(&entry.content[..]) {
                         return Err(Misbehavior::ExecDivergence { at_seq: entry.seq });
+                    }
+                }
+                crate::log::EntryKind::Checkpoint => {
+                    // A recorded checkpoint mark commits to the application
+                    // state digest at its boundary; by the time the entry is
+                    // replayed the reference machine has executed exactly
+                    // the commands preceding it, so the digests must agree.
+                    let ok = crate::checkpoint::CheckpointMark::parse_payload(&entry.content)
+                        .is_some_and(|(_, _, cut, _, digest)| {
+                            cut <= entry.seq && digest == self.machine.state_digest()
+                        });
+                    if !ok {
+                        return Err(Misbehavior::CheckpointMismatch { at_seq: entry.seq });
                     }
                 }
                 crate::log::EntryKind::Send { .. } => {}
@@ -511,6 +602,97 @@ mod tests {
             .check_response(&auth, log.segment(0, auth.seq))
             .unwrap();
         assert_eq!(record.verdict, Verdict::Trusted);
+    }
+
+    #[test]
+    fn checkpoint_entry_with_matching_digest_replays_clean() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = honest_log(&mut machine);
+        let mark_payload = crate::checkpoint::CheckpointMark::payload(
+            1,
+            1,
+            log.len(),
+            &log.head(),
+            &machine.state_digest(),
+        );
+        log.append(EntryKind::Checkpoint, mark_payload);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap();
+        assert_eq!(record.verdict, Verdict::Trusted);
+    }
+
+    #[test]
+    fn checkpoint_entry_with_forged_digest_is_exposed_by_replay() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let mut log = honest_log(&mut machine);
+        let mark_payload =
+            crate::checkpoint::CheckpointMark::payload(1, 1, log.len(), &log.head(), &[0xAB; 32]);
+        log.append(EntryKind::Checkpoint, mark_payload);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        let err = record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap_err();
+        assert!(matches!(err, Misbehavior::CheckpointMismatch { at_seq: 4 }));
+        assert_eq!(err.label(), "checkpoint-mismatch");
+        assert_eq!(record.verdict, Verdict::Exposed);
+    }
+
+    #[test]
+    fn covered_commitments_are_garbage_collected() {
+        let mut kernel = node_kernel(1);
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        for seq in 1..=4u64 {
+            record.store_commitment(seal(&mut kernel, 1, seq, [seq as u8; 32]));
+        }
+        assert_eq!(record.drop_commitments_upto(3), 3);
+        assert_eq!(record.commitments.len(), 1);
+        assert_eq!(record.commitments[0].seq, 4);
+    }
+
+    #[test]
+    fn fast_forward_adopts_the_cosigned_boundary_only_when_behind() {
+        let mut machine = CounterMachine::new();
+        machine.execute(b"incr");
+        let digest = machine.state_digest();
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.mark_unresponsive();
+        record.fast_forward(5, [3u8; 32], machine.clone(), vec![b"out".to_vec()]);
+        assert_eq!(record.audited_seq, 5);
+        assert_eq!(record.audited_head, [3u8; 32]);
+        assert_eq!(record.machine.state_digest(), digest);
+        assert_eq!(record.pending_outputs(), vec![b"out".to_vec()]);
+        assert_eq!(record.verdict, Verdict::Trusted, "lag cleared by quorum");
+        // Already past the boundary: no-op.
+        record.fast_forward(3, [9u8; 32], CounterMachine::new(), Vec::new());
+        assert_eq!(record.audited_seq, 5);
+        assert_eq!(record.audited_head, [3u8; 32]);
+    }
+
+    #[test]
+    fn starting_at_record_resumes_and_carries_evidence() {
+        let mut machine = CounterMachine::new();
+        machine.execute(b"incr");
+        let clean: WitnessRecord<CounterMachine> =
+            WitnessRecord::starting_at(7, [1u8; 32], machine.clone(), Vec::new(), Vec::new());
+        assert_eq!(clean.audited_seq, 7);
+        assert_eq!(clean.verdict, Verdict::Trusted);
+        let handed: WitnessRecord<CounterMachine> = WitnessRecord::starting_at(
+            7,
+            [1u8; 32],
+            machine,
+            Vec::new(),
+            vec![Misbehavior::BrokenChain { at_seq: 2 }],
+        );
+        assert_eq!(handed.verdict, Verdict::Exposed);
+        assert_eq!(handed.evidence.len(), 1);
     }
 
     #[test]

@@ -84,8 +84,38 @@
 //! sealed before round `k`'s workload cover rounds `< k`); a finite run
 //! therefore leaves its final round unaudited until
 //! [`AccountabilityEngine::drain_audits`] closes the tail.
+//!
+//! # Checkpoints, garbage collection and epoch rotation
+//!
+//! With [`EngineConfig::checkpoint_interval`] set, every that-many audit
+//! rounds end in a checkpoint round (see [`crate::checkpoint`] for the full
+//! lifecycle): **propose** — each node seals a [`CheckpointMark`] over its
+//! last committed boundary (the log-driven state digest captured when the
+//! commitment was sealed) and records a matching
+//! [`EntryKind::Checkpoint`](crate::log::EntryKind::Checkpoint) entry in
+//! its own log; **cosign** — witnesses return sealed [`Cosignature`]s for
+//! exactly the prefixes they have audited and replayed themselves;
+//! **prune** — a quorum certificate lets the node garbage-collect the
+//! covered prefix and its witnesses drop the covered commitments, making
+//! audits, replays and evidence checkpoint-relative; **rotate** — with
+//! [`EngineConfig::rotate_witnesses`], the epoch advance re-derives every
+//! witness set ([`witness_set`]) so no slow or Byzantine witness shadows
+//! the same auditee forever, with the cosigned checkpoint handing incoming
+//! witnesses a verified starting state.
+//!
+//! Epoch rotation composes with piggybacked commitments: the audit
+//! pipeline's one-round lag means a commitment sealed before rotation may
+//! still be queued for (or gossiped among) the *outgoing* set when the
+//! epoch turns. That is safe by construction — commitments are
+//! self-describing, commitment processing drops any commitment whose
+//! receiver no longer witnesses the origin, and
+//! the incoming set starts from the certified boundary, so the next
+//! commitment it receives covers everything since the cosigned root.
+//! Checkpoint control traffic itself travels as ordinary envelopes and can
+//! carry piggyback riders like any other message.
 
 use crate::audit::{commitments_conflict, Misbehavior, Verdict, WitnessRecord};
+use crate::checkpoint::{cosign_quorum, witness_set, CheckpointMark, Cosignature};
 use crate::log::{log_session, Authenticator, EntryKind, LogEntry, SecureLog};
 use crate::stats::AccountabilityStats;
 use crate::wire::{Envelope, PiggybackRider, MAX_PIGGYBACK_RIDERS};
@@ -207,6 +237,14 @@ pub struct EngineConfig {
     /// Piggyback commitments on application traffic instead of dedicated
     /// announce/gossip messages (see the module docs).
     pub piggyback: bool,
+    /// Run a cosigned checkpoint round (propose → cosign → prune, see
+    /// [`crate::checkpoint`]) after every this many audit rounds (`None` =
+    /// never; logs and stored commitments then grow without bound).
+    pub checkpoint_interval: Option<u64>,
+    /// Rotate witness sets at checkpoint epochs (only meaningful with
+    /// `witness_count < n - 1`; all-to-all sets are rotation-invariant).
+    /// Requires `checkpoint_interval` — epochs are the rotation boundary.
+    pub rotate_witnesses: bool,
 }
 
 impl Default for EngineConfig {
@@ -216,6 +254,8 @@ impl Default for EngineConfig {
             seed: 42,
             witness_count: None,
             piggyback: false,
+            checkpoint_interval: None,
+            rotate_witnesses: false,
         }
     }
 }
@@ -303,15 +343,25 @@ impl CommitmentLayer {
         (log.len(), log.head(), log.forked_head())
     }
 
+    /// Seals an arbitrary payload on `node`'s TNIC log session (commitments,
+    /// checkpoint marks, cosignatures); returns the attestation and the
+    /// virtual time the in-fabric attestation took.
+    pub fn seal_payload(
+        &mut self,
+        node: u32,
+        payload: &[u8],
+    ) -> (tnic_device::attestation::AttestedMessage, SimDuration) {
+        self.state_mut(node)
+            .sealer
+            .attest(log_session(node), payload)
+            .expect("log session installed")
+    }
+
     /// Seals a commitment on `node`'s TNIC; returns the authenticator and
     /// the virtual time the in-fabric attestation took.
     pub fn seal(&mut self, node: u32, seq: u64, head: [u8; 32]) -> (Authenticator, SimDuration) {
         let payload = Authenticator::payload(node, seq, &head);
-        let state = self.state_mut(node);
-        let (attestation, cost) = state
-            .sealer
-            .attest(log_session(node), &payload)
-            .expect("log session installed");
+        let (attestation, cost) = self.seal_payload(node, &payload);
         (
             Authenticator {
                 node,
@@ -321,6 +371,54 @@ impl CommitmentLayer {
             },
             cost,
         )
+    }
+
+    /// Appends a checkpoint mark to `node`'s log (the retained root-to-be):
+    /// the entry content is the mark's canonical payload, so witnesses
+    /// replaying it re-verify the embedded state digest.
+    pub fn record_checkpoint(&mut self, node: u32, mark_payload: Vec<u8>) {
+        self.state_mut(node)
+            .log
+            .append(EntryKind::Checkpoint, mark_payload);
+    }
+
+    /// Garbage-collects `node`'s log prefix below `upto_seq` (covered by a
+    /// certified checkpoint); returns the number of entries dropped.
+    pub fn prune_to(&mut self, node: u32, upto_seq: u64) -> u64 {
+        self.state_mut(node).log.prune_to(upto_seq)
+    }
+
+    /// Absolute sequence number of the first retained entry of `node`'s log.
+    #[must_use]
+    pub fn base_seq(&self, node: u32) -> u64 {
+        self.state(node).log.base_seq()
+    }
+
+    /// The head `node`'s log had after `seq` entries, or `None` when pruned
+    /// or out of range.
+    #[must_use]
+    pub fn head_at(&self, node: u32, seq: u64) -> Option<[u8; 32]> {
+        self.state(node).log.head_at(seq)
+    }
+
+    /// Entries currently held in memory across all logs (the bounded-memory
+    /// metric; [`CommitmentLayer::total_entries`] counts everything ever
+    /// appended).
+    #[must_use]
+    pub fn retained_entries(&self) -> u64 {
+        self.states.values().map(|s| s.log.retained_len()).sum()
+    }
+
+    /// Approximate bytes held by retained log entries across all logs.
+    #[must_use]
+    pub fn retained_bytes(&self) -> u64 {
+        self.states.values().map(|s| s.log.retained_bytes()).sum()
+    }
+
+    /// Total log entries garbage-collected by checkpoints across all logs.
+    #[must_use]
+    pub fn pruned_entries(&self) -> u64 {
+        self.states.values().map(|s| s.log.pruned()).sum()
     }
 
     /// The entries `from_seq..upto_seq` of `node`'s log.
@@ -529,6 +627,14 @@ pub struct AppDelivery {
     pub output: Vec<u8>,
 }
 
+/// A checkpoint proposal awaiting its cosignature quorum at the proposing
+/// node.
+#[derive(Debug)]
+struct PendingCheckpoint {
+    mark: CheckpointMark,
+    cosigners: BTreeMap<u32, Cosignature>,
+}
+
 /// The accountability engine: witness protocol + commitment layer over one
 /// application's cluster. See the module docs for the protocol and for how
 /// to attach the engine to a new application.
@@ -538,6 +644,8 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     layer: Rc<RefCell<CommitmentLayer>>,
     faults: FaultPlan,
     nodes: Vec<NodeId>,
+    /// Effective witnesses per node (the clamped `witness_count`).
+    witness_width: u32,
     /// witness ids per audited node (every other node by default).
     witnesses: BTreeMap<u32, Vec<u32>>,
     /// (witness, audited node) → record.
@@ -552,6 +660,24 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     /// Application messages unwrapped during dispatch, per node, until the
     /// driver collects them through [`AccountabilityEngine::poll`].
     app_inbox: BTreeMap<u32, Vec<AppDelivery>>,
+    /// Completed checkpoint epochs (also the witness-rotation boundary).
+    epoch: u64,
+    /// Audit rounds completed (drives the checkpoint interval).
+    audit_rounds_done: u64,
+    /// Per node: the engine's own replay of the node's *logged* command
+    /// stream. Its digest is what a checkpoint certifies: exactly the state
+    /// a witness's reference machine reaches by replaying the log (live
+    /// application state can additionally contain non-logged client-ingress
+    /// executions, e.g. at a chain or A2M head, which are outside the
+    /// audited log and therefore outside the checkpoint).
+    shadows: BTreeMap<u32, A::Machine>,
+    /// Per node: `(seq, state digest)` captured when the round's commitment
+    /// was sealed — the boundary a checkpoint proposal covers.
+    commit_snapshots: BTreeMap<u32, (u64, [u8; 32])>,
+    /// Per node: the checkpoint proposal collecting cosignatures.
+    pending_checkpoints: BTreeMap<u32, PendingCheckpoint>,
+    /// Per node: the latest certified checkpoint (the verifiable log root).
+    completed_checkpoints: BTreeMap<u32, CheckpointMark>,
 }
 
 impl<A: AccountedApp> std::fmt::Debug for AccountabilityEngine<A> {
@@ -600,10 +726,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         let mut witnesses = BTreeMap::new();
         let mut records = BTreeMap::new();
         for node in &nodes {
-            let set: Vec<u32> = (1..=w)
-                .map(|j| (node.0 + j) % n)
-                .filter(|&wit| wit != node.0)
-                .collect();
+            let set = witness_set(node.0, n, w, 0);
             for &witness in &set {
                 records.insert((witness, node.0), WitnessRecord::new(app.replay_machine()));
             }
@@ -612,6 +735,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
 
         let layer = Rc::new(RefCell::new(layer));
         cluster.attach_accountability(layer.clone() as Rc<RefCell<dyn AccountabilityLayer>>);
+        let shadows = nodes.iter().map(|n| (n.0, app.replay_machine())).collect();
 
         AccountabilityEngine {
             config,
@@ -619,6 +743,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             layer,
             faults,
             nodes,
+            witness_width: w,
             witnesses,
             records,
             audit_kernels,
@@ -628,6 +753,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             rng,
             stats: AccountabilityStats::new(),
             app_inbox: BTreeMap::new(),
+            epoch: 0,
+            audit_rounds_done: 0,
+            shadows,
+            commit_snapshots: BTreeMap::new(),
+            pending_checkpoints: BTreeMap::new(),
+            completed_checkpoints: BTreeMap::new(),
         }
     }
 
@@ -682,13 +813,21 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.layer.borrow().log_len(node)
     }
 
-    /// Snapshot of the accountability counters.
+    /// Snapshot of the accountability counters (including the retained
+    /// memory footprint: log entries, bytes and stored commitments).
     #[must_use]
     pub fn stats(&self) -> AccountabilityStats {
         let mut stats = self.stats.clone();
         let layer = self.layer.borrow();
         stats.log_entries = layer.total_entries();
         stats.piggybacked_commitments = layer.piggybacked();
+        stats.retained_log_entries = layer.retained_entries();
+        stats.retained_log_bytes = layer.retained_bytes();
+        stats.retained_commitments = self
+            .records
+            .values()
+            .map(|r| r.commitments.len() as u64)
+            .sum();
         stats
     }
 
@@ -746,9 +885,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     /// The commit step of an audit round: scheduled log tampering is
     /// applied (a forging host rewrites *before* committing), then every
     /// node seals and announces its commitment — queued for piggyback rides
-    /// in piggyback mode, sent as dedicated messages otherwise. In
-    /// piggyback mode, run the application workload between this and
-    /// [`AccountabilityEngine::finish_audit_round`] so commitments ride it.
+    /// in piggyback mode, sent as dedicated messages otherwise. The
+    /// log-driven state digest at the committed boundary is captured
+    /// alongside the seal (it is what a later checkpoint of this boundary
+    /// certifies). In piggyback mode, run the application workload between
+    /// this and [`AccountabilityEngine::finish_audit_round`] so commitments
+    /// ride it.
     ///
     /// # Errors
     ///
@@ -786,6 +928,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.issue_challenges(cluster)?;
         self.sweep_until_quiet(cluster, app)?;
         self.finish_round();
+        self.audit_rounds_done += 1;
+        if let Some(interval) = self.config.checkpoint_interval {
+            if interval > 0 && self.audit_rounds_done.is_multiple_of(interval) {
+                self.run_checkpoint_round(cluster, app)?;
+            }
+        }
         Ok(())
     }
 
@@ -802,6 +950,254 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     /// Propagates attestation/session errors on the control traffic.
     pub fn drain_audits(&mut self, cluster: &mut Cluster, app: &mut A) -> Result<(), CoreError> {
         self.run_audit_round(cluster, app)
+    }
+
+    /// Completed checkpoint epochs (each one a potential rotation boundary).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The latest certified checkpoint boundary of `node`'s log (0 before
+    /// the first completed checkpoint) — everything below it has been
+    /// garbage-collected.
+    #[must_use]
+    pub fn checkpoint_base(&self, node: u32) -> u64 {
+        self.completed_checkpoints.get(&node).map_or(0, |m| m.cut)
+    }
+
+    /// Runs one checkpoint round (see [`crate::checkpoint`] for the
+    /// lifecycle): every node proposes a checkpoint of its last committed
+    /// boundary to its witnesses, witnesses cosign what they have verified,
+    /// nodes that collect a quorum broadcast the certificate and prune the
+    /// covered prefix (witnesses drop covered commitments and laggards
+    /// fast-forward), and — with [`EngineConfig::rotate_witnesses`] — the
+    /// epoch advance rotates witness sets. Called automatically every
+    /// [`EngineConfig::checkpoint_interval`] audit rounds from
+    /// [`AccountabilityEngine::finish_audit_round`]; public for drivers
+    /// that manage their own cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn run_checkpoint_round(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+    ) -> Result<(), CoreError> {
+        let epoch = self.epoch + 1;
+        // Propose: one sealed mark per node, sent to every witness. The
+        // mark is also recorded in the node's own log (the retained root),
+        // where later audits re-verify it during replay.
+        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        for node in self.nodes.clone() {
+            let Some(&(cut, state_digest)) = self.commit_snapshots.get(&node.0) else {
+                continue; // nothing committed yet
+            };
+            if cut <= self.layer.borrow().base_seq(node.0) {
+                continue; // boundary already covered by an earlier checkpoint
+            }
+            let witness_set = self.witnesses_of(node.0).to_vec();
+            if witness_set.is_empty() {
+                continue;
+            }
+            let Some(head) = self.layer.borrow().head_at(node.0, cut) else {
+                continue;
+            };
+            // The *mark* certifies the log-driven state at the audited
+            // boundary (what witnesses verified); the *log entry* embeds
+            // the log-driven state at append time, which is what replay
+            // reaches when it passes the entry — in piggyback mode the two
+            // differ by the workload that rode between commit and
+            // checkpoint.
+            let entry_payload = CheckpointMark::payload(
+                node.0,
+                epoch,
+                cut,
+                &head,
+                &self.shadows[&node.0].state_digest(),
+            );
+            self.layer
+                .borrow_mut()
+                .record_checkpoint(node.0, entry_payload);
+            let payload = CheckpointMark::payload(node.0, epoch, cut, &head, &state_digest);
+            let (attestation, cost) = self.layer.borrow_mut().seal_payload(node.0, &payload);
+            self.clock.advance(cost);
+            let mark = CheckpointMark {
+                node: node.0,
+                epoch,
+                cut,
+                head,
+                state_digest,
+                attestation,
+            };
+            self.stats.checkpoints_proposed += 1;
+            self.pending_checkpoints.insert(
+                node.0,
+                PendingCheckpoint {
+                    mark: mark.clone(),
+                    cosigners: BTreeMap::new(),
+                },
+            );
+            for &witness in &witness_set {
+                outgoing.push((
+                    node,
+                    NodeId(witness),
+                    Envelope::CheckpointPropose(mark.clone()),
+                ));
+            }
+        }
+        for (from, to, env) in outgoing {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        self.sweep_until_quiet(cluster, app)?;
+
+        // Certify and prune: nodes with a cosignature quorum broadcast the
+        // certificate and garbage-collect the covered prefix; everyone else
+        // keeps the full log (a withheld quorum delays the prune — it never
+        // blocks it, because the next epoch re-proposes, possibly to a
+        // rotated set).
+        let certified: Vec<(u32, CheckpointMark, Vec<Cosignature>, Vec<u32>)> = self
+            .pending_checkpoints
+            .iter()
+            .filter_map(|(&node, pending)| {
+                let witness_set = self.witnesses.get(&node).cloned().unwrap_or_default();
+                (pending.cosigners.len() >= cosign_quorum(witness_set.len())).then(|| {
+                    (
+                        node,
+                        pending.mark.clone(),
+                        pending.cosigners.values().cloned().collect(),
+                        witness_set,
+                    )
+                })
+            })
+            .collect();
+        let mut commits: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        for (node, mark, cosigs, witness_set) in certified {
+            for &witness in &witness_set {
+                commits.push((
+                    NodeId(node),
+                    NodeId(witness),
+                    Envelope::CheckpointCommit {
+                        mark: mark.clone(),
+                        cosigs: cosigs.clone(),
+                    },
+                ));
+            }
+            let dropped = self.layer.borrow_mut().prune_to(node, mark.cut);
+            self.stats.pruned_log_entries += dropped;
+            self.stats.checkpoints_completed += 1;
+            self.completed_checkpoints.insert(node, mark);
+        }
+        for (from, to, env) in commits {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        self.sweep_until_quiet(cluster, app)?;
+        self.pending_checkpoints.clear();
+        self.epoch = epoch;
+        if self.config.rotate_witnesses {
+            self.rotate_witness_sets(app);
+        }
+        Ok(())
+    }
+
+    /// Epoch-boundary witness rotation: recomputes every node's witness set
+    /// for the new epoch ([`witness_set`]) so no witness shadows the same
+    /// auditee across epochs. Records carry over for witnesses staying in
+    /// the set; incoming witnesses take over at the latest certified
+    /// checkpoint (state handover from the outgoing set, verified against
+    /// the certificate's digest where possible) or from genesis when no
+    /// checkpoint exists; exposure evidence held by the outgoing set is
+    /// handed over so verdicts survive rotation. Outgoing records are
+    /// dropped — rotation is also garbage collection.
+    fn rotate_witness_sets(&mut self, app: &A) {
+        let n = self.nodes.len() as u32;
+        if self.witness_width >= n.saturating_sub(1) {
+            return; // all-to-all sets are rotation-invariant
+        }
+        let old_records = std::mem::take(&mut self.records);
+        let old_witnesses = std::mem::take(&mut self.witnesses);
+        for node in self.nodes.clone() {
+            let node = node.0;
+            let old_set = old_witnesses.get(&node).cloned().unwrap_or_default();
+            let new_set = witness_set(node, n, self.witness_width, self.epoch);
+            // Evidence handover: whatever proof the outgoing set holds
+            // travels to the incoming set (conflicting commitments are
+            // transferable seals; replay verdicts carry the signed audit
+            // transcript in a real deployment).
+            let handover: Vec<Misbehavior> = old_set
+                .iter()
+                .filter_map(|&w| old_records.get(&(w, node)))
+                .find(|r| r.verdict == Verdict::Exposed)
+                .map(|r| r.evidence.clone())
+                .unwrap_or_default();
+            for &witness in &new_set {
+                let record = if let Some(kept) = old_records.get(&(witness, node)) {
+                    kept.clone()
+                } else {
+                    self.stats.witness_handovers += 1;
+                    self.incoming_record(app, node, &old_set, &old_records, &handover)
+                };
+                self.records.insert((witness, node), record);
+            }
+            self.witnesses.insert(node, new_set);
+        }
+        self.challenge_started
+            .retain(|pair, _| self.records.contains_key(pair));
+        self.stats.witness_rotations += 1;
+    }
+
+    /// The record an incoming witness starts from after rotation.
+    fn incoming_record(
+        &self,
+        app: &A,
+        node: u32,
+        old_set: &[u32],
+        old_records: &BTreeMap<(u32, u32), WitnessRecord<A::Machine>>,
+        handover: &[Misbehavior],
+    ) -> WitnessRecord<A::Machine> {
+        // Preferred: take over at the latest certified checkpoint, with the
+        // replay state of an outgoing record whose machine digest matches
+        // the cosigned digest (verified handover).
+        if let Some(mark) = self.completed_checkpoints.get(&node) {
+            if let Some(donor) = old_set.iter().find_map(|&w| {
+                old_records.get(&(w, node)).filter(|r| {
+                    r.audited_seq == mark.cut && r.machine.state_digest() == mark.state_digest
+                })
+            }) {
+                return WitnessRecord::starting_at(
+                    mark.cut,
+                    mark.head,
+                    donor.machine.clone(),
+                    donor.pending_outputs(),
+                    handover.to_vec(),
+                );
+            }
+        }
+        // Otherwise: plain state handover from the furthest-audited
+        // outgoing record (e.g. when this epoch's quorum was withheld but an
+        // earlier prune already dropped the genesis prefix).
+        if let Some(donor) = old_set
+            .iter()
+            .filter_map(|&w| old_records.get(&(w, node)))
+            .max_by_key(|r| r.audited_seq)
+        {
+            if donor.audited_seq > 0 {
+                return WitnessRecord::starting_at(
+                    donor.audited_seq,
+                    donor.audited_head,
+                    donor.machine.clone(),
+                    donor.pending_outputs(),
+                    handover.to_vec(),
+                );
+            }
+        }
+        // Nothing audited yet: a fresh record auditing from genesis.
+        let mut record = WitnessRecord::new(app.replay_machine());
+        for evidence in handover {
+            record.convict(evidence.clone());
+        }
+        record
     }
 
     // ---- internal protocol machinery ------------------------------------
@@ -882,6 +1278,10 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         for node in self.nodes.clone() {
             let fault = self.faults.fault_of(node.0);
             let (seq, head, forked_head) = self.layer.borrow().commitment_data(node.0);
+            if seq > 0 {
+                let digest = self.shadows[&node.0].state_digest();
+                self.commit_snapshots.insert(node.0, (seq, digest));
+            }
             let witness_set = self.witnesses_of(node.0).to_vec();
             for (idx, &witness) in witness_set.iter().enumerate() {
                 // An equivocating host commits to a forked head towards every
@@ -922,6 +1322,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             if seq == 0 || witness_set.is_empty() {
                 continue; // nothing to commit / nobody to commit to
             }
+            let digest = self.shadows[&node.0].state_digest();
+            self.commit_snapshots.insert(node.0, (seq, digest));
             let equivocating = fault == NodeFault::Equivocate;
             let primary_head = if equivocating && witness_set.len() == 1 {
                 forked_head
@@ -1042,6 +1444,10 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         match envelope {
             Envelope::App(command) => {
                 let output = app.execute(node.0, &command);
+                self.shadows
+                    .get_mut(&node.0)
+                    .expect("shadow registered")
+                    .execute(&command);
                 self.layer.borrow_mut().record_exec(node.0, output.clone());
                 self.app_inbox.entry(node.0).or_default().push(AppDelivery {
                     from: NodeId(from),
@@ -1070,25 +1476,205 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 }
                 self.handle_envelope(app, node, from, *inner, outgoing);
             }
+            Envelope::CheckpointPropose(mark) => {
+                self.handle_checkpoint_propose(node.0, mark, outgoing);
+            }
+            Envelope::CheckpointCosign(cosig) => {
+                self.handle_checkpoint_cosign(node.0, &cosig);
+            }
+            Envelope::CheckpointCommit { mark, cosigs } => {
+                self.handle_checkpoint_commit(node.0, &mark, &cosigs);
+            }
         }
     }
 
-    /// Verifies a commitment's TNIC seal and structural claims.
-    fn seal_verifies(&mut self, witness: u32, auth: &Authenticator) -> bool {
-        if !auth.consistent() {
-            return false;
+    /// Witness side of a checkpoint proposal: cosign only what this witness
+    /// has itself verified — the proposed boundary must equal the audited
+    /// prefix and the proposed state digest must equal the replayed
+    /// reference machine's. A withholding witness stays silent; a forging
+    /// witness has its (honest) device seal a *different* digest and claims
+    /// otherwise — the proposer's checks reject it.
+    fn handle_checkpoint_propose(
+        &mut self,
+        witness: u32,
+        mark: CheckpointMark,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        let node = mark.node;
+        if !self.witnesses_of(node).contains(&witness)
+            || !mark.consistent()
+            || !self.attestation_verifies(witness, &mark.attestation)
+        {
+            return;
         }
+        if self.faults.fault_of(witness) == NodeFault::WithholdCosignatures {
+            self.stats.cosignatures_withheld += 1;
+            return;
+        }
+        let forging = self.faults.fault_of(witness) == NodeFault::ForgeCosignatures;
+        let Some(record) = self.records.get(&(witness, node)) else {
+            return;
+        };
+        if record.verdict == Verdict::Exposed
+            || record.audited_seq != mark.cut
+            || record.audited_head != mark.head
+        {
+            return; // never vouch for an unverified (or convicted) prefix
+        }
+        if !forging && record.machine.state_digest() != mark.state_digest {
+            return;
+        }
+        let sealed_digest = if forging {
+            // The Byzantine host asks its device to seal a forged digest;
+            // the device complies (it seals whatever it is handed) but the
+            // cosignature it produces cannot be passed off as covering the
+            // real checkpoint.
+            let mut forged = mark.state_digest;
+            forged[0] ^= 0xFF;
+            forged
+        } else {
+            mark.state_digest
+        };
+        let payload = Cosignature::payload(
+            witness,
+            node,
+            mark.epoch,
+            mark.cut,
+            &mark.head,
+            &sealed_digest,
+        );
+        let (attestation, cost) = self.layer.borrow_mut().seal_payload(witness, &payload);
+        self.clock.advance(cost);
+        let cosig = Cosignature {
+            witness,
+            node,
+            epoch: mark.epoch,
+            cut: mark.cut,
+            head: mark.head,
+            // A forger claims to cover the real mark regardless of what it
+            // actually sealed.
+            state_digest: mark.state_digest,
+            attestation,
+        };
+        self.stats.cosignatures_issued += 1;
+        outgoing.push((
+            NodeId(witness),
+            NodeId(node),
+            Envelope::CheckpointCosign(cosig),
+        ));
+    }
+
+    /// Proposer side of a cosignature: count it towards the quorum only if
+    /// it covers the pending mark exactly, is structurally consistent, and
+    /// its seal verifies — a forged or tampered cosignature is rejected
+    /// here without any effect on verdicts (accuracy is never at stake).
+    fn handle_checkpoint_cosign(&mut self, node: u32, cosig: &Cosignature) {
+        let Some(pending) = self.pending_checkpoints.get(&node) else {
+            return;
+        };
+        let mark = pending.mark.clone();
+        if cosig.node != node
+            || !self.witnesses_of(node).contains(&cosig.witness)
+            || !cosig.covers(&mark)
+            || !cosig.consistent()
+        {
+            self.stats.cosignatures_rejected += 1;
+            return;
+        }
+        if !self.attestation_verifies(node, &cosig.attestation) {
+            self.stats.cosignatures_rejected += 1;
+            return;
+        }
+        self.stats.cosignatures_collected += 1;
+        self.pending_checkpoints
+            .get_mut(&node)
+            .expect("pending checked")
+            .cosigners
+            .insert(cosig.witness, cosig.clone());
+    }
+
+    /// Witness side of a certified checkpoint: after verifying the mark and
+    /// a quorum of distinct, valid cosignatures from the witness set, drop
+    /// the stored commitments the checkpoint covers, and — if this witness
+    /// lagged behind the quorum — fast-forward to the cosigned boundary
+    /// (adopting the replay state of a quorum-verified fellow record).
+    fn handle_checkpoint_commit(
+        &mut self,
+        witness: u32,
+        mark: &CheckpointMark,
+        cosigs: &[Cosignature],
+    ) {
+        let node = mark.node;
+        let witness_set = self.witnesses_of(node).to_vec();
+        if !witness_set.contains(&witness)
+            || !mark.consistent()
+            || !self.attestation_verifies(witness, &mark.attestation)
+        {
+            return;
+        }
+        let mut signers: BTreeSet<u32> = BTreeSet::new();
+        for cosig in cosigs {
+            if cosig.covers(mark)
+                && cosig.consistent()
+                && witness_set.contains(&cosig.witness)
+                && self.attestation_verifies(witness, &cosig.attestation)
+            {
+                signers.insert(cosig.witness);
+            }
+        }
+        if signers.len() < cosign_quorum(witness_set.len()) {
+            return;
+        }
+        let lagging = self
+            .records
+            .get(&(witness, node))
+            .is_some_and(|r| r.audited_seq < mark.cut && r.verdict != Verdict::Exposed);
+        if lagging {
+            // Adopt the replay state of a fellow record that sits exactly at
+            // the certified boundary with the cosigned digest (the state
+            // fetch a real witness performs, verified against the
+            // certificate).
+            let donor = witness_set.iter().find_map(|&w| {
+                self.records.get(&(w, node)).filter(|r| {
+                    r.audited_seq == mark.cut && r.machine.state_digest() == mark.state_digest
+                })
+            });
+            if let Some(donor) = donor {
+                let machine = donor.machine.clone();
+                let pending = donor.pending_outputs();
+                if let Some(record) = self.records.get_mut(&(witness, node)) {
+                    record.fast_forward(mark.cut, mark.head, machine, pending);
+                }
+            }
+        }
+        if let Some(record) = self.records.get_mut(&(witness, node)) {
+            self.stats.commitments_pruned += record.drop_commitments_upto(mark.cut) as u64;
+        }
+    }
+
+    /// Cryptographically verifies a TNIC seal on `verifier`'s kernel (which
+    /// holds every log-session key).
+    fn attestation_verifies(
+        &mut self,
+        verifier: u32,
+        attestation: &tnic_device::attestation::AttestedMessage,
+    ) -> bool {
         let kernel = self
             .audit_kernels
-            .get_mut(&witness)
-            .expect("witness kernel");
-        match kernel.verify_binding(&auth.attestation) {
+            .get_mut(&verifier)
+            .expect("verifier kernel");
+        match kernel.verify_binding(attestation) {
             Ok(cost) => {
                 self.clock.advance(cost);
                 true
             }
             Err(_) => false,
         }
+    }
+
+    /// Verifies a commitment's TNIC seal and structural claims.
+    fn seal_verifies(&mut self, witness: u32, auth: &Authenticator) -> bool {
+        auth.consistent() && self.attestation_verifies(witness, &auth.attestation)
     }
 
     fn handle_commitment(

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod checkpoint;
 pub mod engine;
 pub mod log;
 pub mod stats;
@@ -81,6 +82,7 @@ pub mod wire;
 pub mod workload;
 
 pub use audit::{Misbehavior, Verdict, WitnessRecord};
+pub use checkpoint::{cosign_quorum, CheckpointMark, Cosignature};
 pub use engine::{
     AccountabilityEngine, AccountedApp, AppDelivery, CommitmentLayer, CounterApp, EngineConfig,
 };

@@ -52,6 +52,12 @@ pub enum EntryKind {
     /// claimed output, checked by witnesses against the deterministic
     /// reference state machine.
     Exec,
+    /// The node recorded a checkpoint mark: the authenticated application
+    /// state digest at an audited log boundary (see [`crate::checkpoint`]).
+    /// Witnesses replaying a segment re-verify the embedded digest against
+    /// their reference machine, so a forged checkpoint is as detectable as a
+    /// forged execution output.
+    Checkpoint,
 }
 
 impl EntryKind {
@@ -60,6 +66,7 @@ impl EntryKind {
             EntryKind::Send { .. } => 1,
             EntryKind::Recv { .. } => 2,
             EntryKind::Exec => 3,
+            EntryKind::Checkpoint => 4,
         }
     }
 
@@ -67,7 +74,7 @@ impl EntryKind {
         match self {
             EntryKind::Send { to } => to,
             EntryKind::Recv { from } => from,
-            EntryKind::Exec => 0,
+            EntryKind::Exec | EntryKind::Checkpoint => 0,
         }
     }
 
@@ -76,6 +83,7 @@ impl EntryKind {
             1 => Some(EntryKind::Send { to: peer }),
             2 => Some(EntryKind::Recv { from: peer }),
             3 => Some(EntryKind::Exec),
+            4 => Some(EntryKind::Checkpoint),
             _ => None,
         }
     }
@@ -199,9 +207,26 @@ impl LogEntry {
 }
 
 /// A node's append-only, hash-chained log.
+///
+/// Sequence numbers are *absolute* (they never restart), but the storage is
+/// checkpoint-relative: once a prefix has been covered by a cosigned
+/// checkpoint, [`SecureLog::prune_to`] drops the covered entries and the log
+/// keeps only `(base_seq, base_head)` — the boundary sequence number and the
+/// head hash the pruned prefix chained up to — as its verifiable root.
+/// Audits, segments and tampering all keep working on absolute sequence
+/// numbers over the retained suffix.
 #[derive(Debug, Clone, Default)]
 pub struct SecureLog {
     entries: Vec<LogEntry>,
+    /// Number of pruned entries: the absolute sequence number of the first
+    /// retained entry.
+    base_seq: u64,
+    /// The head hash after `base_seq` entries ([`GENESIS_HEAD`] before any
+    /// prune) — the chain root of the retained suffix.
+    base_head: [u8; 32],
+    /// Total entries dropped by [`SecureLog::prune_to`] over the log's
+    /// lifetime (equal to `base_seq`; kept separate for clarity in stats).
+    pruned: u64,
 }
 
 impl SecureLog {
@@ -211,22 +236,52 @@ impl SecureLog {
         SecureLog::default()
     }
 
-    /// Number of entries (also the sequence number of the next entry).
+    /// Number of entries ever appended (also the absolute sequence number of
+    /// the next entry). Pruning does not change this.
     #[must_use]
     pub fn len(&self) -> u64 {
+        self.base_seq + self.entries.len() as u64
+    }
+
+    /// Whether the log has never had an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries currently held in memory (the retained suffix).
+    #[must_use]
+    pub fn retained_len(&self) -> u64 {
         self.entries.len() as u64
     }
 
-    /// Whether the log is empty.
+    /// Approximate bytes held by the retained entries (content plus the
+    /// fixed per-entry fields: seq, kind/peer, prev and hash).
     #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    pub fn retained_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| 8 + 1 + 4 + 32 + 32 + e.content.len() as u64)
+            .sum()
+    }
+
+    /// Absolute sequence number of the first retained entry (0 before any
+    /// prune).
+    #[must_use]
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Total entries dropped by pruning over the log's lifetime.
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.pruned
     }
 
     /// The current head hash ([`GENESIS_HEAD`] when empty).
     #[must_use]
     pub fn head(&self) -> [u8; 32] {
-        self.entries.last().map_or(GENESIS_HEAD, |e| e.hash)
+        self.entries.last().map_or(self.base_head, |e| e.hash)
     }
 
     /// Appends an entry and returns a reference to it.
@@ -244,53 +299,82 @@ impl SecureLog {
         self.entries.last().expect("just pushed")
     }
 
-    /// All entries.
+    /// The retained entries (absolute sequence numbers start at
+    /// [`SecureLog::base_seq`]).
     #[must_use]
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
     }
 
-    /// The entries with `from_seq <= seq < upto_seq` (clamped to the log).
+    /// The retained entries with `from_seq <= seq < upto_seq` (clamped to
+    /// the retained suffix; pruned sequence numbers yield nothing).
     #[must_use]
     pub fn segment(&self, from_seq: u64, upto_seq: u64) -> &[LogEntry] {
-        let lo = (from_seq as usize).min(self.entries.len());
-        let hi = (upto_seq as usize).min(self.entries.len());
+        let lo = (from_seq.saturating_sub(self.base_seq) as usize).min(self.entries.len());
+        let hi = (upto_seq.saturating_sub(self.base_seq) as usize).min(self.entries.len());
         &self.entries[lo..hi.max(lo)]
     }
 
     /// The head the log had after `seq` entries (its state at an earlier
-    /// commitment), or `None` if `seq` exceeds the log.
+    /// commitment), or `None` if `seq` exceeds the log or has been pruned
+    /// away (the chain below [`SecureLog::base_seq`] is gone).
     #[must_use]
     pub fn head_at(&self, seq: u64) -> Option<[u8; 32]> {
-        if seq == 0 {
-            Some(GENESIS_HEAD)
+        if seq == self.base_seq {
+            Some(self.base_head)
+        } else if seq < self.base_seq {
+            None
         } else {
-            self.entries.get(seq as usize - 1).map(|e| e.hash)
+            self.entries
+                .get((seq - self.base_seq) as usize - 1)
+                .map(|e| e.hash)
         }
     }
 
-    /// **Byzantine host operation**: removes the last `n` entries. Used by
-    /// fault injection to model a node rewriting history it already
+    /// Garbage-collects the prefix covered by a cosigned checkpoint: drops
+    /// every entry with `seq < upto_seq` and makes the head at `upto_seq`
+    /// the log's new verifiable root. Clamped to the current length; pruning
+    /// below the existing base is a no-op. Returns the number of entries
+    /// dropped.
+    pub fn prune_to(&mut self, upto_seq: u64) -> u64 {
+        let cut = upto_seq.clamp(self.base_seq, self.len());
+        let drop = (cut - self.base_seq) as usize;
+        if drop == 0 {
+            return 0;
+        }
+        self.base_head = self.entries[drop - 1].hash;
+        self.entries.drain(..drop);
+        self.base_seq = cut;
+        self.pruned += drop as u64;
+        drop as u64
+    }
+
+    /// **Byzantine host operation**: removes the last `n` retained entries.
+    /// Used by fault injection to model a node rewriting history it already
     /// committed to.
     pub fn truncate_tail(&mut self, n: u64) {
         let keep = self.entries.len().saturating_sub(n as usize);
         self.entries.truncate(keep);
     }
 
-    /// **Byzantine host operation**: rewrites the content of entry `seq` and
-    /// re-chains every later hash so the forged log is self-consistent. The
-    /// forgery is undetectable by chain inspection alone — only replay
-    /// against the reference state machine (or a conflicting earlier
-    /// commitment) exposes it. Returns `false` if `seq` is out of range.
+    /// **Byzantine host operation**: rewrites the content of entry `seq`
+    /// (absolute) and re-chains every later hash so the forged log is
+    /// self-consistent. The forgery is undetectable by chain inspection
+    /// alone — only replay against the reference state machine (or a
+    /// conflicting earlier commitment) exposes it. Returns `false` if `seq`
+    /// is pruned or out of range.
     pub fn tamper_and_rechain(&mut self, seq: u64, new_content: Vec<u8>) -> bool {
-        let idx = seq as usize;
+        if seq < self.base_seq {
+            return false;
+        }
+        let idx = (seq - self.base_seq) as usize;
         if idx >= self.entries.len() {
             return false;
         }
         self.entries[idx].content = new_content;
         for i in idx..self.entries.len() {
             let prev = if i == 0 {
-                GENESIS_HEAD
+                self.base_head
             } else {
                 self.entries[i - 1].hash
             };
@@ -476,6 +560,73 @@ mod tests {
             "forgery diverges from commitment"
         );
         assert!(!log.tamper_and_rechain(9, b"x".to_vec()));
+    }
+
+    #[test]
+    fn prune_keeps_absolute_seqs_and_head() {
+        let mut log = sample_log();
+        let full_head = log.head();
+        let head_at_2 = log.head_at(2).unwrap();
+        assert_eq!(log.prune_to(2), 2);
+        // Length, head and sequence numbering are unchanged by pruning.
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.retained_len(), 1);
+        assert_eq!(log.base_seq(), 2);
+        assert_eq!(log.pruned(), 2);
+        assert_eq!(log.head(), full_head);
+        assert_eq!(log.entries()[0].seq, 2);
+        // The pruned chain is gone; the base head survives as the root.
+        assert_eq!(log.head_at(2), Some(head_at_2));
+        assert_eq!(log.head_at(1), None);
+        assert_eq!(log.head_at(3), Some(full_head));
+        // Segments clamp to the retained suffix.
+        assert!(log.segment(0, 2).is_empty());
+        assert_eq!(log.segment(0, 3).len(), 1);
+        assert_eq!(log.segment(2, 3)[0].seq, 2);
+        // Appends keep chaining from the retained head.
+        log.append(EntryKind::Exec, b"after".to_vec());
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.entries()[1].prev, full_head);
+        // Re-pruning below the base is a no-op.
+        assert_eq!(log.prune_to(1), 0);
+        assert_eq!(log.base_seq(), 2);
+        assert!(log.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn prune_everything_then_append_chains_from_base_head() {
+        let mut log = sample_log();
+        let head = log.head();
+        assert_eq!(log.prune_to(log.len()), 3);
+        assert_eq!(log.retained_len(), 0);
+        assert_eq!(log.head(), head, "empty suffix keeps the base head");
+        let entry = log.append(EntryKind::Send { to: 1 }, b"m3".to_vec());
+        assert_eq!(entry.seq, 3);
+        assert_eq!(entry.prev, head);
+    }
+
+    #[test]
+    fn tamper_after_prune_translates_absolute_seq() {
+        let mut log = sample_log();
+        log.prune_to(2);
+        // Seq 1 is pruned: tampering it must fail, not touch seq 3's slot.
+        assert!(!log.tamper_and_rechain(1, b"x".to_vec()));
+        let head_before = log.head();
+        assert!(log.tamper_and_rechain(2, b"forged".to_vec()));
+        assert_ne!(log.head(), head_before);
+        assert!(log.entries().iter().all(LogEntry::is_consistent));
+        assert_eq!(log.entries()[0].prev, log.head_at(2).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_entry_kind_round_trips() {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Checkpoint, b"mark".to_vec());
+        let entry = &log.entries()[0];
+        let (decoded, used) = LogEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(used, entry.encode().len());
+        assert_eq!(&decoded, entry);
+        assert_eq!(decoded.kind, EntryKind::Checkpoint);
     }
 
     #[test]

@@ -34,6 +34,35 @@ pub struct AccountabilityStats {
     pub unanswered_challenges: u64,
     /// Evidence messages transferred between witnesses.
     pub evidence_transfers: u64,
+    /// Checkpoint proposals sealed by nodes.
+    pub checkpoints_proposed: u64,
+    /// Checkpoints that reached their cosignature quorum and were pruned.
+    pub checkpoints_completed: u64,
+    /// Cosignatures issued by witnesses.
+    pub cosignatures_issued: u64,
+    /// Valid cosignatures counted towards a quorum by proposers.
+    pub cosignatures_collected: u64,
+    /// Cosignatures rejected by proposers (forged, tampered or stale).
+    pub cosignatures_rejected: u64,
+    /// Checkpoint proposals a Byzantine witness silently ignored.
+    pub cosignatures_withheld: u64,
+    /// Log entries garbage-collected by certified checkpoints.
+    pub pruned_log_entries: u64,
+    /// Stored witness commitments garbage-collected by certified
+    /// checkpoints.
+    pub commitments_pruned: u64,
+    /// Log entries currently retained in memory across all nodes (snapshot;
+    /// `log_entries` counts everything ever appended).
+    pub retained_log_entries: u64,
+    /// Approximate bytes of retained log entries across all nodes
+    /// (snapshot).
+    pub retained_log_bytes: u64,
+    /// Commitments currently stored across all witness records (snapshot).
+    pub retained_commitments: u64,
+    /// Witness-set rotations performed at checkpoint epochs.
+    pub witness_rotations: u64,
+    /// Incoming-witness records created by rotation (state handovers).
+    pub witness_handovers: u64,
     /// Virtual-time latency of one complete audit (challenge sent → verdict),
     /// in microseconds.
     pub audit_latency: Histogram,

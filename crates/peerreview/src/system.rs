@@ -54,6 +54,13 @@ pub struct PeerReviewConfig {
     /// Application payload size in bytes (the round-robin `incr` command,
     /// zero-padded). Clamped to at least the bare command length.
     pub app_payload_len: usize,
+    /// Run a cosigned checkpoint round (propose → cosign → prune, see
+    /// [`crate::checkpoint`]) after every this many audit rounds (`None` =
+    /// never; logs and stored commitments grow without bound).
+    pub checkpoint_interval: Option<u64>,
+    /// Rotate witness sets at checkpoint epochs (meaningful with
+    /// `witness_count < n - 1` and a checkpoint interval).
+    pub rotate_witnesses: bool,
 }
 
 impl Default for PeerReviewConfig {
@@ -66,6 +73,8 @@ impl Default for PeerReviewConfig {
             witness_count: None,
             piggyback: false,
             app_payload_len: crate::workload::APP_COMMAND.len(),
+            checkpoint_interval: None,
+            rotate_witnesses: false,
         }
     }
 }
@@ -79,6 +88,8 @@ impl PeerReviewConfig {
             seed: self.seed,
             witness_count: self.witness_count,
             piggyback: self.piggyback,
+            checkpoint_interval: self.checkpoint_interval,
+            rotate_witnesses: self.rotate_witnesses,
         }
     }
 }
@@ -235,6 +246,27 @@ impl PeerReview {
     pub fn run_audit_round(&mut self) -> Result<(), CoreError> {
         self.engine
             .run_audit_round(&mut self.cluster, &mut self.app)
+    }
+
+    /// The commit step of an audit round (piggyback-pipelined drivers; see
+    /// [`AccountabilityEngine::begin_audit_round`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn begin_audit_round(&mut self) -> Result<(), CoreError> {
+        self.engine.begin_audit_round(&mut self.cluster)
+    }
+
+    /// Flush + challenge + classify after the commit step (see
+    /// [`AccountabilityEngine::finish_audit_round`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the control traffic.
+    pub fn finish_audit_round(&mut self) -> Result<(), CoreError> {
+        self.engine
+            .finish_audit_round(&mut self.cluster, &mut self.app)
     }
 
     /// Convenience scenario driver: `rounds` iterations of

@@ -46,6 +46,7 @@
 //! A piggybacked envelope never nests another piggyback: decoding enforces
 //! `inner ≠ Piggyback`, bounding recursion to one level.
 
+use crate::checkpoint::{CheckpointMark, Cosignature, MAX_COSIGNERS};
 use crate::log::{Authenticator, LogEntry};
 use tnic_device::error::DeviceError;
 
@@ -68,6 +69,9 @@ const TAG_CHALLENGE: u8 = 3;
 const TAG_RESPONSE: u8 = 4;
 const TAG_EVIDENCE: u8 = 5;
 const TAG_PIGGYBACK: u8 = 6;
+const TAG_CKPT_PROPOSE: u8 = 7;
+const TAG_CKPT_COSIGN: u8 = 8;
+const TAG_CKPT_COMMIT: u8 = 9;
 
 /// A typed accountability-protocol payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +114,21 @@ pub enum Envelope {
         riders: Vec<PiggybackRider>,
         /// The envelope the commitments ride on (never itself a piggyback).
         inner: Box<Envelope>,
+    },
+    /// A node proposing a checkpoint of its audited log prefix to one of
+    /// its witnesses (see [`crate::checkpoint`]).
+    CheckpointPropose(CheckpointMark),
+    /// A witness's cosignature over a proposed checkpoint, returned to the
+    /// proposing node.
+    CheckpointCosign(Cosignature),
+    /// The certified checkpoint: the mark plus a quorum of cosignatures,
+    /// broadcast by the node to its witnesses so they can garbage-collect
+    /// covered commitments (and fast-forward if they lagged the quorum).
+    CheckpointCommit {
+        /// The certified checkpoint mark.
+        mark: CheckpointMark,
+        /// The quorum of cosignatures (1 to [`MAX_COSIGNERS`]).
+        cosigs: Vec<Cosignature>,
     },
 }
 
@@ -182,6 +201,26 @@ impl Envelope {
                     "piggybacks never nest"
                 );
                 return Envelope::piggyback_raw(riders, &inner.encode());
+            }
+            Envelope::CheckpointPropose(mark) => {
+                out.push(TAG_CKPT_PROPOSE);
+                out.extend_from_slice(&mark.encode());
+            }
+            Envelope::CheckpointCosign(cosig) => {
+                out.push(TAG_CKPT_COSIGN);
+                out.extend_from_slice(&cosig.encode());
+            }
+            Envelope::CheckpointCommit { mark, cosigs } => {
+                debug_assert!(
+                    !cosigs.is_empty() && cosigs.len() <= MAX_COSIGNERS,
+                    "a certificate carries 1..={MAX_COSIGNERS} cosignatures"
+                );
+                out.push(TAG_CKPT_COMMIT);
+                push_block(&mut out, &mark.encode());
+                out.push(cosigs.len() as u8);
+                for cosig in cosigs {
+                    push_block(&mut out, &cosig.encode());
+                }
             }
         }
         out
@@ -319,6 +358,28 @@ impl Envelope {
                     riders,
                     inner: Box::new(Envelope::decode(rest)?),
                 })
+            }
+            TAG_CKPT_PROPOSE => Ok(Envelope::CheckpointPropose(CheckpointMark::decode(rest)?)),
+            TAG_CKPT_COSIGN => Ok(Envelope::CheckpointCosign(Cosignature::decode(rest)?)),
+            TAG_CKPT_COMMIT => {
+                let (mark_block, used) = read_block(rest).ok_or_else(malformed)?;
+                let mark = CheckpointMark::decode(mark_block)?;
+                let rest = &rest[used..];
+                let (&count, mut rest) = rest.split_first().ok_or_else(malformed)?;
+                let count = count as usize;
+                if count == 0 || count > MAX_COSIGNERS {
+                    return Err(DeviceError::MalformedMessage("bad cosignature count"));
+                }
+                let mut cosigs = Vec::with_capacity(count.min(rest.len() / 4));
+                for _ in 0..count {
+                    let (block, used) = read_block(rest).ok_or_else(malformed)?;
+                    cosigs.push(Cosignature::decode(block)?);
+                    rest = &rest[used..];
+                }
+                if !rest.is_empty() {
+                    return Err(malformed());
+                }
+                Ok(Envelope::CheckpointCommit { mark, cosigs })
             }
             _ => Err(DeviceError::MalformedMessage("unknown envelope tag")),
         }
@@ -461,6 +522,94 @@ mod tests {
         }
     }
 
+    fn sealed_mark(node: u32) -> CheckpointMark {
+        let mut kernel = AttestationKernel::new(DeviceId(node), AttestationTiming::zero());
+        kernel.install_session_key(log_session(node), [node as u8; 32]);
+        let head = [5u8; 32];
+        let digest = [6u8; 32];
+        let payload = CheckpointMark::payload(node, 1, 8, &head, &digest);
+        let (attestation, _) = kernel.attest(log_session(node), &payload).unwrap();
+        CheckpointMark {
+            node,
+            epoch: 1,
+            cut: 8,
+            head,
+            state_digest: digest,
+            attestation,
+        }
+    }
+
+    fn sealed_cosign(witness: u32, mark: &CheckpointMark) -> Cosignature {
+        let mut kernel = AttestationKernel::new(DeviceId(witness), AttestationTiming::zero());
+        kernel.install_session_key(log_session(witness), [witness as u8; 32]);
+        let payload = Cosignature::payload(
+            witness,
+            mark.node,
+            mark.epoch,
+            mark.cut,
+            &mark.head,
+            &mark.state_digest,
+        );
+        let (attestation, _) = kernel.attest(log_session(witness), &payload).unwrap();
+        Cosignature {
+            witness,
+            node: mark.node,
+            epoch: mark.epoch,
+            cut: mark.cut,
+            head: mark.head,
+            state_digest: mark.state_digest,
+            attestation,
+        }
+    }
+
+    #[test]
+    fn checkpoint_envelopes_round_trip() {
+        let mark = sealed_mark(1);
+        let propose = Envelope::CheckpointPropose(mark.clone());
+        assert_eq!(Envelope::decode(&propose.encode()).unwrap(), propose);
+        let cosign = Envelope::CheckpointCosign(sealed_cosign(2, &mark));
+        assert_eq!(Envelope::decode(&cosign.encode()).unwrap(), cosign);
+        for quorum in 1..=3u32 {
+            let commit = Envelope::CheckpointCommit {
+                mark: mark.clone(),
+                cosigs: (0..quorum).map(|w| sealed_cosign(w + 2, &mark)).collect(),
+            };
+            assert_eq!(Envelope::decode(&commit.encode()).unwrap(), commit);
+        }
+        // Checkpoint control traffic is never mistaken for app commands.
+        assert_eq!(Envelope::app_command(&propose.encode()), None);
+        // Checkpoint envelopes can carry piggyback rides like any other.
+        let ridden = Envelope::Piggyback {
+            riders: vec![rider(3, true)],
+            inner: Box::new(propose),
+        };
+        assert_eq!(Envelope::decode(&ridden.encode()).unwrap(), ridden);
+    }
+
+    #[test]
+    fn checkpoint_commit_cosig_count_out_of_range_rejected() {
+        let mark = sealed_mark(1);
+        let commit = Envelope::CheckpointCommit {
+            mark: mark.clone(),
+            cosigs: vec![sealed_cosign(2, &mark)],
+        };
+        let bytes = commit.encode();
+        // Find the count byte: after magic+tag and the length-prefixed mark.
+        let mark_len = u32::from_le_bytes(bytes[3..7].try_into().unwrap()) as usize;
+        let count_at = 3 + 4 + mark_len;
+        assert_eq!(bytes[count_at], 1);
+        let mut zero = bytes.clone();
+        zero[count_at] = 0;
+        assert!(Envelope::decode(&zero).is_err());
+        let mut over = bytes.clone();
+        over[count_at] = (MAX_COSIGNERS + 1) as u8;
+        assert!(Envelope::decode(&over).is_err());
+        // Trailing garbage after the last cosignature is rejected.
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(Envelope::decode(&padded).is_err());
+    }
+
     #[test]
     fn piggyback_round_trip_over_every_inner_kind() {
         let mut log = SecureLog::new();
@@ -569,6 +718,7 @@ mod tests {
         let mut log = SecureLog::new();
         log.append(EntryKind::Recv { from: 1 }, b"payload".to_vec());
         log.append(EntryKind::Exec, b"out".to_vec());
+        let mark = sealed_mark(1);
         let samples = [
             Envelope::App(b"incr".to_vec()).encode(),
             Envelope::Piggyback {
@@ -582,6 +732,13 @@ mod tests {
                     from_seq: 0,
                     entries: log.entries().to_vec(),
                 }),
+            }
+            .encode(),
+            Envelope::CheckpointPropose(mark.clone()).encode(),
+            Envelope::CheckpointCosign(sealed_cosign(2, &mark)).encode(),
+            Envelope::CheckpointCommit {
+                mark: mark.clone(),
+                cosigs: vec![sealed_cosign(2, &mark), sealed_cosign(3, &mark)],
             }
             .encode(),
         ];
