@@ -3,6 +3,9 @@
 //! CSV (the data behind the overhead-scaling figures). Besides the raw
 //! PeerReview substrate, the grid sweeps the engine stacked under the BFT
 //! counter and the replicated KV chain (`app` column = `bft` / `cr`).
+//! PeerReview rows additionally carry a detection-latency column
+//! (`exposure_latency_rounds`): audit rounds until every correct witness
+//! exposes a seq-0 log tamperer in a twin run of the same configuration.
 //!
 //! Usage: `cargo run --release -p tnic-bench --bin sweep [--full] [--out FILE]`
 //!

@@ -141,6 +141,36 @@ pub enum NodeFault {
     /// proposer's content/seal checks reject it; accuracy is unaffected
     /// because a TNIC cannot be made to lie about what it sealed.
     ForgeCosignatures,
+    /// **Byzantine audit witness**: the node fabricates evidence against a
+    /// correct auditee — it pairs a genuine commitment with a forged
+    /// counterpart (sealed by its *own* honest device, since the auditee's
+    /// TNIC refuses to lie) and broadcasts the pair as equivocation proof.
+    /// Evidence is verified before adoption: the forged seal fails the
+    /// device/session binding, so the accusation is rejected and turned
+    /// against the accuser instead.
+    ForgeEvidence,
+    /// **Byzantine audit witness**: the node marks its auditees suspected
+    /// without ever issuing (let alone failing) a challenge. The lie is
+    /// inherently local — a suspicion carries no evidence and convinces no
+    /// correct third party — so every correct witness's verdict is
+    /// unaffected and the auditee can never be exposed by it.
+    FalseSuspicion,
+    /// **Byzantine audit witness**: the node performs its own audits but
+    /// never forwards commitments to fellow witnesses — neither dedicated
+    /// `Gossip` messages nor piggyback relays. Fellow witnesses fall back
+    /// on the auditee's rotating direct announcements (commitments are
+    /// cumulative), so propagation is delayed, never prevented.
+    WithholdGossip,
+    /// **Byzantine audit witness**: the node refuses to *relay* piggybacked
+    /// commitments (it silently drops gossip rides instead of queueing
+    /// them) while still behaving correctly in dedicated mode. The
+    /// piggyback-mode completeness cost is detection latency, bounded by
+    /// the announcement rotation.
+    RefuseRelay,
+    /// **Byzantine audit witness**: the node skips its audit duties
+    /// entirely — no challenges, no verdict updates. Its auditees are still
+    /// audited (and any fault exposed) by the remaining correct witnesses.
+    SilentWitness,
 }
 
 impl NodeFault {
@@ -161,7 +191,32 @@ impl NodeFault {
             NodeFault::TamperLogEntry { .. } => "tamper-entry",
             NodeFault::WithholdCosignatures => "withhold-cosign",
             NodeFault::ForgeCosignatures => "forge-cosign",
+            NodeFault::ForgeEvidence => "forge-evidence",
+            NodeFault::FalseSuspicion => "false-suspicion",
+            NodeFault::WithholdGossip => "withhold-gossip",
+            NodeFault::RefuseRelay => "refuse-relay",
+            NodeFault::SilentWitness => "silent-witness",
         }
+    }
+
+    /// Whether the behaviour is a *witness-side* audit fault: the node
+    /// deviates in its role as a witness (lying about, withholding or
+    /// skipping audit work) while still behaving correctly as an auditee.
+    /// Such a node is never provably faulty to *its own* witnesses — except
+    /// a [`NodeFault::ForgeEvidence`] accuser, whose unverifiable accusation
+    /// is itself the evidence against it.
+    #[must_use]
+    pub fn is_witness_fault(self) -> bool {
+        matches!(
+            self,
+            NodeFault::ForgeEvidence
+                | NodeFault::FalseSuspicion
+                | NodeFault::WithholdGossip
+                | NodeFault::RefuseRelay
+                | NodeFault::SilentWitness
+                | NodeFault::WithholdCosignatures
+                | NodeFault::ForgeCosignatures
+        )
     }
 }
 
@@ -291,6 +346,25 @@ mod tests {
         // Re-assigning Correct clears the entry.
         plan.set(2, NodeFault::Correct);
         assert_eq!(plan.byzantine_nodes(), vec![5]);
+    }
+
+    #[test]
+    fn witness_faults_are_byzantine_and_classified() {
+        for fault in [
+            NodeFault::ForgeEvidence,
+            NodeFault::FalseSuspicion,
+            NodeFault::WithholdGossip,
+            NodeFault::RefuseRelay,
+            NodeFault::SilentWitness,
+        ] {
+            assert!(fault.is_byzantine());
+            assert!(fault.is_witness_fault());
+            assert!(!fault.label().is_empty());
+        }
+        assert!(!NodeFault::Equivocate.is_witness_fault());
+        assert!(!NodeFault::Correct.is_witness_fault());
+        assert!(NodeFault::WithholdCosignatures.is_witness_fault());
+        assert_eq!(NodeFault::ForgeEvidence.label(), "forge-evidence");
     }
 
     #[test]

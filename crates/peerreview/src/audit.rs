@@ -21,6 +21,44 @@
 //! PeerReview's completeness/accuracy split: unresponsiveness alone can
 //! never prove a fault (the network might be at fault), while evidence is
 //! transferable and convinces every correct third party.
+//!
+//! # Evidence-verification rules (accuracy against lying witnesses)
+//!
+//! Witnesses themselves may be Byzantine (see the audit-side variants of
+//! [`tnic_net::adversary::NodeFault`]), so a verdict transition to
+//! [`Verdict::Exposed`] is **never** taken on another party's say-so. The
+//! rules, in order:
+//!
+//! 1. **Adoption requires checkable proof.** A received
+//!    `Envelope::Evidence { a, b }` accusation is adopted only when it is
+//!    *independently verifiable* by the receiver: both authenticators must
+//!    be structurally consistent ([`Authenticator::consistent`] binds the
+//!    seal to the accused node's device and log session), both TNIC seals
+//!    must verify on the receiver's kernel, and the pair must actually
+//!    conflict ([`commitments_conflict`]: same node, same sequence number,
+//!    different heads). Only then is the accused convicted.
+//! 2. **Local verification is the only other road to `Exposed`.** A failed
+//!    audit — a sealed log prefix whose replay diverges from the reference
+//!    machine, a broken chain, a truncated or padded response, a head or
+//!    checkpoint mismatch — convicts at the witness that verified it. No
+//!    message can *claim* such a failure on another witness's behalf.
+//! 3. **Unverifiable accusations convict the accuser.** A correct witness
+//!    only ever sends evidence it has verified, and the attested channel
+//!    guarantees the accusation really came from its sender — so an
+//!    `Evidence` envelope that fails rule 1 is itself proof that the sender
+//!    fabricated an accusation. The receiver (if it witnesses the sender)
+//!    records [`Misbehavior::ForgedAccusation`] against the *accuser*; the
+//!    accused node is untouched. Forged accusations are thereby
+//!    self-defeating, and a correct node can never be exposed by them: the
+//!    accused node's own TNIC is the only device that can seal commitments
+//!    binding to its log session, and it never seals a fork a correct host
+//!    did not produce.
+//! 4. **Suspicion carries no weight.** `Suspected` is a local, evidence-free
+//!    state (an unanswered challenge); it is never gossiped and never
+//!    escalates to `Exposed` without rule 1 or 2 — a witness that *lies*
+//!    about suspicion ([`NodeFault::FalseSuspicion`]) deceives only itself.
+//!
+//! [`NodeFault::FalseSuspicion`]: tnic_net::adversary::NodeFault::FalseSuspicion
 
 use crate::log::{Authenticator, LogEntry};
 use crate::wire::Envelope;
@@ -104,6 +142,18 @@ pub enum Misbehavior {
         /// Sequence number of the diverging `Checkpoint` entry.
         at_seq: u64,
     },
+    /// The node sent an evidence message that does not verify (forged,
+    /// tampered or non-conflicting authenticators): a correct witness only
+    /// transfers evidence it has verified, and the attested channel
+    /// guarantees the accusation's origin, so the unverifiable accusation
+    /// convicts the *accuser* — never the accused (see the module docs).
+    ForgedAccusation {
+        /// The node the rejected accusation's *first* authenticator named.
+        /// The halves of a malformed pair may disagree on the node (that is
+        /// one of the rejection causes), so this records what was claimed,
+        /// not a verified victim — the conviction is about the accuser.
+        accused: u32,
+    },
 }
 
 impl Misbehavior {
@@ -118,6 +168,7 @@ impl Misbehavior {
             Misbehavior::HeadMismatch { .. } => "head-mismatch",
             Misbehavior::ExecDivergence { .. } => "exec-divergence",
             Misbehavior::CheckpointMismatch { .. } => "checkpoint-mismatch",
+            Misbehavior::ForgedAccusation { .. } => "forged-accusation",
         }
     }
 }

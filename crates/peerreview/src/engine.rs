@@ -31,7 +31,17 @@
 //!
 //! Byzantine behaviours are injected through
 //! [`tnic_net::adversary::FaultPlan`], keeping the audit machinery itself
-//! identical for honest and adversarial runs.
+//! identical for honest and adversarial runs. That includes audit-side
+//! Byzantine *witnesses*: a forging witness fabricates evidence (rejected
+//! and turned against it — see the [`crate::audit`] evidence-verification
+//! rules), a falsely suspecting witness lies only to itself, and a
+//! gossip-withholding / relay-refusing / silent witness suppresses its
+//! forwarding or audit duties — which the per-round rotation of the
+//! piggyback announcement target turns into bounded detection latency
+//! instead of a propagation blackout. A challenge below a pruned log base
+//! is answered with the checkpoint commit certificate itself, so a witness
+//! behind a reordering transport verifies and fast-forwards instead of
+//! suspecting.
 //!
 //! # Attaching accountability to a new application
 //!
@@ -655,6 +665,9 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     challenge_started: BTreeMap<(u32, u32), SimInstant>,
     tamper_applied: BTreeSet<u32>,
     truncation_applied: BTreeSet<u32>,
+    /// (forger, auditee) pairs a `ForgeEvidence` witness already accused —
+    /// one fabricated accusation per pair bounds the forged traffic.
+    evidence_forged: BTreeSet<(u32, u32)>,
     rng: DetRng,
     stats: AccountabilityStats,
     /// Application messages unwrapped during dispatch, per node, until the
@@ -678,6 +691,10 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     pending_checkpoints: BTreeMap<u32, PendingCheckpoint>,
     /// Per node: the latest certified checkpoint (the verifiable log root).
     completed_checkpoints: BTreeMap<u32, CheckpointMark>,
+    /// Per node: the latest full commit certificate (mark + cosignature
+    /// quorum), kept so a challenge below the pruned base can be answered
+    /// with the certificate itself instead of an uncoverable log segment.
+    certificates: BTreeMap<u32, (CheckpointMark, Vec<Cosignature>)>,
 }
 
 impl<A: AccountedApp> std::fmt::Debug for AccountabilityEngine<A> {
@@ -750,6 +767,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             challenge_started: BTreeMap::new(),
             tamper_applied: BTreeSet::new(),
             truncation_applied: BTreeSet::new(),
+            evidence_forged: BTreeSet::new(),
             rng,
             stats: AccountabilityStats::new(),
             app_inbox: BTreeMap::new(),
@@ -759,6 +777,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             commit_snapshots: BTreeMap::new(),
             pending_checkpoints: BTreeMap::new(),
             completed_checkpoints: BTreeMap::new(),
+            certificates: BTreeMap::new(),
         }
     }
 
@@ -925,6 +944,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 break;
             }
         }
+        self.fabricate_evidence(cluster)?;
         self.issue_challenges(cluster)?;
         self.sweep_until_quiet(cluster, app)?;
         self.finish_round();
@@ -1087,6 +1107,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             let dropped = self.layer.borrow_mut().prune_to(node, mark.cut);
             self.stats.pruned_log_entries += dropped;
             self.stats.checkpoints_completed += 1;
+            self.certificates.insert(node, (mark.clone(), cosigs));
             self.completed_checkpoints.insert(node, mark);
         }
         for (from, to, env) in commits {
@@ -1309,11 +1330,16 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     }
 
     /// Piggyback-mode commit step: each node seals its current head and
-    /// queues it for its first witness; witness gossip (also riding) covers
-    /// the rest of the set. An equivocating host additionally seals a forked
-    /// head towards its second witness — the classic partition attempt,
-    /// defeated by gossip cross-checking. With a single witness the fork
-    /// goes to it directly and is exposed by the audit (head mismatch).
+    /// queues it for one witness — a *rotating* target (`round mod w`), so a
+    /// single relay-refusing or gossip-withholding witness can delay fellow
+    /// witnesses by at most `w - 1` rounds, never starve them (commitments
+    /// are cumulative: the next round's direct announcement to an honest
+    /// witness covers everything the suppressed relays did). Witness gossip
+    /// (also riding) covers the rest of the set in the common case. An
+    /// equivocating host additionally seals a forked head towards the next
+    /// witness in the rotation — the classic partition attempt, defeated by
+    /// gossip cross-checking. With a single witness the fork goes to it
+    /// directly and is exposed by the audit (head mismatch).
     fn queue_commitments(&mut self) {
         for node in self.nodes.clone() {
             let fault = self.faults.fault_of(node.0);
@@ -1330,19 +1356,21 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             } else {
                 head
             };
+            let target = (self.audit_rounds_done as usize) % witness_set.len();
             let (auth, cost) = self.layer.borrow_mut().seal(node.0, seq, primary_head);
             self.clock.advance(cost);
             self.stats.commitments_published += 1;
             self.layer
                 .borrow_mut()
-                .enqueue_ride(node.0, witness_set[0], auth, false);
+                .enqueue_ride(node.0, witness_set[target], auth, false);
             if equivocating && witness_set.len() > 1 {
+                let fork_target = (target + 1) % witness_set.len();
                 let (fork, cost) = self.layer.borrow_mut().seal(node.0, seq, forked_head);
                 self.clock.advance(cost);
                 self.stats.commitments_published += 1;
                 self.layer
                     .borrow_mut()
-                    .enqueue_ride(node.0, witness_set[1], fork, false);
+                    .enqueue_ride(node.0, witness_set[fork_target], fork, false);
             }
         }
     }
@@ -1351,6 +1379,25 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
         let now = self.clock.now();
         for (&(witness, node), record) in &mut self.records {
+            match self.faults.fault_of(witness) {
+                // A silent witness skips its audit duties outright; its
+                // record simply never advances (and never convicts).
+                NodeFault::SilentWitness => {
+                    self.stats.challenges_skipped += 1;
+                    continue;
+                }
+                // A falsely suspecting witness skips the challenge *and*
+                // downgrades its verdict anyway — a lie that stays local,
+                // because suspicion carries no evidence and is never
+                // transferred (see the `audit` module docs).
+                NodeFault::FalseSuspicion => {
+                    self.stats.challenges_skipped += 1;
+                    self.stats.false_suspicions += 1;
+                    record.mark_unresponsive();
+                    continue;
+                }
+                _ => {}
+            }
             if record.verdict == Verdict::Exposed || record.pending_challenge.is_some() {
                 continue;
             }
@@ -1366,6 +1413,91 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 record.pending_challenge = Some(target);
                 self.challenge_started.insert((witness, node), now);
                 self.stats.challenges += 1;
+            }
+        }
+        for (from, to, env) in outgoing {
+            self.send_control(cluster, from, to, &env)?;
+        }
+        Ok(())
+    }
+
+    /// The Byzantine forging step: every `ForgeEvidence` witness fabricates
+    /// one equivocation accusation per auditee — a genuine commitment (when
+    /// it holds one) paired with a forged counterpart whose seal its *own*
+    /// honest device produced, since the auditee's TNIC cannot be made to
+    /// sign a head its host never committed — and broadcasts the pair to
+    /// the auditee's fellow witnesses. The forged seal fails the
+    /// device/session binding at every receiver, so the accusation is
+    /// rejected and turned against the forger ([`Misbehavior::ForgedAccusation`]).
+    fn fabricate_evidence(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
+        let forgers: Vec<u32> = self
+            .faults
+            .byzantine_nodes()
+            .into_iter()
+            .filter(|&n| self.faults.fault_of(n) == NodeFault::ForgeEvidence)
+            .collect();
+        if forgers.is_empty() {
+            return Ok(());
+        }
+        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        for forger in forgers {
+            let auditees: Vec<u32> = self
+                .witnesses
+                .iter()
+                .filter(|(_, set)| set.contains(&forger))
+                .map(|(&node, _)| node)
+                .collect();
+            for auditee in auditees {
+                if self.evidence_forged.contains(&(forger, auditee)) {
+                    continue;
+                }
+                // Base the forgery on the newest real commitment if one is
+                // held (the more plausible lie); fabricate from thin air
+                // otherwise.
+                let real = self
+                    .records
+                    .get(&(forger, auditee))
+                    .and_then(|r| r.commitments.iter().max_by_key(|a| a.seq))
+                    .cloned();
+                let (seq, head) = real.as_ref().map_or((1, [0x5Au8; 32]), |a| (a.seq, a.head));
+                let mut forged_head = head;
+                forged_head[0] ^= 0xFF;
+                let payload = Authenticator::payload(auditee, seq, &forged_head);
+                let (attestation, cost) = self.layer.borrow_mut().seal_payload(forger, &payload);
+                self.clock.advance(cost);
+                let forged = Authenticator {
+                    node: auditee,
+                    seq,
+                    head: forged_head,
+                    attestation,
+                };
+                let a = real.unwrap_or_else(|| {
+                    // No genuine half available: forge that one too.
+                    let payload = Authenticator::payload(auditee, seq, &head);
+                    let (attestation, cost) =
+                        self.layer.borrow_mut().seal_payload(forger, &payload);
+                    self.clock.advance(cost);
+                    Authenticator {
+                        node: auditee,
+                        seq,
+                        head,
+                        attestation,
+                    }
+                });
+                self.evidence_forged.insert((forger, auditee));
+                for &fellow in self.witnesses.get(&auditee).expect("witness set") {
+                    if fellow != forger && fellow != auditee {
+                        self.stats.forged_evidence_sent += 1;
+                        outgoing.push((
+                            NodeId(forger),
+                            NodeId(fellow),
+                            Envelope::Evidence {
+                                a: a.clone(),
+                                b: forged.clone(),
+                            },
+                        ));
+                    }
+                }
             }
         }
         for (from, to, env) in outgoing {
@@ -1468,7 +1600,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 self.handle_response(node.0, from, from_seq, &entries);
             }
             Envelope::Evidence { a, b } => {
-                self.handle_evidence(node.0, &a, &b);
+                self.handle_evidence(node.0, from, &a, &b);
             }
             Envelope::Piggyback { riders, inner } => {
                 for rider in riders {
@@ -1644,6 +1776,10 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 let pending = donor.pending_outputs();
                 if let Some(record) = self.records.get_mut(&(witness, node)) {
                     record.fast_forward(mark.cut, mark.head, machine, pending);
+                    // The fast-forward subsumes any in-flight challenge (a
+                    // certificate may arrive as the *answer* to one); drop
+                    // its latency bookkeeping with it.
+                    self.challenge_started.remove(&(witness, node));
                 }
             }
         }
@@ -1693,10 +1829,21 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .get_mut(&(witness, accused))
             .expect("record exists");
         let conflict = record.store_commitment(auth.clone());
+        // A gossip-withholding witness suppresses *all* its witness-side
+        // forwarding (relays and evidence transfers alike); a relay-refusing
+        // one only drops piggyback relays. Neither affects the witness's own
+        // verdicts — the suppressed messages are pure forwarding.
+        let witness_fault = self.faults.fault_of(witness);
+        let withholds_all = witness_fault == NodeFault::WithholdGossip;
+        let refuses_relays = witness_fault == NodeFault::RefuseRelay && self.config.piggyback;
         if let Some(Misbehavior::ConflictingCommitments { a, b }) = conflict {
             // Evidence transfer: the pair convinces any correct third party.
             for &fellow in self.witnesses.get(&accused).expect("witness set") {
                 if fellow != witness && fellow != accused {
+                    if withholds_all {
+                        self.stats.gossip_withheld += 1;
+                        continue;
+                    }
                     self.stats.evidence_transfers += 1;
                     outgoing.push((
                         NodeId(witness),
@@ -1717,7 +1864,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             // message now.
             for &fellow in self.witnesses.get(&accused).expect("witness set") {
                 if fellow != witness && fellow != accused {
-                    if self.config.piggyback {
+                    if withholds_all {
+                        self.stats.gossip_withheld += 1;
+                    } else if refuses_relays {
+                        self.stats.relays_refused += 1;
+                    } else if self.config.piggyback {
                         self.layer
                             .borrow_mut()
                             .enqueue_ride(witness, fellow, auth.clone(), true);
@@ -1759,6 +1910,29 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             }
             _ => {}
         }
+        // A challenge below the pruned base cannot be answered with log
+        // entries any more — the covered prefix is gone. In-sim no witness
+        // normally challenges there (laggards fast-forward on the commit
+        // certificate first), but a reordering transport can deliver the
+        // challenge before the certificate; the honest answer is the
+        // certificate itself, which the witness verifies (quorum of seals)
+        // and fast-forwards from instead of suspecting.
+        if from_seq < self.layer.borrow().base_seq(node) {
+            if let Some((mark, cosigs)) = self.certificates.get(&node) {
+                if from_seq < mark.cut {
+                    self.stats.certificate_responses += 1;
+                    outgoing.push((
+                        NodeId(node),
+                        NodeId(witness),
+                        Envelope::CheckpointCommit {
+                            mark: mark.clone(),
+                            cosigs: cosigs.clone(),
+                        },
+                    ));
+                    return;
+                }
+            }
+        }
         let entries = self.layer.borrow().segment(node, from_seq, upto_seq);
         outgoing.push((
             NodeId(node),
@@ -1795,12 +1969,33 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         }
     }
 
-    fn handle_evidence(&mut self, witness: u32, a: &Authenticator, b: &Authenticator) {
-        if !commitments_conflict(a, b)
-            || !self.seal_verifies(witness, a)
-            || !self.seal_verifies(witness, b)
-        {
-            return; // not verifiable proof; ignore
+    /// An evidence message is adopted only when it is independently
+    /// verifiable (a genuinely conflicting, seal-valid commitment pair —
+    /// see the [`crate::audit`] module docs for the full rules). Anything
+    /// else is a fabricated accusation, and since the attested channel
+    /// guarantees its origin, it convicts the *accuser* — never the
+    /// accused.
+    fn handle_evidence(&mut self, witness: u32, from: u32, a: &Authenticator, b: &Authenticator) {
+        let verifiable = commitments_conflict(a, b)
+            && self.seal_verifies(witness, a)
+            && self.seal_verifies(witness, b);
+        if !verifiable {
+            self.stats.evidence_rejected += 1;
+            if from != witness && self.witnesses_of(from).contains(&witness) {
+                let accused = a.node;
+                let Some(record) = self.records.get_mut(&(witness, from)) else {
+                    return;
+                };
+                let already_convicted = record
+                    .evidence
+                    .iter()
+                    .any(|e| matches!(e, Misbehavior::ForgedAccusation { .. }));
+                if !already_convicted {
+                    self.stats.accusations_turned += 1;
+                    record.convict(Misbehavior::ForgedAccusation { accused });
+                }
+            }
+            return;
         }
         let Some(record) = self.records.get_mut(&(witness, a.node)) else {
             return;
@@ -2045,6 +2240,256 @@ mod tests {
             engine.stats().control_messages,
             1,
             "the whole batch travels in one dedicated message"
+        );
+    }
+
+    /// Drives `rounds` iterations of an 8-message round-robin workload plus
+    /// one audit round (mirroring the PeerReview driver, engine-side).
+    fn run_rounds(
+        cluster: &mut Cluster,
+        app: &mut CounterApp,
+        engine: &mut AccountabilityEngine<CounterApp>,
+        rounds: u64,
+    ) {
+        let payload = crate::workload::app_payload();
+        let piggyback = engine.config.piggyback;
+        for _ in 0..rounds {
+            if piggyback {
+                engine.begin_audit_round(cluster).unwrap();
+            }
+            for i in 0..8u32 {
+                let from = NodeId(i % 4);
+                let to = NodeId((i + 1) % 4);
+                cluster.auth_send(from, to, &payload).unwrap();
+                engine.poll(cluster, app, to).unwrap();
+            }
+            if piggyback {
+                engine.finish_audit_round(cluster, app).unwrap();
+            } else {
+                engine.run_audit_round(cluster, app).unwrap();
+            }
+        }
+    }
+
+    fn engine_deployment(
+        config: EngineConfig,
+        faults: FaultPlan,
+    ) -> (Cluster, CounterApp, AccountabilityEngine<CounterApp>) {
+        let mut cluster = Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+        let app = CounterApp::new(&cluster.nodes());
+        let engine = AccountabilityEngine::attach(&mut cluster, &app, config, faults);
+        (cluster, app, engine)
+    }
+
+    fn piggyback_config() -> EngineConfig {
+        EngineConfig {
+            piggyback: true,
+            witness_count: Some(2),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Every correct witness of every correct node must trust it.
+    fn assert_accuracy(engine: &AccountabilityEngine<CounterApp>) {
+        for node in 0..4u32 {
+            if engine.faults.fault_of(node).is_byzantine() {
+                continue;
+            }
+            for w in engine.correct_witnesses_of(node) {
+                assert_eq!(
+                    engine.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "correct node {node} at correct witness {w}"
+                );
+                assert!(engine.evidence_of(w, node).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn forged_evidence_exposes_the_accuser_never_the_accused() {
+        for config in [EngineConfig::default(), piggyback_config()] {
+            let (mut cluster, mut app, mut engine) =
+                engine_deployment(config, FaultPlan::single(1, NodeFault::ForgeEvidence));
+            run_rounds(&mut cluster, &mut app, &mut engine, 3);
+            engine.drain_audits(&mut cluster, &mut app).unwrap();
+            let stats = engine.stats();
+            assert!(stats.forged_evidence_sent > 0, "the forger actually lied");
+            assert!(stats.evidence_rejected > 0, "receivers rejected the lie");
+            assert!(stats.accusations_turned > 0, "the lie convicted its author");
+            // Accuracy: no accused (correct) node is ever exposed.
+            assert_accuracy(&engine);
+            // The accuser is exposed by at least one correct witness that
+            // received the forged accusation, with the turned evidence.
+            let exposed: Vec<u32> = engine
+                .correct_witnesses_of(1)
+                .into_iter()
+                .filter(|&w| engine.verdict_of(w, 1) == Verdict::Exposed)
+                .collect();
+            assert!(
+                !exposed.is_empty(),
+                "piggyback={}: some correct witness convicts the forger",
+                config.piggyback
+            );
+            for w in exposed {
+                assert!(engine
+                    .evidence_of(w, 1)
+                    .iter()
+                    .any(|e| matches!(e, Misbehavior::ForgedAccusation { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn false_suspicion_and_silent_witness_stay_local() {
+        for fault in [NodeFault::FalseSuspicion, NodeFault::SilentWitness] {
+            for config in [EngineConfig::default(), piggyback_config()] {
+                let (mut cluster, mut app, mut engine) =
+                    engine_deployment(config, FaultPlan::single(2, fault));
+                run_rounds(&mut cluster, &mut app, &mut engine, 3);
+                let stats = engine.stats();
+                assert!(stats.challenges_skipped > 0, "{fault:?} skipped audits");
+                // Accuracy: the lie never leaves the liar — every correct
+                // witness still trusts every correct node, and the
+                // Byzantine witness itself (correct as an auditee) stays
+                // trusted at its own witnesses.
+                assert_accuracy(&engine);
+                for w in engine.correct_witnesses_of(2) {
+                    assert_eq!(engine.verdict_of(w, 2), Verdict::Trusted);
+                }
+                if fault == NodeFault::FalseSuspicion {
+                    assert!(stats.false_suspicions > 0);
+                    // The liar's own records hold the fake verdict — local
+                    // and evidence-free.
+                    let lied = (0..4u32)
+                        .filter(|&n| engine.witnesses_of(n).contains(&2))
+                        .any(|n| engine.verdict_of(2, n) == Verdict::Suspected);
+                    assert!(lied, "the false suspicion exists, locally");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn withheld_gossip_delays_but_cannot_prevent_exposure() {
+        // Node 1 tampers its log; its first witness suppresses all relays.
+        // The rotating announcement target brings the commitments to the
+        // remaining correct witness within an extra round, which then
+        // exposes the tamperer from its own audit.
+        for witness_fault in [NodeFault::WithholdGossip, NodeFault::RefuseRelay] {
+            let mut faults = FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 });
+            faults.set(2, witness_fault);
+            let (mut cluster, mut app, mut engine) = engine_deployment(piggyback_config(), faults);
+            assert_eq!(engine.witnesses_of(1), &[2, 3]);
+            run_rounds(&mut cluster, &mut app, &mut engine, 4);
+            engine.drain_audits(&mut cluster, &mut app).unwrap();
+            let stats = engine.stats();
+            let suppressed = stats.gossip_withheld + stats.relays_refused;
+            assert!(suppressed > 0, "{witness_fault:?} actually suppressed");
+            assert_eq!(
+                engine.verdict_of(3, 1),
+                Verdict::Exposed,
+                "{witness_fault:?}: the correct witness still exposes the tamperer"
+            );
+            assert_accuracy(&engine);
+        }
+    }
+
+    #[test]
+    fn unverifiable_evidence_variants_convict_only_the_sender() {
+        let (_cluster, _, engine) = counter_deployment(FaultPlan::all_correct());
+        // A real commitment by node 1 (the would-be accused).
+        let (seq, head) = (3u64, [7u8; 32]);
+        let mut forked = head;
+        forked[0] ^= 0xFF;
+        let (real, _) = engine.layer.borrow_mut().seal(1, seq, head);
+        // (a) A forged counterpart sealed on the *sender's* (node 3's)
+        // session: device/session binding fails.
+        let payload = Authenticator::payload(1, seq, &forked);
+        let (attestation, _) = engine.layer.borrow_mut().seal_payload(3, &payload);
+        let resealed = Authenticator {
+            node: 1,
+            seq,
+            head: forked,
+            attestation,
+        };
+        // (b) A tampered head on a genuine seal: payload mismatch.
+        let mut tampered = real.clone();
+        tampered.head[2] ^= 0x55;
+        // (c) A non-conflicting pair (identical content): no crime claimed.
+        let (dup, _) = engine.layer.borrow_mut().seal(1, seq, head);
+        let variants: Vec<(Authenticator, Authenticator)> = vec![
+            (real.clone(), resealed),
+            (real.clone(), tampered),
+            (real.clone(), dup),
+        ];
+        for (i, (a, b)) in variants.into_iter().enumerate() {
+            let mut engine = counter_deployment(FaultPlan::all_correct()).2;
+            engine.handle_evidence(0, 3, &a, &b);
+            assert_eq!(
+                engine.verdict_of(0, 1),
+                Verdict::Trusted,
+                "variant {i}: the accused stays clean"
+            );
+            assert_eq!(
+                engine.verdict_of(0, 3),
+                Verdict::Exposed,
+                "variant {i}: the accuser is convicted"
+            );
+            assert!(engine
+                .evidence_of(0, 3)
+                .iter()
+                .any(|e| matches!(e, Misbehavior::ForgedAccusation { accused: 1 })));
+            assert_eq!(engine.stats().evidence_rejected, 1);
+        }
+    }
+
+    #[test]
+    fn below_base_challenge_answered_with_certificate_not_suspicion() {
+        // A checkpointed run that has certified and pruned...
+        let config = EngineConfig {
+            checkpoint_interval: Some(1),
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 2);
+        let base = engine.layer.borrow().base_seq(1);
+        assert!(base > 0, "node 1 actually pruned");
+        let cut = engine.completed_checkpoints.get(&1).unwrap().cut;
+        // ...then a reordering transport delivers witness 0 a challenge
+        // answer *request* for a range below the pruned base (the witness
+        // never saw the commit certificate). The node must answer with the
+        // certificate, not a truncated segment.
+        let mut outgoing = Vec::new();
+        engine.handle_challenge(1, 0, 0, base + 1, &mut outgoing);
+        assert_eq!(engine.stats().certificate_responses, 1);
+        let (_, to, answer) = outgoing.pop().expect("an answer was produced");
+        assert_eq!(to, NodeId(0));
+        let Envelope::CheckpointCommit { ref mark, .. } = answer else {
+            panic!("below-base challenge must be answered with the certificate");
+        };
+        assert_eq!(mark.cut, cut);
+        // Rewind witness 0 to a pre-checkpoint view with the challenge
+        // outstanding (what the reordered transport left behind).
+        let (seal, _) = engine.layer.borrow_mut().seal(1, base + 1, [9u8; 32]);
+        {
+            let record = engine.records.get_mut(&(0, 1)).unwrap();
+            *record = WitnessRecord::new(CounterMachine::new());
+            record.pending_challenge = Some(seal);
+        }
+        // Delivering the certificate fast-forwards the witness to the
+        // cosigned boundary instead of leaving it to suspect the node.
+        let mut relays = Vec::new();
+        engine.handle_envelope(&mut app, NodeId(0), 1, answer, &mut relays);
+        let record = engine.records.get(&(0, 1)).unwrap();
+        assert_eq!(record.audited_seq, cut, "fast-forwarded to the cut");
+        assert!(record.pending_challenge.is_none());
+        engine.finish_round();
+        assert_eq!(
+            engine.verdict_of(0, 1),
+            Verdict::Trusted,
+            "a verifiable certificate answer never produces suspicion"
         );
     }
 

@@ -34,6 +34,28 @@ pub struct AccountabilityStats {
     pub unanswered_challenges: u64,
     /// Evidence messages transferred between witnesses.
     pub evidence_transfers: u64,
+    /// Evidence messages received that failed verification (forged,
+    /// tampered or non-conflicting) and were rejected without convicting
+    /// the accused.
+    pub evidence_rejected: u64,
+    /// Rejected accusations that were turned against their accuser (the
+    /// receiver witnesses the sender and convicted it).
+    pub accusations_turned: u64,
+    /// Forged evidence messages fabricated by Byzantine witnesses.
+    pub forged_evidence_sent: u64,
+    /// Gossip relays a Byzantine witness suppressed (`WithholdGossip`).
+    pub gossip_withheld: u64,
+    /// Piggyback relays a Byzantine witness refused to carry (`RefuseRelay`).
+    pub relays_refused: u64,
+    /// Challenges a Byzantine witness silently skipped (`SilentWitness`,
+    /// `FalseSuspicion`).
+    pub challenges_skipped: u64,
+    /// Verdicts a Byzantine witness falsified to suspected without a failed
+    /// challenge (`FalseSuspicion`).
+    pub false_suspicions: u64,
+    /// Challenges below a pruned log base that were answered with the
+    /// checkpoint certificate instead of a log segment.
+    pub certificate_responses: u64,
     /// Checkpoint proposals sealed by nodes.
     pub checkpoints_proposed: u64,
     /// Checkpoints that reached their cosignature quorum and were pruned.

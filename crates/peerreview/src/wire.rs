@@ -768,6 +768,151 @@ mod tests {
         }
     }
 
+    /// Proptest-style fuzz of hostile evidence envelopes: truncations,
+    /// random bit flips and systematic reseal-tampering (the accuser's own
+    /// device sealing a claim about another node) must either fail to decode
+    /// or decode into a pair that fails verification — and feeding every
+    /// surviving decode through a live engine in both commit modes must
+    /// never expose a correct node (only, at most, the Byzantine accuser).
+    #[test]
+    fn hostile_evidence_fuzz_never_exposes_a_correct_node() {
+        use crate::engine::{AccountabilityEngine, CounterApp, EngineConfig};
+        use tnic_core::api::{Cluster, NodeId};
+        use tnic_net::adversary::FaultPlan;
+        use tnic_net::stack::NetworkStackKind;
+        use tnic_sim::rng::DetRng;
+        use tnic_tee::profile::Baseline;
+
+        let mut rng = DetRng::new(0xE51D);
+        // Genuine halves sealed by the accused node (1), plus variants a
+        // forging accuser (3) could fabricate.
+        let accused = 1u32;
+        let accuser = 3u32;
+        let mut accused_kernel =
+            AttestationKernel::new(DeviceId(accused), AttestationTiming::zero());
+        accused_kernel.install_session_key(log_session(accused), [accused as u8; 32]);
+        let mut accuser_kernel =
+            AttestationKernel::new(DeviceId(accuser), AttestationTiming::zero());
+        accuser_kernel.install_session_key(log_session(accuser), [accuser as u8; 32]);
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Exec, b"out".to_vec());
+        let real = {
+            let payload = Authenticator::payload(accused, log.len(), &log.head());
+            let (attestation, _) = accused_kernel
+                .attest(log_session(accused), &payload)
+                .unwrap();
+            Authenticator {
+                node: accused,
+                seq: log.len(),
+                head: log.head(),
+                attestation,
+            }
+        };
+        // Reseal-tampered: the accuser's device seals a forged head while
+        // the envelope claims it covers the accused's log session.
+        let resealed = {
+            let mut head = log.head();
+            head[0] ^= 0xFF;
+            let payload = Authenticator::payload(accused, log.len(), &head);
+            let (attestation, _) = accuser_kernel
+                .attest(log_session(accuser), &payload)
+                .unwrap();
+            Authenticator {
+                node: accused,
+                seq: log.len(),
+                head,
+                attestation,
+            }
+        };
+        let forged_bytes = Envelope::Evidence {
+            a: real.clone(),
+            b: resealed,
+        }
+        .encode();
+        let honest_bytes = Envelope::Evidence {
+            a: real.clone(),
+            b: real.clone(),
+        }
+        .encode();
+
+        // Collect hostile sample envelopes that survive decode.
+        let mut survivors: Vec<Envelope> = Vec::new();
+        for bytes in [&forged_bytes, &honest_bytes] {
+            for cut in 0..bytes.len() {
+                if let Ok(env) = Envelope::decode(&bytes[..cut]) {
+                    // A truncation that still decodes must re-encode to the
+                    // exact prefix (no silent reinterpretation).
+                    assert_eq!(env.encode(), &bytes[..cut]);
+                    survivors.push(env);
+                }
+            }
+            for _ in 0..300 {
+                let mut mutated = bytes.clone();
+                let idx = rng.next_below(mutated.len() as u64) as usize;
+                mutated[idx] ^= 1 << rng.next_below(8);
+                if let Ok(env) = Envelope::decode(&mutated) {
+                    survivors.push(env);
+                }
+            }
+        }
+        survivors.push(Envelope::decode(&forged_bytes).unwrap());
+
+        // Replay every surviving envelope into a live engine, in both
+        // commit modes, as traffic from the Byzantine accuser.
+        for piggyback in [false, true] {
+            let config = EngineConfig {
+                piggyback,
+                witness_count: piggyback.then_some(2),
+                ..EngineConfig::default()
+            };
+            let mut cluster =
+                Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+            let mut app = CounterApp::new(&cluster.nodes());
+            let mut engine =
+                AccountabilityEngine::attach(&mut cluster, &app, config, FaultPlan::all_correct());
+            for (receiver, env) in survivors
+                .iter()
+                .flat_map(|e| (0..4u32).map(move |r| (r, e.clone())))
+            {
+                if receiver == accuser {
+                    continue;
+                }
+                let payload = env.encode();
+                if cluster
+                    .auth_send(NodeId(accuser), NodeId(receiver), &payload)
+                    .is_ok()
+                {
+                    engine
+                        .poll(&mut cluster, &mut app, NodeId(receiver))
+                        .unwrap();
+                }
+            }
+            // Accuracy: no correct node (anyone but the accuser) is ever
+            // exposed by hostile evidence, however mangled.
+            for node in 0..4u32 {
+                if node == accuser {
+                    continue;
+                }
+                for &w in engine.witnesses_of(node) {
+                    assert_ne!(
+                        engine.verdict_of(w, node),
+                        crate::audit::Verdict::Exposed,
+                        "piggyback={piggyback}: node {node} exposed at witness {w}"
+                    );
+                }
+            }
+            // The deliberate reseal-forgery convicted its author somewhere.
+            let turned = engine
+                .witnesses_of(accuser)
+                .iter()
+                .any(|&w| engine.verdict_of(w, accuser) == crate::audit::Verdict::Exposed);
+            assert!(
+                turned,
+                "piggyback={piggyback}: the forged accusation convicts the accuser"
+            );
+        }
+    }
+
     #[test]
     fn malformed_envelopes_rejected() {
         assert!(Envelope::decode(&[]).is_err());

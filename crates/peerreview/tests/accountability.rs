@@ -6,19 +6,13 @@
 //! a fault-free run of the same scenario must produce zero suspicions and
 //! zero exposures (no false positives).
 //!
-//! The packet-level composition tests additionally install a
-//! [`tnic_net::adversary::Adversary`] on the cluster's delivery path,
-//! composing node-level fault plans with a lossy/hostile network, and
-//! assert that the suspected/exposed classification stays *stable*: the
-//! transport's go-back-N recovery absorbs drops and corruption as
-//! retransmission latency (the attested channel requires — and preserves —
-//! lossless ordering), so every witness reaches exactly the verdict of the
-//! clean-network twin, only later. Accuracy never degrades: a correct node
-//! is never exposed, because evidence must be verifiable and dropped or
-//! tampered packets produce none.
+//! The packet-level composition suite (node-level fault plans composed with
+//! a lossy/hostile network, asserting exact verdict parity with a
+//! clean-network twin) lives in `tnic-bench/tests/verdict_parity.rs` on the
+//! reusable [`tnic_bench`] verdict-parity harness.
 
 use tnic_core::verification::TraceChecker;
-use tnic_net::adversary::{Adversary, FaultPlan, NodeFault};
+use tnic_net::adversary::{FaultPlan, NodeFault};
 use tnic_net::stack::NetworkStackKind;
 use tnic_peerreview::audit::{Misbehavior, Verdict};
 use tnic_peerreview::system::{PeerReview, PeerReviewConfig};
@@ -159,178 +153,6 @@ fn accountability_overhead_is_measurable_against_bare_substrate() {
     );
     assert!(stats.audit_latency.percentile_us(0.5) > 0.0);
     assert!(stats.app_latency.mean_us() > 0.0);
-}
-
-/// Runs the same fault plan twice — clean network vs. packet-level
-/// adversary — and returns both deployments for verdict-parity comparison.
-fn clean_and_adversarial(
-    faults: FaultPlan,
-    adversary: Adversary,
-    seed: u64,
-    rounds: u64,
-) -> (PeerReview, PeerReview) {
-    let mut clean = PeerReview::new(four_nodes(seed), faults.clone()).unwrap();
-    clean.run_scenario(rounds, 8).unwrap();
-    let mut hostile = PeerReview::new(four_nodes(seed), faults).unwrap();
-    hostile
-        .cluster_mut()
-        .set_adversary(adversary, seed ^ 0xAD5A);
-    hostile.run_scenario(rounds, 8).unwrap();
-    (clean, hostile)
-}
-
-/// Every (witness, node) verdict matches between the two runs.
-fn assert_verdict_parity(clean: &PeerReview, hostile: &PeerReview, context: &str) {
-    for node in 0..4 {
-        for &w in clean.witnesses_of(node) {
-            assert_eq!(
-                hostile.verdict_of(w, node),
-                clean.verdict_of(w, node),
-                "{context}: witness {w} of node {node} diverges from the clean-network twin"
-            );
-        }
-    }
-}
-
-#[test]
-fn equivocation_exposure_is_stable_under_packet_drops() {
-    for seed in [7u64, 21] {
-        let (clean, hostile) = clean_and_adversarial(
-            FaultPlan::single(2, NodeFault::Equivocate),
-            Adversary::Drop { probability: 0.2 },
-            seed,
-            3,
-        );
-        assert_verdict_parity(&clean, &hostile, "drop 20%");
-        for w in hostile.correct_witnesses_of(2) {
-            assert_eq!(
-                hostile.verdict_of(w, 2),
-                Verdict::Exposed,
-                "seed {seed} witness {w}: completeness survives a lossy network"
-            );
-            assert!(!hostile.evidence_of(w, 2).is_empty());
-        }
-        // Accuracy: no correct node is ever exposed, drops notwithstanding.
-        for node in [0u32, 1, 3] {
-            for w in hostile.correct_witnesses_of(node) {
-                assert_eq!(hostile.verdict_of(w, node), Verdict::Trusted);
-                assert!(hostile.evidence_of(w, node).is_empty());
-            }
-        }
-        // The lossy network costs retransmission latency, nothing else.
-        assert!(
-            hostile.now() > clean.now(),
-            "seed {seed}: drops must surface as virtual-time overhead"
-        );
-    }
-}
-
-#[test]
-fn tampering_exposure_is_stable_under_packet_tampering() {
-    // Wire tampering is rejected by the attestation kernel and recovered by
-    // retransmission, so it composes with node-level faults as pure latency:
-    // the log tamperer is still exposed by replay, and nobody else is.
-    let (clean, hostile) = clean_and_adversarial(
-        FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
-        Adversary::TamperPayload { probability: 0.2 },
-        13,
-        3,
-    );
-    assert_verdict_parity(&clean, &hostile, "tamper 20%");
-    assert!(
-        hostile.cluster().stats().messages_rejected > 0,
-        "the adversary actually corrupted traffic"
-    );
-    for w in hostile.correct_witnesses_of(1) {
-        assert_eq!(hostile.verdict_of(w, 1), Verdict::Exposed, "witness {w}");
-        assert!(hostile
-            .evidence_of(w, 1)
-            .iter()
-            .any(|e| matches!(e, Misbehavior::ExecDivergence { .. })));
-    }
-    for node in [0u32, 2, 3] {
-        for w in hostile.correct_witnesses_of(node) {
-            assert_eq!(hostile.verdict_of(w, node), Verdict::Trusted);
-        }
-    }
-}
-
-#[test]
-fn suppression_stays_suspected_never_exposed_under_drops() {
-    // Silence plus a lossy network must still never produce *proof*: the
-    // suppressing node ends suspected exactly as on a clean network, and no
-    // verifiable evidence exists against it.
-    let (clean, hostile) = clean_and_adversarial(
-        FaultPlan::single(0, NodeFault::SuppressAudits { probability: 1.0 }),
-        Adversary::Drop { probability: 0.2 },
-        31,
-        3,
-    );
-    assert_verdict_parity(&clean, &hostile, "drop 20% + suppression");
-    for w in hostile.correct_witnesses_of(0) {
-        assert_eq!(
-            hostile.verdict_of(w, 0),
-            Verdict::Suspected,
-            "witness {w}: silence is not proof, with or without packet loss"
-        );
-        assert!(hostile.evidence_of(w, 0).is_empty());
-    }
-    assert!(hostile.stats().unanswered_challenges > 0);
-}
-
-#[test]
-fn fault_free_run_under_lossy_network_produces_no_evidence() {
-    let (clean, hostile) = clean_and_adversarial(
-        FaultPlan::all_correct(),
-        Adversary::Drop { probability: 0.25 },
-        11,
-        3,
-    );
-    assert_verdict_parity(&clean, &hostile, "drop 25% fault-free");
-    for node in 0..4 {
-        for &w in hostile.witnesses_of(node) {
-            assert_eq!(
-                hostile.verdict_of(w, node),
-                Verdict::Trusted,
-                "node {node} at witness {w}: accuracy under packet loss"
-            );
-            assert!(hostile.evidence_of(w, node).is_empty());
-        }
-    }
-    let stats = hostile.stats();
-    assert_eq!(stats.unanswered_challenges, 0);
-    assert_eq!(stats.responses, stats.challenges);
-}
-
-#[test]
-fn replay_duplicates_on_the_wire_do_not_corrupt_audit_state() {
-    // A duplicating adversary re-injects every packet: the attestation
-    // kernel's counter check rejects the duplicate, so logs (and therefore
-    // audits) see each message exactly once.
-    let (clean, hostile) = clean_and_adversarial(
-        FaultPlan::all_correct(),
-        Adversary::Replay { probability: 1.0 },
-        3,
-        3,
-    );
-    assert_verdict_parity(&clean, &hostile, "replay 100%");
-    assert!(
-        hostile.cluster().stats().messages_rejected > 0,
-        "duplicates rejected"
-    );
-    // Every single message was duplicated once; every duplicate rejected.
-    assert_eq!(
-        hostile.cluster().stats().messages_rejected,
-        hostile.cluster().stats().messages_sent
-    );
-    for node in 0..4 {
-        for &w in hostile.witnesses_of(node) {
-            assert_eq!(hostile.verdict_of(w, node), Verdict::Trusted);
-        }
-    }
-    let stats = hostile.stats();
-    assert_eq!(stats.unanswered_challenges, 0);
-    assert_eq!(stats.responses, stats.challenges);
 }
 
 #[test]

@@ -88,48 +88,10 @@ fn retained_entries_scale_with_interval_not_rounds() {
     );
 }
 
-#[test]
-fn verdict_parity_with_no_pruning_twin_across_fault_suite() {
-    let suite: [(u32, NodeFault); 5] = [
-        (0, NodeFault::Correct),
-        (1, NodeFault::Equivocate),
-        (2, NodeFault::SuppressAudits { probability: 1.0 }),
-        (3, NodeFault::TruncateLog { drop_tail: 4 }),
-        (1, NodeFault::TamperLogEntry { seq: 0 }),
-    ];
-    for (node, fault) in suite {
-        for piggyback in [false, true] {
-            let mk = |interval: Option<u64>| {
-                let config = PeerReviewConfig {
-                    checkpoint_interval: interval,
-                    piggyback,
-                    witness_count: piggyback.then_some(2),
-                    ..base_config(42)
-                };
-                let mut pr = PeerReview::new(config, FaultPlan::single(node, fault)).unwrap();
-                pr.run_scenario(4, 8).unwrap();
-                pr.drain_audits().unwrap();
-                pr
-            };
-            let plain = mk(None);
-            let ckpt = mk(Some(1));
-            assert!(
-                fault == NodeFault::Correct || ckpt.stats().checkpoints_completed > 0,
-                "correct nodes keep checkpointing around the faulty one"
-            );
-            for n in 0..4 {
-                for &w in plain.witnesses_of(n) {
-                    assert_eq!(
-                        ckpt.verdict_of(w, n),
-                        plain.verdict_of(w, n),
-                        "fault {fault:?} at node {node}, piggyback={piggyback}: \
-                         witness {w} of node {n} diverges from the no-pruning twin"
-                    );
-                }
-            }
-        }
-    }
-}
+// The verdict-parity comparison against a no-pruning twin across the whole
+// fault suite lives in `tnic-bench/tests/verdict_parity.rs`
+// (`verdict_parity_with_no_pruning_twin_across_fault_suite`), on the
+// reusable harness.
 
 #[test]
 fn tamper_after_prune_is_exposed_from_checkpoint_relative_evidence() {
