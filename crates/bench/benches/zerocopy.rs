@@ -7,6 +7,11 @@
 //! A counting global allocator makes the difference a measured number, not
 //! an assertion. Run with `cargo bench -p tnic-bench --bench zerocopy`;
 //! the process exits non-zero if the warm in-place loop allocates.
+//!
+//! The in-place loop runs with the `tnic_obs` event recorder **installed
+//! and enabled**: the zero-alloc guarantee must hold with protocol tracing
+//! active (the recorder preallocates its ring; recording an event is a
+//! slot write), so observability can stay on in production datapaths.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,8 +81,15 @@ fn main() {
         });
 
         // In-place path: attest_into -> parse view -> verify_view, one warm
-        // reused buffer.
+        // reused buffer — with the event recorder installed, so the gate
+        // also covers the tracing layer's no-allocation claim (each
+        // attest/verify emits an event into the preallocated ring).
         let (mut tx, mut rx) = kernel_pair();
+        let recorder = tnic_obs::RecorderGuard::install(4096);
+        assert!(
+            tnic_obs::tracing_enabled(),
+            "recorder must be active for the traced zero-alloc gate"
+        );
         let mut wire = Vec::with_capacity(64 + size);
         tx.attest_into(SessionId(1), &payload, &mut wire).unwrap();
         {
@@ -93,10 +105,19 @@ fn main() {
                 std::hint::black_box(&view);
             }
         });
+        let recorded = recorder.snapshot().len() as u64 + recorder.dropped();
+        drop(recorder);
+        if recorded < 2 * ITERS {
+            eprintln!(
+                "suspicious: only {recorded} events recorded for {ITERS} attest+verify \
+                 pairs at {size} B — tracing instrumentation may be broken"
+            );
+            failed = true;
+        }
 
         for (path, total) in [
             ("attest/encode/decode/verify (owned)", owned),
-            ("attest_into/parse/verify_view", inplace),
+            ("attest_into/parse/verify_view (traced)", inplace),
         ] {
             println!(
                 "{:<10} {:<34} {:>14} {:>12.3}",
@@ -107,7 +128,9 @@ fn main() {
             );
         }
         if inplace != 0 {
-            eprintln!("FAIL: warm in-place loop allocated {inplace} times at {size} B");
+            eprintln!(
+                "FAIL: warm in-place loop (tracing enabled) allocated {inplace} times at {size} B"
+            );
             failed = true;
         }
         if owned < 3 * ITERS {
@@ -122,5 +145,8 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("\nwarm in-place datapath: 0 allocations per message on every size");
+    println!(
+        "\nwarm in-place datapath: 0 allocations per message on every size, \
+         with the event recorder active"
+    );
 }

@@ -1,10 +1,12 @@
 //! Reproduction runner: executes the PeerReview fault-injection scenarios
 //! — on the raw substrate and stacked under the BFT and chain-replication
-//! transforms — and prints results tables.
+//! transforms — prints results tables, and generates a markdown perf
+//! report.
 //!
 //! Usage: `cargo run --release -p tnic-bench --bin reproduce
 //! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
-//! [--max-retained-entries N] [--max-exposure-latency-rounds N]`
+//! [--max-retained-entries N] [--max-exposure-latency-rounds N]
+//! [--report PATH]`
 //!
 //! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
 //! × 8 application messages) with one Byzantine behaviour injected through
@@ -33,34 +35,65 @@
 //!
 //! The `bft-acct`/`cr-acct`/`a2m-acct` suite then stacks the *same*
 //! accountability engine under the BFT counter, the replicated KV chain
-//! and the replicated A2M: a fault-free control run plus one Byzantine
-//! node per application (an equivocating BFT replica, a tail-tampering
-//! chain node, a log-rewriting A2M replica), in every commitment mode. The
-//! table reports ctl/app message overhead, virtual-time overhead against
-//! an engine-free twin, protocol liveness and replica state parity — the
-//! cost of accountability *on top of each transform*, not just the
-//! substrate.
+//! and the replicated A2M, and a 200-audit-round retention probe certifies
+//! the bounded-memory story (see `tnic_bench::run_retention_probe`).
 //!
-//! A 200-audit-round retention probe then certifies the bounded-memory
-//! story: with checkpointing every 4 rounds, retained log entries and
-//! stored commitments must stay O(interval), not O(rounds).
+//! Two scenarios (exec-tampering and forge-evidence) additionally run with
+//! the `tnic_obs` event recorder installed; the report reconstructs each
+//! verdict's causal chain (commitment → challenge → response → replay →
+//! verdict, or evidence → verdict) with a per-phase virtual-time
+//! breakdown — where the exposure latency actually went.
 //!
-//! `--check` turns the run into a CI gate: the process exits non-zero if
-//! any verdict deviates from its expected classification in any mode, if a
-//! control run loses protocol liveness or state parity, or if an overhead
-//! or memory bound is exceeded — `--max-ctl-app` (default 2.0) for the raw
-//! substrate's piggyback rows, `--max-acct-ctl-app` (default 3.0) for the
-//! engine stacked on BFT/CR/A2M, a relative factor for the checkpointed
-//! rows ([`CKPT_OVERHEAD_FACTOR`] × the piggyback row), and
-//! `--max-retained-entries` (default 600) for the retention probe.
+//! Results land in a markdown report (default `reports/reproduce.md`,
+//! override with `--report PATH`): verdict tables, virtual throughput,
+//! ctl/app overhead, latency percentiles, allocation counts, event-count
+//! metrics per traced scenario and the verdict timelines.
+//!
+//! `--check` turns the run into a CI gate. Every gate is *named* and
+//! evaluated independently (`tnic_bench::gates`); a failing run prints
+//! each broken gate by name — never just the first — and exits non-zero.
+//! Verdict/accuracy/completeness gates are fatal even without `--check`;
+//! the overhead and memory bounds (`--max-ctl-app`, `--max-acct-ctl-app`,
+//! the relative [`CKPT_OVERHEAD_FACTOR`], `--max-retained-entries`,
+//! `--max-exposure-latency-rounds`) only gate under `--check`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tnic_bench::gates::{self, GateOutcome};
 use tnic_bench::{
-    measure_exposure_latency, render_acct_table, render_table, run_acct_scenario,
-    run_retention_probe, run_scenario_mode, AcctScenario, AcctScenarioResult, CommitMode, Scenario,
-    ScenarioResult,
+    measure_exposure_latency, render_acct_table, render_table, report, run_acct_scenario,
+    run_retention_probe, run_scenario_mode, run_scenario_traced, AcctScenario, AcctScenarioResult,
+    CommitMode, Scenario, ScenarioResult,
 };
 use tnic_net::adversary::{FaultPlan, NodeFault};
+use tnic_obs::metrics::MetricsRegistry;
 use tnic_tee::profile::Baseline;
+
+/// System allocator wrapper counting every allocation, so the report can
+/// state whole-process allocation counts for the run.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const MODES: [CommitMode; 3] = [
     CommitMode::Dedicated,
@@ -81,6 +114,9 @@ const PROBE_INTERVAL: u64 = 4;
 /// commit certificate; measured ~2.0-2.5x today).
 const CKPT_OVERHEAD_FACTOR: f64 = 3.0;
 
+/// Ring capacity for the traced scenario runs (events, not bytes).
+const TRACE_CAPACITY: usize = 1 << 18;
+
 fn main() {
     let mut all_baselines = false;
     let mut check = false;
@@ -88,6 +124,7 @@ fn main() {
     let mut max_acct_ctl_app = 3.0f64;
     let mut max_retained_entries = 600u64;
     let mut max_exposure_latency_rounds = 6u64;
+    let mut report_path = std::path::PathBuf::from("reports/reproduce.md");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -119,12 +156,19 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--report" => match args.next() {
+                Some(path) => report_path = std::path::PathBuf::from(path),
+                None => {
+                    eprintln!("--report requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
                      [--max-acct-ctl-app RATIO] [--max-retained-entries N] \
-                     [--max-exposure-latency-rounds N]"
+                     [--max-exposure-latency-rounds N] [--report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -143,20 +187,21 @@ fn main() {
     );
 
     let mut results: Vec<ScenarioResult> = Vec::new();
-    let mut failures = 0;
+    let mut failed_runs: Vec<String> = Vec::new();
     for baseline in baselines {
         for scenario in Scenario::suite() {
             for mode in MODES {
                 match run_scenario_mode(&scenario, baseline, mode) {
                     Ok(result) => results.push(result),
                     Err(err) => {
-                        failures += 1;
-                        eprintln!(
+                        let line = format!(
                             "scenario {} over {} ({}): {err}",
                             scenario.name,
                             baseline.label(),
                             mode.label()
                         );
+                        eprintln!("{line}");
+                        failed_runs.push(line);
                     }
                 }
             }
@@ -171,29 +216,6 @@ fn main() {
          suspected or exposed) on every row"
     );
 
-    let mut deviations: Vec<String> = Vec::new();
-    for r in &results {
-        if (r.requires_unanimity && !r.unanimous) || r.verdict != r.expected {
-            deviations.push(format!(
-                "{} [{} / {}]: expected {}, got {}{}",
-                r.name,
-                r.baseline.label(),
-                r.mode.label(),
-                r.expected,
-                r.verdict,
-                if r.unanimous { "" } else { " (split)" }
-            ));
-        }
-        if !r.accuracy {
-            deviations.push(format!(
-                "{} [{} / {}]: ACCURACY VIOLATION — a correct node lost its clean record",
-                r.name,
-                r.baseline.label(),
-                r.mode.label()
-            ));
-        }
-    }
-    let mut overhead_violations: Vec<String> = Vec::new();
     for r in &results {
         if r.name == "fault-free" && matches!(r.mode, CommitMode::Piggyback { .. }) {
             println!(
@@ -210,41 +232,28 @@ fn main() {
                     .map_or(f64::NAN, |d| d.overhead_ratio),
                 r.piggybacked
             );
-            if r.overhead_ratio > max_ctl_app {
-                overhead_violations.push(format!(
-                    "fault-free [{} / {}]: ctl/app {:.2} exceeds {max_ctl_app:.2}",
-                    r.baseline.label(),
-                    r.mode.label(),
-                    r.overhead_ratio
-                ));
-            }
         }
     }
-    // Checkpointing pays bounded extra control traffic (proposals,
-    // cosignatures, commit certificates); gate it relative to the
-    // piggyback row so a checkpoint-path regression cannot hide.
-    for r in &results {
-        if r.name != "fault-free" || !matches!(r.mode, CommitMode::Checkpointed { .. }) {
+
+    // ---- traced runs: causal verdict timelines ---------------------------
+
+    let trace_mode = CommitMode::Piggyback { witnesses: 2 };
+    let mut registry = MetricsRegistry::new();
+    let mut timeline_sections: Vec<String> = Vec::new();
+    for scenario in Scenario::suite() {
+        if scenario.name != "exec-tampering" && scenario.name != "forge-evidence" {
             continue;
         }
-        let piggy = results
-            .iter()
-            .find(|d| {
-                d.name == r.name
-                    && d.baseline == r.baseline
-                    && matches!(d.mode, CommitMode::Piggyback { .. })
-            })
-            .map_or(f64::NAN, |d| d.overhead_ratio);
-        // A missing piggyback row yields NaN, which must trip the gate
-        // rather than silently pass it.
-        if piggy.is_nan() || r.overhead_ratio > CKPT_OVERHEAD_FACTOR * piggy {
-            overhead_violations.push(format!(
-                "fault-free [{} / {}]: ctl/app {:.2} exceeds {CKPT_OVERHEAD_FACTOR:.1}x the \
-                 piggyback row's {piggy:.2}",
-                r.baseline.label(),
-                r.mode.label(),
-                r.overhead_ratio
-            ));
+        match run_scenario_traced(&scenario, Baseline::Tnic, trace_mode, TRACE_CAPACITY) {
+            Ok((_, events, dropped)) => {
+                report::accumulate_events(&mut registry, scenario.name, &events);
+                timeline_sections.push(report::timeline_section(scenario.name, &events, dropped));
+            }
+            Err(err) => {
+                let line = format!("traced scenario {}: {err}", scenario.name);
+                eprintln!("{line}");
+                failed_runs.push(line);
+            }
         }
     }
 
@@ -260,8 +269,9 @@ fn main() {
             match run_acct_scenario(&scenario, mode) {
                 Ok(result) => acct_results.push(result),
                 Err(err) => {
-                    failures += 1;
-                    eprintln!("scenario {} ({}): {err}", scenario.name, mode.label());
+                    let line = format!("scenario {} ({}): {err}", scenario.name, mode.label());
+                    eprintln!("{line}");
+                    failed_runs.push(line);
                 }
             }
         }
@@ -271,70 +281,12 @@ fn main() {
         "expectations: fault-free=trusted, equivocation/tail-tampering=exposed — in both modes, \
          with protocol commits and replica parity intact"
     );
-
     for r in &acct_results {
-        let expected = if r.name.ends_with("fault-free") {
-            "trusted"
-        } else {
-            "exposed"
-        };
-        if !r.unanimous || r.verdict != expected {
-            deviations.push(format!(
-                "{} [{}]: expected {expected}, got {}{}",
-                r.name,
-                r.mode.label(),
-                r.verdict,
-                if r.unanimous { "" } else { " (split)" }
-            ));
-        }
-        if !r.protocol_committed {
-            deviations.push(format!(
-                "{} [{}]: protocol lost liveness under accountability",
-                r.name,
-                r.mode.label()
-            ));
-        }
-        if !r.state_parity {
-            deviations.push(format!(
-                "{} [{}]: replicas diverged under accountability",
-                r.name,
-                r.mode.label()
-            ));
-        }
         if r.name.ends_with("fault-free") && matches!(r.mode, CommitMode::Piggyback { .. }) {
             println!(
                 "{}: ctl/app {:.2}, time overhead {:.2}x, {} commitments rode",
                 r.name, r.overhead_ratio, r.time_overhead, r.piggybacked
             );
-            if r.overhead_ratio > max_acct_ctl_app {
-                overhead_violations.push(format!(
-                    "{} [{}]: ctl/app {:.2} exceeds {max_acct_ctl_app:.2}",
-                    r.name,
-                    r.mode.label(),
-                    r.overhead_ratio
-                ));
-            }
-        }
-    }
-    // Relative gate on the checkpointed acct rows (see CKPT_OVERHEAD_FACTOR).
-    for r in &acct_results {
-        if !r.name.ends_with("fault-free") || !matches!(r.mode, CommitMode::Checkpointed { .. }) {
-            continue;
-        }
-        let piggy = acct_results
-            .iter()
-            .find(|d| d.name == r.name && matches!(d.mode, CommitMode::Piggyback { .. }))
-            .map_or(f64::NAN, |d| d.overhead_ratio);
-        // A missing piggyback row yields NaN, which must trip the gate
-        // rather than silently pass it.
-        if piggy.is_nan() || r.overhead_ratio > CKPT_OVERHEAD_FACTOR * piggy {
-            overhead_violations.push(format!(
-                "{} [{}]: ctl/app {:.2} exceeds {CKPT_OVERHEAD_FACTOR:.1}x the piggyback \
-                 row's {piggy:.2}",
-                r.name,
-                r.mode.label(),
-                r.overhead_ratio
-            ));
         }
     }
 
@@ -348,6 +300,7 @@ fn main() {
     let tamper = FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 });
     let latency_mode = CommitMode::Piggyback { witnesses: 2 };
     let mut baseline_latency = None;
+    let mut latency_cases: Vec<(String, Option<u64>)> = Vec::new();
     let witness_cases: [(&str, Option<NodeFault>); 4] = [
         ("honest witnesses", None),
         ("withhold-gossip witness", Some(NodeFault::WithholdGossip)),
@@ -360,30 +313,24 @@ fn main() {
             plan.set(2, fault);
         }
         match measure_exposure_latency(latency_mode, plan, 1, max_exposure_latency_rounds + 2) {
-            Ok(Some(rounds)) => {
-                let delta = baseline_latency.map_or_else(String::new, |base: u64| {
-                    format!(" (+{} vs honest)", rounds.saturating_sub(base))
-                });
-                println!("  {case:<26} exposed after {rounds} round(s){delta}");
-                if witness_fault.is_none() {
-                    baseline_latency = Some(rounds);
+            Ok(latency) => {
+                if let Some(rounds) = latency {
+                    let delta = baseline_latency.map_or_else(String::new, |base: u64| {
+                        format!(" (+{} vs honest)", rounds.saturating_sub(base))
+                    });
+                    println!("  {case:<26} exposed after {rounds} round(s){delta}");
+                    if witness_fault.is_none() {
+                        baseline_latency = Some(rounds);
+                    }
+                } else {
+                    println!("  {case:<26} NEVER EXPOSED");
                 }
-                if rounds > max_exposure_latency_rounds {
-                    overhead_violations.push(format!(
-                        "exposure latency [{case}]: {rounds} rounds exceed \
-                         {max_exposure_latency_rounds}"
-                    ));
-                }
-            }
-            Ok(None) => {
-                deviations.push(format!(
-                    "exposure latency [{case}]: tamperer never exposed — a lying witness \
-                     prevented detection"
-                ));
+                latency_cases.push((case.to_string(), latency));
             }
             Err(err) => {
-                failures += 1;
-                eprintln!("exposure latency [{case}]: {err}");
+                let line = format!("exposure latency [{case}]: {err}");
+                eprintln!("{line}");
+                failed_runs.push(line);
             }
         }
     }
@@ -394,7 +341,7 @@ fn main() {
         "\nretention probe: {PROBE_ROUNDS} audit rounds, checkpoint every {PROBE_INTERVAL}, \
          piggyback w=2 (retained entries/commitments must stay O(interval), not O(rounds))"
     );
-    match run_retention_probe(PROBE_ROUNDS, PROBE_INTERVAL) {
+    let retention = match run_retention_probe(PROBE_ROUNDS, PROBE_INTERVAL) {
         Ok(report) => {
             println!(
                 "  max retained entries {} / max stored commitments {} (of {} entries ever \
@@ -406,48 +353,84 @@ fn main() {
                 report.final_retained_bytes,
                 report.checkpoints_completed
             );
-            if !report.verdicts_clean {
-                deviations
-                    .push("retention probe: false verdict in a fault-free long run".to_string());
-            }
-            if report.checkpoints_completed == 0 {
-                deviations.push("retention probe: no checkpoint ever certified".to_string());
-            }
-            if report.max_retained_entries > max_retained_entries {
-                overhead_violations.push(format!(
-                    "retention probe: {} retained entries exceed {max_retained_entries}",
-                    report.max_retained_entries
-                ));
-            }
-            if report.max_retained_commitments > max_retained_entries {
-                overhead_violations.push(format!(
-                    "retention probe: {} stored commitments exceed {max_retained_entries}",
-                    report.max_retained_commitments
-                ));
-            }
+            Some(report)
         }
         Err(err) => {
-            failures += 1;
-            eprintln!("retention probe: {err}");
+            let line = format!("retention probe: {err}");
+            eprintln!("{line}");
+            failed_runs.push(line);
+            None
+        }
+    };
+
+    // ---- named gates -----------------------------------------------------
+
+    // Deviations from the accountability claims: fatal with or without
+    // `--check`.
+    let mut deviation_gates = vec![
+        gates::verdict_gate(&results),
+        gates::accuracy_gate(&results),
+        gates::acct_verdict_gate(&acct_results),
+        gates::exposure_completeness_gate(&latency_cases),
+        gates::execution_gate(&failed_runs),
+    ];
+    // Perf/memory bounds: enforced under `--check` only.
+    let mut bound_gates = vec![
+        gates::piggyback_overhead_gate(&results, max_ctl_app),
+        gates::checkpoint_overhead_gate(&results, CKPT_OVERHEAD_FACTOR),
+        gates::acct_overhead_gate(&acct_results, max_acct_ctl_app, CKPT_OVERHEAD_FACTOR),
+        gates::exposure_latency_gate(&latency_cases, max_exposure_latency_rounds),
+    ];
+    if let Some(retention) = &retention {
+        deviation_gates.push(gates::retention_verdict_gate(retention));
+        bound_gates.push(gates::retention_bounds_gate(
+            retention,
+            max_retained_entries,
+        ));
+    }
+    let all_gates: Vec<GateOutcome> = deviation_gates
+        .iter()
+        .chain(bound_gates.iter())
+        .cloned()
+        .collect();
+
+    println!();
+    print!("{}", gates::render_summary(&all_gates));
+
+    // ---- markdown report -------------------------------------------------
+
+    let total_app_messages = results.iter().map(|r| r.app_messages).sum::<u64>()
+        + acct_results.iter().map(|r| r.app_messages).sum::<u64>();
+    let mut sections = vec![
+        report::scenario_section(&results),
+        report::acct_section(&acct_results),
+    ];
+    sections.extend(timeline_sections);
+    sections.push(registry.render_markdown());
+    sections.push(report::allocs_section(
+        ALLOCATIONS.load(Ordering::Relaxed),
+        total_app_messages,
+    ));
+    sections.push(report::gates_section(&all_gates));
+    match report::write_report(&report_path, "TNIC reproduction report", &sections) {
+        Ok(()) => println!("\nreport written to {}", report_path.display()),
+        Err(err) => {
+            eprintln!("cannot write report {}: {err}", report_path.display());
+            std::process::exit(1);
         }
     }
 
-    let ok = deviations.is_empty() && failures == 0 && (!check || overhead_violations.is_empty());
-    if deviations.is_empty() {
-        println!("\nall scenarios match the expected classification in both modes");
+    let deviations_ok = deviation_gates.iter().all(|g| g.passed);
+    let bounds_ok = bound_gates.iter().all(|g| g.passed);
+    if deviations_ok && (bounds_ok || !check) {
+        println!("all fatal gates passed");
     } else {
-        println!("\nMISMATCH:");
-        for d in &deviations {
-            println!("  {d}");
-        }
-    }
-    for v in &overhead_violations {
-        println!("OVERHEAD: {v}");
-    }
-    if failures > 0 {
-        println!("ERROR: {failures} scenario run(s) failed to execute (see stderr)");
-    }
-    if !ok {
+        let broken: Vec<&str> = all_gates
+            .iter()
+            .filter(|g| !g.passed)
+            .map(|g| g.name)
+            .collect();
+        println!("FAILED gates: {}", broken.join(", "));
         std::process::exit(1);
     }
 }

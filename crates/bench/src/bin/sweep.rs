@@ -7,14 +7,16 @@
 //! (`exposure_latency_rounds`): audit rounds until every correct witness
 //! exposes a seq-0 log tamperer in a twin run of the same configuration.
 //!
-//! Usage: `cargo run --release -p tnic-bench --bin sweep [--full] [--out FILE]`
+//! Usage: `cargo run --release -p tnic-bench --bin sweep [--full] [--out FILE]
+//! [--report FILE]`
 //!
 //! The default grid keeps CI fast; `--full` sweeps the complete grid. Rows go
-//! to stdout unless `--out` is given. `BENCH_sweep.csv` in the repository
-//! root is a committed snapshot of the default grid.
+//! to stdout unless `--out` is given; `--report` additionally writes a
+//! markdown summary table of the swept rows. `BENCH_sweep.csv` in the
+//! repository root is a committed snapshot of the default grid.
 
 use std::io::Write;
-use tnic_bench::{run_sweep_point, CommitMode, SweepApp, SweepPoint, SWEEP_CSV_HEADER};
+use tnic_bench::{report, run_sweep_point, CommitMode, SweepApp, SweepPoint, SWEEP_CSV_HEADER};
 
 fn grid(full: bool) -> Vec<SweepPoint> {
     let payloads: &[usize] = if full {
@@ -95,6 +97,7 @@ fn grid(full: bool) -> Vec<SweepPoint> {
 fn main() {
     let mut full = false;
     let mut out_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -106,18 +109,32 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--report" => match args.next() {
+                Some(path) => report_path = Some(path),
+                None => {
+                    eprintln!("--report requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument: {other}\nusage: sweep [--full] [--out FILE]");
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: sweep [--full] [--out FILE] [--report FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let mut rows = vec![SWEEP_CSV_HEADER.to_string()];
+    let mut measured = Vec::new();
     let mut failures = 0u32;
     for point in grid(full) {
         match run_sweep_point(point) {
-            Ok(row) => rows.push(row.to_csv()),
+            Ok(row) => {
+                rows.push(row.to_csv());
+                measured.push(row);
+            }
             Err(err) => {
                 failures += 1;
                 eprintln!("sweep point {point:?}: {err}");
@@ -125,6 +142,18 @@ fn main() {
         }
     }
     let csv = rows.join("\n") + "\n";
+
+    if let Some(path) = report_path {
+        let path = std::path::PathBuf::from(path);
+        let sections = [report::sweep_section(&measured)];
+        match report::write_report(&path, "TNIC accountability parameter sweep", &sections) {
+            Ok(()) => eprintln!("report written to {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write report {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     match out_path {
         Some(path) => {

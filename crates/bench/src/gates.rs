@@ -1,0 +1,455 @@
+//! Named CI gates over the reproduction results.
+//!
+//! `reproduce --check` used to lump every failure into two flat lists; a
+//! broken run printed *a* reason but not *which gate* tripped, and a gate
+//! that failed after the first one could hide entirely. Each gate here is
+//! a pure function from collected results to a [`GateOutcome`] carrying
+//! the gate's stable name and the full list of violations, so the runner
+//! can evaluate **every** gate, print each failing one by name, and exit
+//! non-zero if any failed.
+
+use crate::{AcctScenarioResult, CommitMode, RetentionReport, ScenarioResult};
+
+/// The verdict of one named gate: pass/fail plus every violation it found.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Stable gate name (`scenario-verdicts`, `retention`, …).
+    pub name: &'static str,
+    /// Whether the gate passed.
+    pub passed: bool,
+    /// One line per violation (empty when passed).
+    pub violations: Vec<String>,
+}
+
+impl GateOutcome {
+    /// A gate outcome from a violation list: empty = pass.
+    #[must_use]
+    pub fn from_violations(name: &'static str, violations: Vec<String>) -> Self {
+        GateOutcome {
+            name,
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+/// The failing subset of `gates`.
+#[must_use]
+pub fn failed(gates: &[GateOutcome]) -> Vec<&GateOutcome> {
+    gates.iter().filter(|g| !g.passed).collect()
+}
+
+/// Renders the per-gate summary: one line per gate, `ok` or `FAIL`
+/// followed by every violation — so a multi-gate failure names each
+/// broken gate, not just the first.
+#[must_use]
+pub fn render_summary(gates: &[GateOutcome]) -> String {
+    let mut out = String::from("gates:\n");
+    for gate in gates {
+        if gate.passed {
+            out.push_str(&format!("  {:<24} ok\n", gate.name));
+        } else {
+            out.push_str(&format!(
+                "  {:<24} FAIL ({} violation(s))\n",
+                gate.name,
+                gate.violations.len()
+            ));
+            for v in &gate.violations {
+                out.push_str(&format!("    - {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Every scenario's verdict matches its expected classification (with
+/// unanimity where the scenario requires it).
+#[must_use]
+pub fn verdict_gate(results: &[ScenarioResult]) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter(|r| (r.requires_unanimity && !r.unanimous) || r.verdict != r.expected)
+        .map(|r| {
+            format!(
+                "{} [{} / {}]: expected {}, got {}{}",
+                r.name,
+                r.baseline.label(),
+                r.mode.label(),
+                r.expected,
+                r.verdict,
+                if r.unanimous { "" } else { " (split)" }
+            )
+        })
+        .collect();
+    GateOutcome::from_violations("scenario-verdicts", violations)
+}
+
+/// No correct node ever loses its clean record, whatever the injected
+/// fault (the accuracy half of the accountability claim).
+#[must_use]
+pub fn accuracy_gate(results: &[ScenarioResult]) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter(|r| !r.accuracy)
+        .map(|r| {
+            format!(
+                "{} [{} / {}]: a correct node lost its clean record",
+                r.name,
+                r.baseline.label(),
+                r.mode.label()
+            )
+        })
+        .collect();
+    GateOutcome::from_violations("accuracy", violations)
+}
+
+/// Fault-free piggyback rows stay under the absolute ctl/app bound.
+#[must_use]
+pub fn piggyback_overhead_gate(results: &[ScenarioResult], max_ctl_app: f64) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter(|r| {
+            r.name == "fault-free"
+                && matches!(r.mode, CommitMode::Piggyback { .. })
+                && r.overhead_ratio > max_ctl_app
+        })
+        .map(|r| {
+            format!(
+                "fault-free [{} / {}]: ctl/app {:.2} exceeds {max_ctl_app:.2}",
+                r.baseline.label(),
+                r.mode.label(),
+                r.overhead_ratio
+            )
+        })
+        .collect();
+    GateOutcome::from_violations("piggyback-overhead", violations)
+}
+
+/// Fault-free checkpointed rows cost at most `factor`× the matching
+/// piggyback row (a missing piggyback row trips the gate rather than
+/// silently passing it).
+#[must_use]
+pub fn checkpoint_overhead_gate(results: &[ScenarioResult], factor: f64) -> GateOutcome {
+    let mut violations = Vec::new();
+    for r in results {
+        if r.name != "fault-free" || !matches!(r.mode, CommitMode::Checkpointed { .. }) {
+            continue;
+        }
+        let piggy = results
+            .iter()
+            .find(|d| {
+                d.name == r.name
+                    && d.baseline == r.baseline
+                    && matches!(d.mode, CommitMode::Piggyback { .. })
+            })
+            .map_or(f64::NAN, |d| d.overhead_ratio);
+        if piggy.is_nan() || r.overhead_ratio > factor * piggy {
+            violations.push(format!(
+                "fault-free [{} / {}]: ctl/app {:.2} exceeds {factor:.1}x the piggyback \
+                 row's {piggy:.2}",
+                r.baseline.label(),
+                r.mode.label(),
+                r.overhead_ratio
+            ));
+        }
+    }
+    GateOutcome::from_violations("checkpoint-overhead", violations)
+}
+
+/// The accountability-as-middleware rows classify correctly and keep the
+/// protocol healthy (liveness + replica parity).
+#[must_use]
+pub fn acct_verdict_gate(results: &[AcctScenarioResult]) -> GateOutcome {
+    let mut violations = Vec::new();
+    for r in results {
+        let expected = if r.name.ends_with("fault-free") {
+            "trusted"
+        } else {
+            "exposed"
+        };
+        if !r.unanimous || r.verdict != expected {
+            violations.push(format!(
+                "{} [{}]: expected {expected}, got {}{}",
+                r.name,
+                r.mode.label(),
+                r.verdict,
+                if r.unanimous { "" } else { " (split)" }
+            ));
+        }
+        if !r.protocol_committed {
+            violations.push(format!(
+                "{} [{}]: protocol lost liveness under accountability",
+                r.name,
+                r.mode.label()
+            ));
+        }
+        if !r.state_parity {
+            violations.push(format!(
+                "{} [{}]: replicas diverged under accountability",
+                r.name,
+                r.mode.label()
+            ));
+        }
+    }
+    GateOutcome::from_violations("acct-verdicts", violations)
+}
+
+/// Fault-free middleware rows stay under the stacked ctl/app bound
+/// (absolute for piggyback, `factor`× the piggyback row for checkpointed).
+#[must_use]
+pub fn acct_overhead_gate(
+    results: &[AcctScenarioResult],
+    max_acct_ctl_app: f64,
+    factor: f64,
+) -> GateOutcome {
+    let mut violations = Vec::new();
+    for r in results {
+        if !r.name.ends_with("fault-free") {
+            continue;
+        }
+        match r.mode {
+            CommitMode::Piggyback { .. } if r.overhead_ratio > max_acct_ctl_app => {
+                violations.push(format!(
+                    "{} [{}]: ctl/app {:.2} exceeds {max_acct_ctl_app:.2}",
+                    r.name,
+                    r.mode.label(),
+                    r.overhead_ratio
+                ));
+            }
+            CommitMode::Checkpointed { .. } => {
+                let piggy = results
+                    .iter()
+                    .find(|d| d.name == r.name && matches!(d.mode, CommitMode::Piggyback { .. }))
+                    .map_or(f64::NAN, |d| d.overhead_ratio);
+                if piggy.is_nan() || r.overhead_ratio > factor * piggy {
+                    violations.push(format!(
+                        "{} [{}]: ctl/app {:.2} exceeds {factor:.1}x the piggyback row's \
+                         {piggy:.2}",
+                        r.name,
+                        r.mode.label(),
+                        r.overhead_ratio
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    GateOutcome::from_violations("acct-overhead", violations)
+}
+
+/// Every exposure-latency case detects its tamperer *at all* — a lying
+/// witness may delay exposure but never prevent it (a completeness
+/// deviation, fatal with or without `--check`).
+#[must_use]
+pub fn exposure_completeness_gate(cases: &[(String, Option<u64>)]) -> GateOutcome {
+    let violations = cases
+        .iter()
+        .filter(|(_, latency)| latency.is_none())
+        .map(|(case, _)| {
+            format!("{case}: tamperer never exposed — a lying witness prevented detection")
+        })
+        .collect();
+    GateOutcome::from_violations("exposure-completeness", violations)
+}
+
+/// Every exposing case stays within the round bound (a perf bound,
+/// enforced under `--check`).
+#[must_use]
+pub fn exposure_latency_gate(cases: &[(String, Option<u64>)], max_rounds: u64) -> GateOutcome {
+    let violations = cases
+        .iter()
+        .filter_map(|(case, latency)| match latency {
+            Some(rounds) if *rounds > max_rounds => {
+                Some(format!("{case}: {rounds} rounds exceed {max_rounds}"))
+            }
+            _ => None,
+        })
+        .collect();
+    GateOutcome::from_violations("exposure-latency", violations)
+}
+
+/// The long-running checkpointed deployment keeps its verdicts clean and
+/// actually certifies checkpoints.
+#[must_use]
+pub fn retention_verdict_gate(report: &RetentionReport) -> GateOutcome {
+    let mut violations = Vec::new();
+    if !report.verdicts_clean {
+        violations.push("false verdict in a fault-free long run".to_string());
+    }
+    if report.checkpoints_completed == 0 {
+        violations.push("no checkpoint ever certified".to_string());
+    }
+    GateOutcome::from_violations("retention-verdicts", violations)
+}
+
+/// The long-running checkpointed deployment keeps memory O(interval), not
+/// O(rounds) (a bound, enforced under `--check`).
+#[must_use]
+pub fn retention_bounds_gate(report: &RetentionReport, max_retained_entries: u64) -> GateOutcome {
+    let mut violations = Vec::new();
+    if report.max_retained_entries > max_retained_entries {
+        violations.push(format!(
+            "{} retained entries exceed {max_retained_entries}",
+            report.max_retained_entries
+        ));
+    }
+    if report.max_retained_commitments > max_retained_entries {
+        violations.push(format!(
+            "{} stored commitments exceed {max_retained_entries}",
+            report.max_retained_commitments
+        ));
+    }
+    GateOutcome::from_violations("retention-bounds", violations)
+}
+
+/// Every scheduled run actually executed (no scenario erred out).
+#[must_use]
+pub fn execution_gate(failed_runs: &[String]) -> GateOutcome {
+    GateOutcome::from_violations("execution", failed_runs.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_tee::profile::Baseline;
+
+    fn row(
+        name: &'static str,
+        mode: CommitMode,
+        verdict: &'static str,
+        expected: &'static str,
+        overhead_ratio: f64,
+    ) -> ScenarioResult {
+        ScenarioResult {
+            name,
+            baseline: Baseline::Tnic,
+            mode,
+            piggybacked: 0,
+            verdict,
+            unanimous: true,
+            expected,
+            requires_unanimity: true,
+            accuracy: true,
+            app_messages: 24,
+            control_messages: 24,
+            overhead_ratio,
+            audit_p50_us: 0.0,
+            audit_p99_us: 0.0,
+            virtual_time_us: 1,
+        }
+    }
+
+    #[test]
+    fn passing_gates_report_ok() {
+        let results = [row(
+            "fault-free",
+            CommitMode::Piggyback { witnesses: 2 },
+            "trusted",
+            "trusted",
+            1.0,
+        )];
+        let gates = [
+            verdict_gate(&results),
+            accuracy_gate(&results),
+            piggyback_overhead_gate(&results, 2.0),
+        ];
+        assert!(gates.iter().all(|g| g.passed));
+        assert!(failed(&gates).is_empty());
+        let summary = render_summary(&gates);
+        assert!(summary.contains("scenario-verdicts"));
+        assert!(!summary.contains("FAIL"));
+    }
+
+    #[test]
+    fn every_failing_gate_is_named_not_just_the_first() {
+        // Two independent gates broken at once: the verdict deviates AND the
+        // piggyback overhead bound is blown. Both must surface by name.
+        let results = [
+            row(
+                "equivocation",
+                CommitMode::Dedicated,
+                "trusted",
+                "exposed",
+                1.0,
+            ),
+            row(
+                "fault-free",
+                CommitMode::Piggyback { witnesses: 2 },
+                "trusted",
+                "trusted",
+                9.5,
+            ),
+        ];
+        let gates = [
+            verdict_gate(&results),
+            accuracy_gate(&results),
+            piggyback_overhead_gate(&results, 2.0),
+        ];
+        let failing = failed(&gates);
+        assert_eq!(failing.len(), 2);
+        let summary = render_summary(&gates);
+        assert!(summary.contains("scenario-verdicts"), "{summary}");
+        assert!(summary.contains("piggyback-overhead"), "{summary}");
+        assert!(
+            summary.contains("expected exposed, got trusted"),
+            "{summary}"
+        );
+        assert!(summary.contains("ctl/app 9.50 exceeds 2.00"), "{summary}");
+        // The accuracy gate stays clean in between.
+        assert!(summary.contains("accuracy                 ok"), "{summary}");
+    }
+
+    #[test]
+    fn checkpoint_gate_trips_on_missing_piggyback_row() {
+        let results = [row(
+            "fault-free",
+            CommitMode::Checkpointed {
+                witnesses: 2,
+                interval: 1,
+            },
+            "trusted",
+            "trusted",
+            1.5,
+        )];
+        let gate = checkpoint_overhead_gate(&results, 3.0);
+        assert!(!gate.passed, "NaN piggyback baseline must trip the gate");
+    }
+
+    #[test]
+    fn exposure_gates_distinguish_slow_from_never() {
+        let cases = vec![
+            ("honest witnesses".to_string(), Some(2)),
+            ("silent witness".to_string(), Some(9)),
+            ("withhold-gossip witness".to_string(), None),
+        ];
+        let latency = exposure_latency_gate(&cases, 6);
+        assert!(!latency.passed);
+        assert_eq!(latency.violations.len(), 1);
+        assert!(latency.violations[0].contains("9 rounds exceed 6"));
+        let completeness = exposure_completeness_gate(&cases);
+        assert!(!completeness.passed);
+        assert_eq!(completeness.violations.len(), 1);
+        assert!(completeness.violations[0].contains("never exposed"));
+    }
+
+    #[test]
+    fn retention_gates_check_every_bound() {
+        let report = RetentionReport {
+            rounds: 200,
+            checkpoint_interval: 4,
+            max_retained_entries: 900,
+            max_retained_commitments: 10,
+            final_retained_entries: 20,
+            final_retained_bytes: 1000,
+            total_log_entries: 5000,
+            checkpoints_completed: 0,
+            verdicts_clean: true,
+        };
+        let bounds = retention_bounds_gate(&report, 600);
+        assert!(!bounds.passed);
+        assert_eq!(bounds.violations.len(), 1, "{:?}", bounds.violations);
+        let verdicts = retention_verdict_gate(&report);
+        assert!(!verdicts.passed, "zero certified checkpoints must trip");
+        assert!(verdicts.violations[0].contains("no checkpoint"));
+    }
+}

@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gates;
+pub mod report;
+
 use std::collections::BTreeMap;
 use tnic_a2m::AccountableA2m;
 use tnic_bft::{BftConfig, BftCounter};
@@ -387,6 +390,28 @@ pub fn run_scenario_mode(
         audit_p99_us: stats.audit_latency.percentile_us(0.99),
         virtual_time_us: pr.now().as_micros(),
     })
+}
+
+/// Runs a scenario with the [`tnic_obs`] event recorder installed and
+/// returns the result together with the captured snapshot and the ring's
+/// drop count — the input for [`report::timeline_section`] and the causal
+/// verdict chains.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the run.
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    baseline: Baseline,
+    mode: CommitMode,
+    capacity: usize,
+) -> Result<(ScenarioResult, Vec<tnic_obs::Event>, u64), CoreError> {
+    let guard = tnic_obs::RecorderGuard::install(capacity);
+    let result = run_scenario_mode(scenario, baseline, mode)?;
+    let events = guard.snapshot();
+    let dropped = guard.dropped();
+    drop(guard);
+    Ok((result, events, dropped))
 }
 
 /// Formats scenario results as an aligned terminal table.

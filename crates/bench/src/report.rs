@@ -1,0 +1,347 @@
+//! Generated markdown perf reports for the reproduction runs.
+//!
+//! `reproduce` and `sweep` render what they measured — verdict tables,
+//! throughput, control/app overhead, latency percentiles, allocation
+//! counts, and the per-phase exposure-latency breakdown reconstructed
+//! from the [`tnic_obs`] event recorder — into `reports/<name>.md`. The
+//! sections are plain functions from results to markdown so the binaries
+//! and tests compose exactly the report they need.
+
+use crate::gates::GateOutcome;
+use crate::{AcctScenarioResult, ScenarioResult, SweepRow};
+use std::fmt::Write as _;
+use std::path::Path;
+use tnic_obs::metrics::MetricsRegistry;
+use tnic_obs::timeline::{explain_verdict, verdict_transitions, VerdictChain};
+use tnic_obs::{codes, Event};
+
+/// Virtual throughput of a run in application messages per virtual second.
+#[must_use]
+pub fn virtual_throughput(app_messages: u64, virtual_time_us: u64) -> f64 {
+    if virtual_time_us == 0 {
+        0.0
+    } else {
+        app_messages as f64 * 1e6 / virtual_time_us as f64
+    }
+}
+
+/// The scenario verdict/overhead table: one row per (scenario, mode) with
+/// throughput, ctl/app overhead and audit-latency percentiles.
+#[must_use]
+pub fn scenario_section(results: &[ScenarioResult]) -> String {
+    let mut out = String::from(
+        "## PeerReview fault-injection scenarios\n\n\
+         | scenario | baseline | mode | verdict | expected | app msgs | ctl msgs | ctl/app | \
+         msgs/vsec | audit p50 µs | audit p99 µs |\n\
+         |---|---|---|---|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in results {
+        let verdict = if r.unanimous {
+            r.verdict.to_string()
+        } else {
+            format!("{} (split)", r.verdict)
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.0} | {:.1} | {:.1} |",
+            r.name,
+            r.baseline.label(),
+            r.mode.label(),
+            verdict,
+            r.expected,
+            r.app_messages,
+            r.control_messages,
+            r.overhead_ratio,
+            virtual_throughput(r.app_messages, r.virtual_time_us),
+            r.audit_p50_us,
+            r.audit_p99_us,
+        );
+    }
+    out
+}
+
+/// The accountability-as-middleware table: the engine stacked under
+/// BFT / chain replication / A2M.
+#[must_use]
+pub fn acct_section(results: &[AcctScenarioResult]) -> String {
+    let mut out = String::from(
+        "## Accountability as middleware\n\n\
+         | scenario | mode | verdict | ctl/app | time overhead | msgs/vsec | commit | parity |\n\
+         |---|---|---|---:|---:|---:|---|---|\n",
+    );
+    for r in results {
+        let verdict = if r.unanimous {
+            r.verdict.to_string()
+        } else {
+            format!("{} (split)", r.verdict)
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.2}x | {:.0} | {} | {} |",
+            r.name,
+            r.mode.label(),
+            verdict,
+            r.overhead_ratio,
+            r.time_overhead,
+            virtual_throughput(r.app_messages, r.virtual_time_us),
+            if r.protocol_committed { "ok" } else { "FAIL" },
+            if r.state_parity { "ok" } else { "FAIL" },
+        );
+    }
+    out
+}
+
+/// The sweep table rendered from CSV rows (a compact markdown mirror of
+/// the CSV the sweep emits).
+#[must_use]
+pub fn sweep_section(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "## Parameter sweep\n\n\
+         | app | mode | payload B | nodes | witnesses | ctl/app | retained | audit p50 µs | \
+         audit p99 µs | exposure rounds |\n\
+         |---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.2} | {} | {:.1} | {:.1} | {} |",
+            r.point.app.label(),
+            r.point.mode.label(),
+            r.point.payload,
+            r.point.nodes,
+            r.witnesses,
+            r.ctl_per_app(),
+            r.retained_entries,
+            r.audit_p50_us,
+            r.audit_p99_us,
+            r.exposure_latency_rounds
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+        );
+    }
+    out
+}
+
+/// The gate outcomes as a markdown checklist.
+#[must_use]
+pub fn gates_section(gates: &[GateOutcome]) -> String {
+    let mut out = String::from("## Gates\n\n");
+    for gate in gates {
+        if gate.passed {
+            let _ = writeln!(out, "- [x] `{}`", gate.name);
+        } else {
+            let _ = writeln!(out, "- [ ] `{}` **FAIL**", gate.name);
+            for v in &gate.violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
+    }
+    out
+}
+
+/// Heap-allocation accounting for the run (counted by the binary's
+/// wrapping global allocator).
+#[must_use]
+pub fn allocs_section(total_allocs: u64, app_messages: u64) -> String {
+    let per_msg = if app_messages == 0 {
+        0.0
+    } else {
+        total_allocs as f64 / app_messages as f64
+    };
+    format!(
+        "## Allocations\n\n\
+         Whole-process heap allocations across every scenario run (engine \
+         setup, control plane and reporting included — the *datapath* \
+         zero-alloc guarantee is gated separately by the `zerocopy` bench \
+         with tracing enabled): **{total_allocs}** allocations over \
+         **{app_messages}** application messages ({per_msg:.1} allocs/msg).\n"
+    )
+}
+
+/// Folds a recorder snapshot into a labeled metrics scope: one counter per
+/// event kind, plus a per-phase virtual-latency histogram for every
+/// reconstructed verdict chain.
+pub fn accumulate_events(registry: &mut MetricsRegistry, scope: &str, events: &[Event]) {
+    let scope = registry.scope(scope);
+    for event in events {
+        scope.inc(event.kind.label(), 1);
+    }
+    for chain in final_chains(events) {
+        for phase in &chain.phases {
+            scope.record_us(
+                &format!("phase:{}", phase.phase),
+                phase.duration_us() as f64,
+            );
+        }
+    }
+}
+
+/// The final reconstructed verdict chain for every `(witness, node)` pair
+/// that recorded a verdict transition.
+#[must_use]
+pub fn final_chains(events: &[Event]) -> Vec<VerdictChain> {
+    let mut pairs: Vec<(u32, u32)> = verdict_transitions(events)
+        .iter()
+        .map(|e| (e.node, e.peer))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+        .into_iter()
+        .filter_map(|(w, n)| explain_verdict(events, w, n))
+        .collect()
+}
+
+/// The causal-timeline section for one traced scenario: a verdict table
+/// over every `(witness, node)` pair plus the per-phase breakdown of each
+/// non-trusted chain — where the exposure latency actually went.
+#[must_use]
+pub fn timeline_section(scenario: &str, events: &[Event], dropped: u64) -> String {
+    let mut out = format!(
+        "## Verdict timelines — {scenario}\n\n\
+         {} events recorded ({} dropped by the ring).\n\n",
+        events.len(),
+        dropped
+    );
+    let chains = final_chains(events);
+    if chains.is_empty() {
+        out.push_str("No verdict transitions recorded.\n");
+        return out;
+    }
+    out.push_str(
+        "| witness | node | verdict | misbehavior | round | chain | total µs |\n\
+         |---:|---:|---|---|---:|---|---:|\n",
+    );
+    for chain in &chains {
+        let steps: Vec<&str> = chain.chain.iter().map(|e| e.kind.label()).collect();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            chain.witness,
+            chain.node,
+            codes::verdict_name(chain.verdict),
+            codes::misbehavior_name(chain.misbehavior),
+            chain.round,
+            steps.join(" → "),
+            chain.total_us(),
+        );
+    }
+    for chain in &chains {
+        if chain.verdict == codes::VERDICT_TRUSTED || chain.phases.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "\n### Phase breakdown: witness {} on node {} ({})\n\n\
+             | phase | from µs | to µs | duration µs |\n\
+             |---|---:|---:|---:|",
+            chain.witness,
+            chain.node,
+            codes::verdict_name(chain.verdict),
+        );
+        for phase in &chain.phases {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                phase.phase,
+                phase.from_us,
+                phase.to_us,
+                phase.duration_us()
+            );
+        }
+    }
+    out
+}
+
+/// Joins sections under a title and writes the report, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report(path: &Path, title: &str, sections: &[String]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut content = format!("# {title}\n\n");
+    for section in sections {
+        content.push_str(section);
+        content.push('\n');
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnic_obs::EventKind;
+
+    fn event(kind: EventKind, at_us: u64, node: u32, peer: u32, aux: u64) -> Event {
+        Event {
+            kind,
+            at_us,
+            node,
+            peer,
+            aux,
+            ..Event::EMPTY
+        }
+    }
+
+    fn exposure_events() -> Vec<Event> {
+        let aux = codes::pack_verdict(
+            codes::VERDICT_TRUSTED,
+            codes::VERDICT_EXPOSED,
+            codes::MIS_EXEC_DIVERGENCE,
+        );
+        vec![
+            event(EventKind::Commitment, 10, 2, 0, 0),
+            event(EventKind::Challenge, 40, 2, 0, 0),
+            event(EventKind::Response, 70, 2, 0, 3),
+            event(EventKind::AuditReplay, 90, 2, 0, codes::MIS_EXEC_DIVERGENCE),
+            event(EventKind::VerdictTransition, 95, 2, 0, aux),
+        ]
+    }
+
+    #[test]
+    fn timeline_section_renders_chain_and_phase_breakdown() {
+        let section = timeline_section("exec-tampering", &exposure_events(), 0);
+        assert!(section.contains("exec-tampering"), "{section}");
+        assert!(
+            section
+                .contains("commitment → challenge → response → audit-replay → verdict-transition"),
+            "{section}"
+        );
+        assert!(section.contains("execution-divergence"), "{section}");
+        assert!(section.contains("challenge→response"), "{section}");
+        assert!(
+            section.contains("| challenge→response | 40 | 70 | 30 |"),
+            "{section}"
+        );
+    }
+
+    #[test]
+    fn accumulate_events_counts_kinds_and_phases() {
+        let mut registry = MetricsRegistry::new();
+        accumulate_events(&mut registry, "exec-tampering", &exposure_events());
+        let scope = registry.get("exec-tampering").expect("scope");
+        assert_eq!(scope.counter("challenge"), 1);
+        assert_eq!(scope.counter("verdict-transition"), 1);
+        let hist = scope
+            .histogram("phase:challenge→response")
+            .expect("phase histogram");
+        assert!((hist.percentile_us(0.5) - 30.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn write_report_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("tnic-bench-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/report.md");
+        write_report(&path, "Title", &["## Section\n".to_string()]).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(content.starts_with("# Title\n"));
+        assert!(content.contains("## Section"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -496,6 +496,14 @@ impl Cluster {
         self.record_sent(from, &msg);
         self.notify_sent(from, to, &msg);
         self.stats.messages_sent += 1;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Send,
+            at_us: self.clock.now().as_micros(),
+            node: from.0,
+            peer: to.0,
+            seq: msg.counter,
+            aux: msg.payload.len() as u64
+        );
         let latency = self.network_latency(msg.wire_len());
         self.clock.advance(latency);
         if self.adversary.is_some() {
@@ -591,6 +599,14 @@ impl Cluster {
                 self.clock.advance(cost);
                 self.record_accepted(to, &message);
                 let at = self.clock.now();
+                tnic_obs::trace_event!(
+                    tnic_obs::EventKind::Recv,
+                    at_us: at.as_micros(),
+                    node: to.0,
+                    peer: from.0,
+                    seq: message.counter,
+                    aux: 0
+                );
                 let delivered = Delivered { from, message, at };
                 if let Some(layer) = &self.accountability {
                     layer.borrow_mut().on_delivered(to, &delivered);
@@ -600,6 +616,14 @@ impl Cluster {
             }
             Err(e) => {
                 self.stats.messages_rejected += 1;
+                tnic_obs::trace_event!(
+                    tnic_obs::EventKind::Recv,
+                    at_us: self.clock.now().as_micros(),
+                    node: to.0,
+                    peer: from.0,
+                    seq: message.counter,
+                    aux: 1
+                );
                 Err(e.into())
             }
         }
@@ -644,6 +668,14 @@ impl Cluster {
         for &to in receivers {
             self.notify_sent(from, to, &msg);
             self.stats.messages_sent += 1;
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::Send,
+                at_us: self.clock.now().as_micros(),
+                node: from.0,
+                peer: to.0,
+                seq: msg.counter,
+                aux: msg.payload.len() as u64
+            );
             let latency = self.network_latency(msg.wire_len());
             self.clock.advance(latency);
             if self.adversary.is_some() {

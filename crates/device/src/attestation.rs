@@ -305,6 +305,12 @@ impl AttestationKernel {
         let counter = self.counters.next_send(session);
         let mac = compute_mac(&key, payload, self.device, counter);
         self.stats.attested += 1;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Attest,
+            node: self.device.0,
+            seq: counter,
+            aux: payload.len() as u64
+        );
         let cost = self.timing.hmac.cost(payload.len());
         Ok((
             AttestedMessage {
@@ -337,6 +343,12 @@ impl AttestationKernel {
         let counter = self.counters.next_send(session);
         let mac = compute_mac(&key, payload, self.device, counter);
         self.stats.attested += 1;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Attest,
+            node: self.device.0,
+            seq: counter,
+            aux: payload.len() as u64
+        );
         out.reserve(WIRE_OVERHEAD + payload.len());
         encode_parts(&mac, session, self.device, counter, payload, out);
         Ok(self.timing.hmac.cost(payload.len()))
@@ -382,6 +394,13 @@ impl AttestationKernel {
             });
         }
         self.stats.verified += 1;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Verify,
+            node: self.device.0,
+            peer: message.device.0,
+            seq: message.counter,
+            aux: message.payload.len() as u64
+        );
         Ok(cost)
     }
 

@@ -164,6 +164,13 @@ impl NetworkFabric {
         let actions = self.adversary.apply(&packet, &mut self.rng);
         if actions.is_empty() {
             self.stats.dropped += 1;
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::NetDrop,
+                at_us: now.as_micros(),
+                node: u32::from_be_bytes(dst.0),
+                peer: u32::from_be_bytes(src.0),
+                seq: u64::from(packet.header.psn)
+            );
             return;
         }
         if actions.len() > 1 {
@@ -176,6 +183,13 @@ impl NetworkFabric {
             }
             if self.rng.chance(link.drop_probability) {
                 self.stats.dropped += 1;
+                tnic_obs::trace_event!(
+                    tnic_obs::EventKind::NetDrop,
+                    at_us: now.as_micros(),
+                    node: u32::from_be_bytes(dst.0),
+                    peer: u32::from_be_bytes(src.0),
+                    seq: u64::from(adjusted.header.psn)
+                );
                 continue;
             }
             let mut delay = link.delay.sample(&mut self.rng);
@@ -209,6 +223,13 @@ impl NetworkFabric {
             }
             let (at, flight) = self.queue.pop().expect("peeked entry exists");
             self.stats.delivered += 1;
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::NetDeliver,
+                at_us: at.as_micros(),
+                node: u32::from_be_bytes(flight.dst.0),
+                peer: u32::from_be_bytes(flight.packet.header.src_ip.0),
+                seq: u64::from(flight.packet.header.psn)
+            );
             out.push((at, flight));
         }
         out

@@ -1,0 +1,221 @@
+//! A metrics registry unifying the `tnic_sim::stats` primitives under
+//! labeled scopes.
+//!
+//! The simulator crates already produce good primitives — monotonically
+//! increasing counters, [`Histogram`] percentiles, [`ThroughputMeter`] rates
+//! — but each harness wires them up ad hoc. The registry gives them a single
+//! addressable home: a **scope** per (application, fault, configuration)
+//! triple (e.g. `peerreview/exec-tampering/piggyback(w=2)`), each holding
+//! named counters, per-node gauges and histograms. Report generators walk
+//! the registry instead of knowing every harness struct.
+
+use std::collections::BTreeMap;
+use tnic_sim::stats::Histogram;
+
+/// Metrics for one labeled scope.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Scope {
+    /// Adds `by` to the named counter (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Sets a per-node gauge (`name[node]`).
+    pub fn set_node_gauge(&mut self, name: &str, node: u32, value: f64) {
+        self.gauges.insert(format!("{name}[{node}]"), value);
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a microsecond sample into the named histogram.
+    pub fn record_us(&mut self, name: &str, value_us: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_us(value_us);
+    }
+
+    /// Merges an existing histogram (e.g. from `AccountabilityStats`) into
+    /// the named one.
+    pub fn merge_histogram(&mut self, name: &str, histogram: &Histogram) {
+        let slot = self.histograms.entry(name.to_string()).or_default();
+        for &sample in histogram.samples_us() {
+            slot.record_us(sample);
+        }
+    }
+
+    /// The named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counter iterator in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauge iterator in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Histogram iterator in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// A collection of labeled scopes.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    scopes: BTreeMap<String, Scope>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The scope for `label`, created on first use. Conventionally the
+    /// label is `app/fault/mode`, e.g. `peerreview/equivocation/dedicated`.
+    pub fn scope(&mut self, label: &str) -> &mut Scope {
+        self.scopes.entry(label.to_string()).or_default()
+    }
+
+    /// Read-only lookup.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&Scope> {
+        self.scopes.get(label)
+    }
+
+    /// Scope iterator in label order.
+    pub fn scopes(&self) -> impl Iterator<Item = (&str, &Scope)> {
+        self.scopes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of scopes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Returns `true` if no scope was created.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// Renders every scope as a markdown fragment (counters, gauges and
+    /// histogram percentiles), used by the bench report generator.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        for (label, scope) in self.scopes() {
+            out.push_str(&format!("### Scope `{label}`\n\n"));
+            if scope.counters.is_empty() && scope.gauges.is_empty() && scope.histograms.is_empty() {
+                out.push_str("(empty)\n\n");
+                continue;
+            }
+            if !scope.counters.is_empty() || !scope.gauges.is_empty() {
+                out.push_str("| metric | value |\n|---|---:|\n");
+                for (name, value) in scope.counters() {
+                    out.push_str(&format!("| {name} | {value} |\n"));
+                }
+                for (name, value) in scope.gauges() {
+                    out.push_str(&format!("| {name} | {value:.3} |\n"));
+                }
+                out.push('\n');
+            }
+            if !scope.histograms.is_empty() {
+                out.push_str("| histogram | samples | mean µs | p50 µs | p99 µs | max µs |\n");
+                out.push_str("|---|---:|---:|---:|---:|---:|\n");
+                for (name, h) in scope.histograms() {
+                    out.push_str(&format!(
+                        "| {name} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+                        h.len(),
+                        h.mean_us(),
+                        h.median_us(),
+                        h.percentile_us(0.99),
+                        h.max_us()
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let mut registry = MetricsRegistry::new();
+        let scope = registry.scope("peerreview/equivocation/dedicated");
+        scope.inc("control_messages", 10);
+        scope.inc("control_messages", 5);
+        scope.set_node_gauge("retained_entries", 0, 42.0);
+        scope.record_us("audit_latency", 100.0);
+        scope.record_us("audit_latency", 300.0);
+        assert_eq!(scope.counter("control_messages"), 15);
+        assert_eq!(scope.counter("missing"), 0);
+        assert_eq!(scope.gauge("retained_entries[0]"), Some(42.0));
+        assert_eq!(
+            scope.histogram("audit_latency").map(Histogram::len),
+            Some(2)
+        );
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn merge_histogram_copies_samples() {
+        let mut source = Histogram::new();
+        source.record_us(1.0);
+        source.record_us(9.0);
+        let mut registry = MetricsRegistry::new();
+        registry.scope("s").merge_histogram("lat", &source);
+        registry.scope("s").record_us("lat", 5.0);
+        assert_eq!(
+            registry.get("s").unwrap().histogram("lat").unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn markdown_rendering_mentions_scopes_and_percentiles() {
+        let mut registry = MetricsRegistry::new();
+        let scope = registry.scope("bft/crash/piggyback");
+        scope.inc("messages", 7);
+        scope.record_us("lat", 50.0);
+        let md = registry.render_markdown();
+        assert!(md.contains("### Scope `bft/crash/piggyback`"));
+        assert!(md.contains("| messages | 7 |"));
+        assert!(md.contains("p99"));
+    }
+}

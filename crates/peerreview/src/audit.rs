@@ -87,6 +87,42 @@ impl Verdict {
             Verdict::Exposed => "exposed",
         }
     }
+
+    /// Stable numeric code carried in trace events (see [`tnic_obs::codes`]).
+    #[must_use]
+    pub fn trace_code(self) -> u64 {
+        match self {
+            Verdict::Trusted => tnic_obs::codes::VERDICT_TRUSTED,
+            Verdict::Suspected => tnic_obs::codes::VERDICT_SUSPECTED,
+            Verdict::Exposed => tnic_obs::codes::VERDICT_EXPOSED,
+        }
+    }
+}
+
+/// Identity and clock context a witness record stamps onto its trace
+/// events. The record itself knows neither who it belongs to nor the
+/// virtual time — the engine refreshes this before driving the record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx {
+    /// The witness owning the record ([`tnic_obs::NONE`] when untracked).
+    pub witness: u32,
+    /// The audited node ([`tnic_obs::NONE`] when untracked).
+    pub node: u32,
+    /// Virtual time in microseconds.
+    pub at_us: u64,
+    /// Current audit round.
+    pub round: u64,
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx {
+            witness: tnic_obs::NONE,
+            node: tnic_obs::NONE,
+            at_us: 0,
+            round: 0,
+        }
+    }
 }
 
 /// Verifiable proof (or locally observed failure) that a node misbehaved.
@@ -171,6 +207,23 @@ impl Misbehavior {
             Misbehavior::ForgedAccusation { .. } => "forged-accusation",
         }
     }
+
+    /// Stable numeric code carried in trace events (see [`tnic_obs::codes`]).
+    #[must_use]
+    pub fn trace_code(&self) -> u64 {
+        match self {
+            Misbehavior::ConflictingCommitments { .. } => {
+                tnic_obs::codes::MIS_CONFLICTING_COMMITMENTS
+            }
+            Misbehavior::Truncated { .. } => tnic_obs::codes::MIS_TRUNCATED,
+            Misbehavior::SurplusEntries { .. } => tnic_obs::codes::MIS_SURPLUS_ENTRIES,
+            Misbehavior::BrokenChain { .. } => tnic_obs::codes::MIS_BROKEN_CHAIN,
+            Misbehavior::HeadMismatch { .. } => tnic_obs::codes::MIS_HEAD_MISMATCH,
+            Misbehavior::ExecDivergence { .. } => tnic_obs::codes::MIS_EXEC_DIVERGENCE,
+            Misbehavior::CheckpointMismatch { .. } => tnic_obs::codes::MIS_CHECKPOINT_MISMATCH,
+            Misbehavior::ForgedAccusation { .. } => tnic_obs::codes::MIS_FORGED_ACCUSATION,
+        }
+    }
 }
 
 /// Returns the conflict evidence if two commitments by the same node
@@ -198,6 +251,9 @@ pub struct WitnessRecord<S: StateMachine> {
     pub evidence: Vec<Misbehavior>,
     /// The commitment currently under challenge, if any.
     pub pending_challenge: Option<Authenticator>,
+    /// Trace identity/clock context, refreshed by the engine before calls
+    /// (see [`TraceCtx`]).
+    pub trace: TraceCtx,
     /// Outputs the replay expects to see logged, FIFO: a node may verify
     /// several commands before executing them (batched poll), and a
     /// commitment boundary may fall between a `Recv` and its `Exec`, so the
@@ -217,7 +273,25 @@ impl<S: StateMachine> WitnessRecord<S> {
             verdict: Verdict::Trusted,
             evidence: Vec::new(),
             pending_challenge: None,
+            trace: TraceCtx::default(),
             expected_outputs: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn trace_verdict(&self, old: Verdict, misbehavior: u64) {
+        if old != self.verdict {
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::VerdictTransition,
+                at_us: self.trace.at_us,
+                node: self.trace.witness,
+                peer: self.trace.node,
+                round: self.trace.round,
+                aux: tnic_obs::codes::pack_verdict(
+                    old.trace_code(),
+                    self.verdict.trace_code(),
+                    misbehavior
+                )
+            );
         }
     }
 
@@ -247,6 +321,15 @@ impl<S: StateMachine> WitnessRecord<S> {
                 a: Box::new(held.clone()),
                 b: Box::new(auth.clone()),
             });
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Commitment,
+            at_us: self.trace.at_us,
+            node: self.trace.witness,
+            peer: auth.node,
+            seq: auth.seq,
+            round: self.trace.round,
+            aux: u64::from(conflict.is_some())
+        );
         self.commitments.push(auth);
         if let Some(evidence) = &conflict {
             self.convict(evidence.clone());
@@ -265,15 +348,20 @@ impl<S: StateMachine> WitnessRecord<S> {
 
     /// Marks the node exposed with `evidence`.
     pub fn convict(&mut self, evidence: Misbehavior) {
+        let old = self.verdict;
+        let code = evidence.trace_code();
         self.verdict = Verdict::Exposed;
         self.evidence.push(evidence);
+        self.trace_verdict(old, code);
     }
 
     /// Marks an unanswered challenge. Evidence-based exposure is permanent;
     /// otherwise the node becomes suspected.
     pub fn mark_unresponsive(&mut self) {
         if self.verdict != Verdict::Exposed {
+            let old = self.verdict;
             self.verdict = Verdict::Suspected;
+            self.trace_verdict(old, tnic_obs::codes::MIS_NONE);
         }
     }
 
@@ -304,6 +392,7 @@ impl<S: StateMachine> WitnessRecord<S> {
         self.pending_challenge = None;
         if self.verdict == Verdict::Suspected {
             self.verdict = Verdict::Trusted;
+            self.trace_verdict(Verdict::Suspected, tnic_obs::codes::MIS_NONE);
         }
     }
 
@@ -343,6 +432,7 @@ impl<S: StateMachine> WitnessRecord<S> {
             verdict,
             evidence,
             pending_challenge: None,
+            trace: TraceCtx::default(),
             expected_outputs: pending.into(),
         }
     }
@@ -361,13 +451,32 @@ impl<S: StateMachine> WitnessRecord<S> {
         entries: &[LogEntry],
     ) -> Result<(), Misbehavior> {
         if let Err(evidence) = self.check_response_inner(upto, entries) {
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::AuditReplay,
+                at_us: self.trace.at_us,
+                node: self.trace.witness,
+                peer: self.trace.node,
+                seq: upto.seq,
+                round: self.trace.round,
+                aux: evidence.trace_code()
+            );
             self.convict(evidence.clone());
             return Err(evidence);
         }
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::AuditReplay,
+            at_us: self.trace.at_us,
+            node: self.trace.witness,
+            peer: self.trace.node,
+            seq: upto.seq,
+            round: self.trace.round,
+            aux: tnic_obs::codes::MIS_NONE
+        );
         self.audited_seq = upto.seq;
         self.audited_head = upto.head;
         if self.verdict == Verdict::Suspected {
             self.verdict = Verdict::Trusted;
+            self.trace_verdict(Verdict::Suspected, tnic_obs::codes::MIS_NONE);
         }
         Ok(())
     }

@@ -91,6 +91,23 @@ pub fn cosign_quorum(witness_count: usize) -> usize {
     witness_count / 2 + 1
 }
 
+/// Emits the checkpoint-lifecycle trace event for `mark` (`phase` is one of
+/// [`tnic_obs::codes::CKPT_PROPOSE`], [`tnic_obs::codes::CKPT_COSIGN`],
+/// [`tnic_obs::codes::CKPT_CERTIFY`]); `actor` is the node performing the
+/// step and `peer` its counterpart (the proposer for a cosignature, the
+/// witness set representative for a broadcast, or [`tnic_obs::NONE`]).
+pub fn trace_mark(phase: u64, actor: u32, peer: u32, mark: &CheckpointMark, at_us: u64) {
+    tnic_obs::trace_event!(
+        tnic_obs::EventKind::Checkpoint,
+        at_us: at_us,
+        node: actor,
+        peer: peer,
+        seq: mark.cut,
+        round: mark.epoch,
+        aux: phase
+    );
+}
+
 /// A checkpoint proposal: `(node, epoch, cut, head, state_digest)` sealed by
 /// the proposing node's TNIC on its log session.
 ///

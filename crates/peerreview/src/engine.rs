@@ -124,7 +124,7 @@
 //! Checkpoint control traffic itself travels as ordinary envelopes and can
 //! carry piggyback riders like any other message.
 
-use crate::audit::{commitments_conflict, Misbehavior, Verdict, WitnessRecord};
+use crate::audit::{commitments_conflict, Misbehavior, TraceCtx, Verdict, WitnessRecord};
 use crate::checkpoint::{cosign_quorum, witness_set, CheckpointMark, Cosignature};
 use crate::log::{log_session, Authenticator, EntryKind, LogEntry, SecureLog};
 use crate::stats::AccountabilityStats;
@@ -1052,6 +1052,13 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 attestation,
             };
             self.stats.checkpoints_proposed += 1;
+            crate::checkpoint::trace_mark(
+                tnic_obs::codes::CKPT_PROPOSE,
+                node.0,
+                tnic_obs::NONE,
+                &mark,
+                self.clock.now().as_micros(),
+            );
             self.pending_checkpoints.insert(
                 node.0,
                 PendingCheckpoint {
@@ -1107,6 +1114,21 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             let dropped = self.layer.borrow_mut().prune_to(node, mark.cut);
             self.stats.pruned_log_entries += dropped;
             self.stats.checkpoints_completed += 1;
+            let at_us = self.clock.now().as_micros();
+            crate::checkpoint::trace_mark(
+                tnic_obs::codes::CKPT_CERTIFY,
+                node,
+                tnic_obs::NONE,
+                &mark,
+                at_us,
+            );
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::Prune,
+                at_us: at_us,
+                node: node,
+                seq: mark.cut,
+                aux: dropped
+            );
             self.certificates.insert(node, (mark.clone(), cosigs));
             self.completed_checkpoints.insert(node, mark);
         }
@@ -1378,6 +1400,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     fn issue_challenges(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
         let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
         let now = self.clock.now();
+        let at_us = now.as_micros();
+        let round = self.audit_rounds_done;
         for (&(witness, node), record) in &mut self.records {
             match self.faults.fault_of(witness) {
                 // A silent witness skips its audit duties outright; its
@@ -1393,6 +1417,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 NodeFault::FalseSuspicion => {
                     self.stats.challenges_skipped += 1;
                     self.stats.false_suspicions += 1;
+                    record.trace = TraceCtx {
+                        witness,
+                        node,
+                        at_us,
+                        round,
+                    };
                     record.mark_unresponsive();
                     continue;
                 }
@@ -1410,6 +1440,20 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                         upto_seq: target.seq,
                     },
                 ));
+                record.trace = TraceCtx {
+                    witness,
+                    node,
+                    at_us,
+                    round,
+                };
+                tnic_obs::trace_event!(
+                    tnic_obs::EventKind::Challenge,
+                    at_us: at_us,
+                    node: witness,
+                    peer: node,
+                    seq: target.seq,
+                    round: round
+                );
                 record.pending_challenge = Some(target);
                 self.challenge_started.insert((witness, node), now);
                 self.stats.challenges += 1;
@@ -1507,9 +1551,17 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     }
 
     fn finish_round(&mut self) {
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
         for (&(witness, node), record) in &mut self.records {
             if record.pending_challenge.take().is_some() {
                 self.stats.unanswered_challenges += 1;
+                record.trace = TraceCtx {
+                    witness,
+                    node,
+                    at_us,
+                    round,
+                };
                 record.mark_unresponsive();
                 self.challenge_started.remove(&(witness, node));
             }
@@ -1689,6 +1741,13 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             attestation,
         };
         self.stats.cosignatures_issued += 1;
+        crate::checkpoint::trace_mark(
+            tnic_obs::codes::CKPT_COSIGN,
+            witness,
+            node,
+            &mark,
+            self.clock.now().as_micros(),
+        );
         outgoing.push((
             NodeId(witness),
             NodeId(node),
@@ -1757,6 +1816,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         if signers.len() < cosign_quorum(witness_set.len()) {
             return;
         }
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
         let lagging = self
             .records
             .get(&(witness, node))
@@ -1775,6 +1836,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 let machine = donor.machine.clone();
                 let pending = donor.pending_outputs();
                 if let Some(record) = self.records.get_mut(&(witness, node)) {
+                    record.trace = TraceCtx {
+                        witness,
+                        node,
+                        at_us,
+                        round,
+                    };
                     record.fast_forward(mark.cut, mark.head, machine, pending);
                     // The fast-forward subsumes any in-flight challenge (a
                     // certificate may arrive as the *answer* to one); drop
@@ -1784,7 +1851,16 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             }
         }
         if let Some(record) = self.records.get_mut(&(witness, node)) {
-            self.stats.commitments_pruned += record.drop_commitments_upto(mark.cut) as u64;
+            let dropped = record.drop_commitments_upto(mark.cut) as u64;
+            self.stats.commitments_pruned += dropped;
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::Prune,
+                at_us: at_us,
+                node: witness,
+                peer: node,
+                seq: mark.cut,
+                aux: dropped
+            );
         }
     }
 
@@ -1824,10 +1900,18 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         if !self.witnesses_of(accused).contains(&witness) || !self.seal_verifies(witness, &auth) {
             return;
         }
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
         let record = self
             .records
             .get_mut(&(witness, accused))
             .expect("record exists");
+        record.trace = TraceCtx {
+            witness,
+            node: accused,
+            at_us,
+            round,
+        };
         let conflict = record.store_commitment(auth.clone());
         // A gossip-withholding witness suppresses *all* its witness-side
         // forwarding (relays and evidence transfers alike); a relay-refusing
@@ -1942,6 +2026,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     }
 
     fn handle_response(&mut self, witness: u32, node: u32, from_seq: u64, entries: &[LogEntry]) {
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
         let Some(record) = self.records.get_mut(&(witness, node)) else {
             return;
         };
@@ -1958,6 +2044,21 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             return;
         };
         self.stats.responses += 1;
+        record.trace = TraceCtx {
+            witness,
+            node,
+            at_us,
+            round,
+        };
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Response,
+            at_us: at_us,
+            node: witness,
+            peer: node,
+            seq: target.seq,
+            round: round,
+            aux: entries.len() as u64
+        );
         // The verdict transition happens inside the record; failures are
         // locally verified evidence, so no further transfer is needed —
         // every witness audits independently.
@@ -1979,6 +2080,17 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         let verifiable = commitments_conflict(a, b)
             && self.seal_verifies(witness, a)
             && self.seal_verifies(witness, b);
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Evidence,
+            at_us: at_us,
+            node: witness,
+            peer: from,
+            seq: a.seq,
+            round: round,
+            aux: u64::from(!verifiable)
+        );
         if !verifiable {
             self.stats.evidence_rejected += 1;
             if from != witness && self.witnesses_of(from).contains(&witness) {
@@ -1992,6 +2104,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                     .any(|e| matches!(e, Misbehavior::ForgedAccusation { .. }));
                 if !already_convicted {
                     self.stats.accusations_turned += 1;
+                    record.trace = TraceCtx {
+                        witness,
+                        node: from,
+                        at_us,
+                        round,
+                    };
                     record.convict(Misbehavior::ForgedAccusation { accused });
                 }
             }
@@ -2005,6 +2123,12 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .iter()
             .any(|e| matches!(e, Misbehavior::ConflictingCommitments { .. }));
         if !already_convicted {
+            record.trace = TraceCtx {
+                witness,
+                node: a.node,
+                at_us,
+                round,
+            };
             record.convict(Misbehavior::ConflictingCommitments {
                 a: Box::new(a.clone()),
                 b: Box::new(b.clone()),

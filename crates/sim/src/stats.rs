@@ -116,12 +116,19 @@ impl Histogram {
 
     /// Records a duration sample.
     pub fn record(&mut self, value: SimDuration) {
-        self.samples_us.push(value.as_micros_f64());
+        self.record_us(value.as_micros_f64());
     }
 
     /// Records a raw microsecond sample.
+    ///
+    /// Non-finite samples saturate instead of poisoning the percentile
+    /// computation: `+∞` (an overflowed duration computation) is clamped to
+    /// `f64::MAX`, `-∞` to 0, and NaN is dropped.
     pub fn record_us(&mut self, value_us: f64) {
-        self.samples_us.push(value_us);
+        if value_us.is_nan() {
+            return;
+        }
+        self.samples_us.push(value_us.clamp(0.0, f64::MAX));
     }
 
     /// Number of samples.
@@ -147,15 +154,20 @@ impl Histogram {
     }
 
     /// The `q`-quantile (0.0–1.0) in microseconds, by nearest-rank.
+    ///
+    /// Total-order comparison makes the sort panic-free even for data
+    /// recorded before the saturating [`Histogram::record_us`] existed; a
+    /// NaN quantile is treated as 1.0 (the most conservative tail).
     #[must_use]
     pub fn percentile_us(&self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
             return 0.0;
         }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
         let mut sorted = self.samples_us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank]
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
     }
 
     /// Median latency in microseconds.
@@ -174,6 +186,135 @@ impl Histogram {
     #[must_use]
     pub fn samples_us(&self) -> &[f64] {
         &self.samples_us
+    }
+}
+
+/// A fixed-memory latency histogram with power-of-two microsecond buckets.
+///
+/// Unlike [`Histogram`], which keeps every raw sample, this form is bounded:
+/// 64 buckets where bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 covers
+/// `< 1` µs). Samples beyond the last bucket **saturate** into it instead of
+/// overflowing, so a single absurd outlier cannot corrupt the distribution.
+/// Long-running recorders (the observability layer) use this; short
+/// experiments keep the exact [`Histogram`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundedHistogram {
+    buckets: [u64; BoundedHistogram::BUCKETS],
+    count: u64,
+    sum_us: f64,
+}
+
+impl Default for BoundedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundedHistogram {
+    /// Number of buckets (fixed).
+    pub const BUCKETS: usize = 64;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundedHistogram {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+            sum_us: 0.0,
+        }
+    }
+
+    fn bucket_index(value_us: f64) -> usize {
+        if value_us < 1.0 {
+            return 0;
+        }
+        // log2 bucket; anything past the top bucket saturates into it.
+        let exp = value_us.log2().floor() as i64 + 1;
+        usize::try_from(exp.max(0))
+            .unwrap_or(Self::BUCKETS - 1)
+            .min(Self::BUCKETS - 1)
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, in microseconds. The last
+    /// bucket is unbounded and reports `f64::INFINITY`.
+    #[must_use]
+    pub fn bucket_limit_us(i: usize) -> f64 {
+        if i + 1 >= Self::BUCKETS {
+            f64::INFINITY
+        } else {
+            (2.0f64).powi(i as i32)
+        }
+    }
+
+    /// Records a microsecond sample. NaN samples are dropped; negative and
+    /// infinite samples saturate into the first / last bucket.
+    pub fn record_us(&mut self, value_us: f64) {
+        if value_us.is_nan() {
+            return;
+        }
+        let value_us = value_us.max(0.0);
+        let index = if value_us.is_infinite() {
+            Self::BUCKETS - 1
+        } else {
+            Self::bucket_index(value_us)
+        };
+        self.buckets[index] = self.buckets[index].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_us += if value_us.is_finite() { value_us } else { 0.0 };
+    }
+
+    /// Records a duration sample.
+    pub fn record(&mut self, value: SimDuration) {
+        self.record_us(value.as_micros_f64());
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if the histogram has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty; saturated infinite
+    /// samples contribute 0 to the sum).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile upper bound in microseconds, by cumulative bucket
+    /// count (0 when empty). Reported as the exclusive upper limit of the
+    /// bucket holding the rank, so it is an upper bound on the true value.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if n > 0 && seen > rank {
+                return Self::bucket_limit_us(i);
+            }
+        }
+        Self::bucket_limit_us(Self::BUCKETS - 1)
+    }
+
+    /// Raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
     }
 }
 
@@ -277,6 +418,82 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.mean_us(), 0.0);
         assert_eq!(h.percentile_us(0.5), 0.0);
+        assert_eq!(h.percentile_us(0.99), 0.0);
+        assert_eq!(h.percentile_us(1.0), 0.0);
+        assert_eq!(h.max_us(), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_sample_all_percentiles() {
+        let mut h = Histogram::new();
+        h.record_us(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile_us(q), 42.0, "q={q}");
+        }
+        assert_eq!(h.median_us(), 42.0);
+        assert_eq!(h.mean_us(), 42.0);
+    }
+
+    #[test]
+    fn histogram_saturates_non_finite_samples() {
+        let mut h = Histogram::new();
+        h.record_us(f64::NAN); // dropped
+        h.record_us(f64::INFINITY); // clamped to f64::MAX
+        h.record_us(f64::NEG_INFINITY); // clamped to 0
+        h.record_us(-5.0); // clamped to 0
+        h.record_us(10.0);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.percentile_us(0.0), 0.0);
+        assert_eq!(h.percentile_us(1.0), f64::MAX);
+        // The sort no longer panics and out-of-range quantiles clamp.
+        assert_eq!(h.percentile_us(7.0), f64::MAX);
+        assert_eq!(h.percentile_us(-3.0), 0.0);
+        assert_eq!(h.percentile_us(f64::NAN), f64::MAX);
+    }
+
+    #[test]
+    fn bounded_histogram_empty_and_single_sample() {
+        let mut h = BoundedHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_us(0.99), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+        h.record_us(100.0);
+        assert_eq!(h.len(), 1);
+        // 100 µs lands in the [64, 128) bucket; the reported p99 is the
+        // bucket's upper bound.
+        assert_eq!(h.percentile_us(0.99), 128.0);
+        assert_eq!(h.percentile_us(0.0), 128.0);
+        assert_eq!(h.mean_us(), 100.0);
+    }
+
+    #[test]
+    fn bounded_histogram_saturating_bucket_overflow() {
+        let mut h = BoundedHistogram::new();
+        h.record_us(f64::INFINITY);
+        h.record_us(1e300); // far past the top bucket
+        h.record_us(f64::NAN); // dropped
+        h.record_us(-1.0); // clamps into bucket 0
+        assert_eq!(h.len(), 3);
+        let buckets = h.buckets();
+        assert_eq!(buckets[BoundedHistogram::BUCKETS - 1], 2);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(h.percentile_us(1.0), f64::INFINITY);
+        assert_eq!(h.percentile_us(0.0), BoundedHistogram::bucket_limit_us(0));
+    }
+
+    #[test]
+    fn bounded_histogram_percentiles_track_exact() {
+        let mut exact = Histogram::new();
+        let mut bounded = BoundedHistogram::new();
+        for i in 1..=1000u64 {
+            exact.record(SimDuration::from_micros(i));
+            bounded.record(SimDuration::from_micros(i));
+        }
+        // The bounded p99 upper bound must bracket the exact p99.
+        let p99 = exact.percentile_us(0.99);
+        let bound = bounded.percentile_us(0.99);
+        assert!(bound >= p99, "bound {bound} < exact {p99}");
+        assert!(bound <= p99 * 2.0, "log2 bucket bound too loose: {bound}");
     }
 
     #[test]

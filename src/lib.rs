@@ -14,6 +14,7 @@
 //! | hardware model   | `tnic-device`        | [`tnic_device`]  |
 //! | software stack   | `tnic-stack`         | [`tnic_stack`]   |
 //! | network substrate| `tnic-net`           | [`tnic_net`]     |
+//! | observability    | `tnic-obs`           | [`tnic_obs`]     |
 //! | TEE baselines    | `tnic-tee`           | [`tnic_tee`]     |
 //! | simulation       | `tnic-sim`           | [`tnic_sim`]     |
 //! | cryptography     | `tnic-crypto`        | [`tnic_crypto`]  |
@@ -41,6 +42,7 @@ pub use tnic_cr;
 pub use tnic_crypto;
 pub use tnic_device;
 pub use tnic_net;
+pub use tnic_obs;
 pub use tnic_peerreview;
 pub use tnic_sim;
 pub use tnic_stack;
