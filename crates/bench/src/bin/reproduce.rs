@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p tnic-bench --bin reproduce
 //! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
 //! [--max-retained-entries N] [--max-exposure-latency-rounds N]
-//! [--report PATH]`
+//! [--max-verdict-delay-rounds N] [--report PATH]`
 //!
 //! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
 //! × 8 application messages) with one Byzantine behaviour injected through
@@ -38,6 +38,15 @@
 //! and the replicated A2M, and a 200-audit-round retention probe certifies
 //! the bounded-memory story (see `tnic_bench::run_retention_probe`).
 //!
+//! A membership-churn suite (`tnic_bench::ChurnScenario`) then drives
+//! crash-rejoin (honest and tampering), partition healing, live joins,
+//! graceful leaves (honest and tampering) and chain-replication
+//! head/middle/tail fail-overs through the same verdict-parity harness in
+//! both commit modes: no correct node is ever exposed under churn, faulty
+//! churners still are, and the verdict-settle delay after the churn
+//! schedule is measured and bounded by `--max-verdict-delay-rounds`
+//! (default 6) under `--check`.
+//!
 //! Two scenarios (exec-tampering and forge-evidence) additionally run with
 //! the `tnic_obs` event recorder installed; the report reconstructs each
 //! verdict's causal chain (commitment → challenge → response → replay →
@@ -62,8 +71,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tnic_bench::gates::{self, GateOutcome};
 use tnic_bench::{
-    measure_exposure_latency, render_acct_table, render_table, report, run_acct_scenario,
-    run_retention_probe, run_scenario_mode, run_scenario_traced, AcctScenario, AcctScenarioResult,
+    measure_exposure_latency, render_acct_table, render_churn_table, render_table, report,
+    run_acct_scenario, run_churn_scenario, run_retention_probe, run_scenario_mode,
+    run_scenario_traced, AcctScenario, AcctScenarioResult, ChurnScenario, ChurnScenarioResult,
     CommitMode, Scenario, ScenarioResult,
 };
 use tnic_net::adversary::{FaultPlan, NodeFault};
@@ -124,6 +134,7 @@ fn main() {
     let mut max_acct_ctl_app = 3.0f64;
     let mut max_retained_entries = 600u64;
     let mut max_exposure_latency_rounds = 6u64;
+    let mut max_verdict_delay_rounds = 6u64;
     let mut report_path = std::path::PathBuf::from("reports/reproduce.md");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -156,6 +167,13 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--max-verdict-delay-rounds" => {
+                max_verdict_delay_rounds =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-verdict-delay-rounds requires a number");
+                        std::process::exit(2);
+                    });
+            }
             "--report" => match args.next() {
                 Some(path) => report_path = std::path::PathBuf::from(path),
                 None => {
@@ -168,7 +186,8 @@ fn main() {
                     "unknown argument: {other}\n\
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
                      [--max-acct-ctl-app RATIO] [--max-retained-entries N] \
-                     [--max-exposure-latency-rounds N] [--report PATH]"
+                     [--max-exposure-latency-rounds N] [--max-verdict-delay-rounds N] \
+                     [--report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -290,6 +309,39 @@ fn main() {
         }
     }
 
+    // ---- membership churn, crash-recovery and partition healing ----------
+
+    println!(
+        "\nmembership churn: crash-rejoin, partition-heal, join, leave and chain fail-over \
+         under accountability, in both commit modes\n\
+         (delay = audit rounds past the churn schedule until verdicts settle; \
+         gate: <= {max_verdict_delay_rounds} rounds)\n"
+    );
+    let churn_modes = [
+        CommitMode::Dedicated,
+        CommitMode::Piggyback { witnesses: 2 },
+    ];
+    let mut churn_results: Vec<ChurnScenarioResult> = Vec::new();
+    for scenario in ChurnScenario::suite() {
+        for mode in churn_modes {
+            match run_churn_scenario(&scenario, mode, max_verdict_delay_rounds + 2) {
+                Ok(result) => churn_results.push(result),
+                Err(err) => {
+                    let line =
+                        format!("churn scenario {} ({}): {err}", scenario.name, mode.label());
+                    eprintln!("{line}");
+                    failed_runs.push(line);
+                }
+            }
+        }
+    }
+    println!("{}", render_churn_table(&churn_results));
+    println!(
+        "expectations: tampering recoverers/leavers=exposed, every other row=trusted — \
+         honest crash-recovery, healed partitions, joins, departures and chain fail-overs \
+         never cost a correct node its clean record"
+    );
+
     // ---- exposure latency under Byzantine audit witnesses ----------------
 
     println!(
@@ -371,6 +423,8 @@ fn main() {
         gates::verdict_gate(&results),
         gates::accuracy_gate(&results),
         gates::acct_verdict_gate(&acct_results),
+        gates::churn_verdict_gate(&churn_results),
+        gates::churn_accuracy_gate(&churn_results),
         gates::exposure_completeness_gate(&latency_cases),
         gates::execution_gate(&failed_runs),
     ];
@@ -380,6 +434,7 @@ fn main() {
         gates::checkpoint_overhead_gate(&results, CKPT_OVERHEAD_FACTOR),
         gates::acct_overhead_gate(&acct_results, max_acct_ctl_app, CKPT_OVERHEAD_FACTOR),
         gates::exposure_latency_gate(&latency_cases, max_exposure_latency_rounds),
+        gates::churn_delay_gate(&churn_results, max_verdict_delay_rounds),
     ];
     if let Some(retention) = &retention {
         deviation_gates.push(gates::retention_verdict_gate(retention));
@@ -404,6 +459,7 @@ fn main() {
     let mut sections = vec![
         report::scenario_section(&results),
         report::acct_section(&acct_results),
+        report::churn_section(&churn_results),
     ];
     sections.extend(timeline_sections);
     sections.push(registry.render_markdown());

@@ -45,6 +45,8 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                     rounds,
                     messages_per_round: 2 * u64::from(nodes),
                     checkpoint_interval: None,
+                    churn_rate: 0.0,
+                    partition_rounds: 0,
                 };
                 points.push(point(CommitMode::Dedicated));
                 for &w in &witness_counts {
@@ -60,6 +62,34 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                     interval: 2,
                 }));
             }
+        }
+    }
+    // Robustness rows: crash-recover churn cycles and a healed partition
+    // window on node 1 of the PeerReview substrate — the `churn_rate` /
+    // `partition_rounds` columns carry the schedule, the exposure-latency
+    // column shows detection still lands once the node is back.
+    let churn_schedules: &[(f64, u64)] = if full {
+        &[(0.25, 0), (0.5, 0), (0.0, 2), (0.25, 2)]
+    } else {
+        &[(0.25, 0), (0.0, 2)]
+    };
+    for &(churn_rate, partition_rounds) in churn_schedules {
+        for mode in [
+            CommitMode::Dedicated,
+            CommitMode::Piggyback { witnesses: 2 },
+        ] {
+            points.push(SweepPoint {
+                app: SweepApp::PeerReview,
+                mode,
+                payload: 256,
+                nodes: 4,
+                audit_period: 1,
+                rounds: 8,
+                messages_per_round: 8,
+                checkpoint_interval: None,
+                churn_rate,
+                partition_rounds,
+            });
         }
     }
     // Accountability stacked on the BFT / CR transforms and the replicated
@@ -80,6 +110,8 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                         rounds: 4 * period,
                         messages_per_round: 4,
                         checkpoint_interval: None,
+                        churn_rate: 0.0,
+                        partition_rounds: 0,
                     };
                     points.push(point(CommitMode::Dedicated));
                     points.push(point(CommitMode::Piggyback { witnesses: 2 }));

@@ -8,7 +8,7 @@
 //! can evaluate **every** gate, print each failing one by name, and exit
 //! non-zero if any failed.
 
-use crate::{AcctScenarioResult, CommitMode, RetentionReport, ScenarioResult};
+use crate::{AcctScenarioResult, ChurnScenarioResult, CommitMode, RetentionReport, ScenarioResult};
 
 /// The verdict of one named gate: pass/fail plus every violation it found.
 #[derive(Debug, Clone)]
@@ -237,6 +237,70 @@ pub fn acct_overhead_gate(
     GateOutcome::from_violations("acct-overhead", violations)
 }
 
+/// Every churn scenario reaches its expected verdict (faulty churners
+/// exposed, honest ones not) — a deviation, fatal with or without
+/// `--check`. Settle timing lives in [`churn_delay_gate`].
+#[must_use]
+pub fn churn_verdict_gate(results: &[ChurnScenarioResult]) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter(|r| r.verdict != r.expected)
+        .map(|r| {
+            format!(
+                "{} [{}]: expected {}, got {}",
+                r.name,
+                r.mode.label(),
+                r.expected,
+                r.verdict
+            )
+        })
+        .collect();
+    GateOutcome::from_violations("churn-verdicts", violations)
+}
+
+/// No correct node is ever exposed under churn, crash-recovery or
+/// partition healing — the accuracy half of the accountability claim must
+/// survive membership change (fatal with or without `--check`).
+#[must_use]
+pub fn churn_accuracy_gate(results: &[ChurnScenarioResult]) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter(|r| !r.accuracy)
+        .map(|r| {
+            format!(
+                "{} [{}]: a correct node was exposed under churn",
+                r.name,
+                r.mode.label()
+            )
+        })
+        .collect();
+    GateOutcome::from_violations("churn-accuracy", violations)
+}
+
+/// Every churn scenario's verdicts settle within `max_rounds` audit rounds
+/// after the churn schedule completes (a bound, enforced under `--check`
+/// via `--max-verdict-delay-rounds`).
+#[must_use]
+pub fn churn_delay_gate(results: &[ChurnScenarioResult], max_rounds: u64) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter_map(|r| match r.settle_delay_rounds {
+            Some(delay) if delay > max_rounds => Some(format!(
+                "{} [{}]: settled {delay} rounds after the churn schedule, bound is {max_rounds}",
+                r.name,
+                r.mode.label()
+            )),
+            None => Some(format!(
+                "{} [{}]: verdicts never settled within the round budget",
+                r.name,
+                r.mode.label()
+            )),
+            _ => None,
+        })
+        .collect();
+    GateOutcome::from_violations("churn-verdict-delay", violations)
+}
+
 /// Every exposure-latency case detects its tamperer *at all* — a lying
 /// witness may delay exposure but never prevent it (a completeness
 /// deviation, fatal with or without `--check`).
@@ -430,6 +494,70 @@ mod tests {
         assert!(!completeness.passed);
         assert_eq!(completeness.violations.len(), 1);
         assert!(completeness.violations[0].contains("never exposed"));
+    }
+
+    fn churn_row(
+        name: &'static str,
+        verdict: &'static str,
+        expected: &'static str,
+        delay: Option<u64>,
+        accuracy: bool,
+    ) -> ChurnScenarioResult {
+        ChurnScenarioResult {
+            name,
+            mode: CommitMode::Piggyback { witnesses: 2 },
+            verdict,
+            expected,
+            settled: delay.is_some(),
+            settle_delay_rounds: delay,
+            accuracy,
+            joins: 0,
+            departures: 0,
+            crashes: 1,
+            recoveries: 1,
+            challenge_retries: 0,
+            messages_unreachable: 4,
+            messages_partitioned: 0,
+        }
+    }
+
+    #[test]
+    fn churn_gates_check_verdicts_accuracy_and_settle_delay() {
+        let results = [
+            churn_row("churn/crash-rejoin", "trusted", "trusted", Some(1), true),
+            churn_row(
+                "churn/leave-tamper",
+                "NOT exposed",
+                "exposed",
+                Some(0),
+                false,
+            ),
+            churn_row("churn/partition-heal", "suspected", "trusted", None, true),
+            churn_row("churn/join", "trusted", "trusted", Some(9), true),
+        ];
+        let verdicts = churn_verdict_gate(&results);
+        assert!(!verdicts.passed);
+        assert_eq!(verdicts.violations.len(), 2, "{:?}", verdicts.violations);
+        let accuracy = churn_accuracy_gate(&results);
+        assert!(!accuracy.passed);
+        assert_eq!(accuracy.violations.len(), 1);
+        assert!(accuracy.violations[0].contains("leave-tamper"));
+        let delay = churn_delay_gate(&results, 6);
+        assert!(!delay.passed);
+        assert_eq!(delay.violations.len(), 2, "{:?}", delay.violations);
+        assert!(delay.violations.iter().any(|v| v.contains("never settled")));
+        assert!(delay.violations.iter().any(|v| v.contains("bound is 6")));
+        // The clean subset passes all three gates.
+        let clean = [churn_row(
+            "churn/crash-rejoin",
+            "trusted",
+            "trusted",
+            Some(1),
+            true,
+        )];
+        assert!(churn_verdict_gate(&clean).passed);
+        assert!(churn_accuracy_gate(&clean).passed);
+        assert!(churn_delay_gate(&clean, 6).passed);
     }
 
     #[test]

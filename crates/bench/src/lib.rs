@@ -20,9 +20,10 @@ pub mod report;
 use std::collections::BTreeMap;
 use tnic_a2m::AccountableA2m;
 use tnic_bft::{BftConfig, BftCounter};
+use tnic_core::api::NodeId;
 use tnic_core::error::CoreError;
 use tnic_cr::ChainReplication;
-use tnic_net::adversary::{Adversary, FaultPlan, NodeFault};
+use tnic_net::adversary::{Adversary, FaultPlan, NodeFault, PartitionSchedule};
 use tnic_net::stack::NetworkStackKind;
 use tnic_peerreview::audit::Verdict;
 use tnic_peerreview::engine::EngineConfig;
@@ -1041,6 +1042,15 @@ pub struct SweepPoint {
     /// Audit rounds between cosigned checkpoint rounds (`None` = no
     /// checkpointing; logs retain everything).
     pub checkpoint_interval: Option<u64>,
+    /// Crash-recover cycles per audit round on node 1 (0 = no churn; 0.25
+    /// = one crash + recovery every 4 audit rounds). PeerReview substrate
+    /// only.
+    pub churn_rate: f64,
+    /// Length (in audit rounds) of a partition window isolating node 1,
+    /// opening after the first audit round and healing on schedule (0 = no
+    /// partition; the run gets `partition_rounds + 1` challenge retries so
+    /// healing clears suspicion). PeerReview substrate only.
+    pub partition_rounds: u64,
 }
 
 impl SweepPoint {
@@ -1094,7 +1104,7 @@ pub struct SweepRow {
 pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit_period,\
 checkpoint_interval,rounds,messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,\
 challenges,log_entries,retained_entries,retained_bytes,audit_p50_us,audit_p99_us,app_p50_us,\
-virt_time_us,exposure_latency_rounds";
+virt_time_us,exposure_latency_rounds,churn_rate,partition_rounds";
 
 impl SweepRow {
     /// Control messages per application message.
@@ -1121,7 +1131,7 @@ impl SweepRow {
     #[must_use]
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{},{:.2},{}",
             self.point.app.label(),
             self.point.mode.label(),
             self.point.payload,
@@ -1145,7 +1155,9 @@ impl SweepRow {
             self.app_p50_us,
             self.virtual_time_us,
             self.exposure_latency_rounds
-                .map_or_else(|| "-".to_string(), |r| r.to_string())
+                .map_or_else(|| "-".to_string(), |r| r.to_string()),
+            self.point.churn_rate,
+            self.point.partition_rounds
         )
     }
 }
@@ -1232,10 +1244,14 @@ fn drive_until_exposed(
     Ok(None)
 }
 
-/// Detection-latency twin of a PeerReview sweep point: the same
-/// configuration with a seq-0 log tamperer at node 1, counting *audit*
-/// rounds until every correct witness of the tamperer exposes it.
-fn sweep_exposure_probe(point: &SweepPoint) -> Result<Option<u64>, CoreError> {
+/// Whether a sweep point schedules any churn or partition window.
+fn point_has_churn(point: &SweepPoint) -> bool {
+    point.churn_rate > 0.0 || point.partition_rounds > 0
+}
+
+/// The PeerReview deployment config of a sweep point (churned points get
+/// enough challenge retries to bridge their partition window).
+fn sweep_point_config(point: &SweepPoint) -> PeerReviewConfig {
     let mut config = PeerReviewConfig {
         nodes: point.nodes,
         baseline: Baseline::Tnic,
@@ -1245,34 +1261,108 @@ fn sweep_exposure_probe(point: &SweepPoint) -> Result<Option<u64>, CoreError> {
         checkpoint_interval: point.checkpoint_interval,
         ..PeerReviewConfig::default()
     };
+    if point.partition_rounds > 0 {
+        config.challenge_retries = u32::try_from(point.partition_rounds)
+            .unwrap_or(u32::MAX)
+            .saturating_add(1);
+    }
     point.mode.apply(&mut config);
+    config
+}
+
+/// Drives a churned sweep point: crash-recover cycles at
+/// [`SweepPoint::churn_rate`] on node 1 and/or a healed partition window
+/// of [`SweepPoint::partition_rounds`] isolating node 1. With a `target`,
+/// returns the audit round at which every correct witness of the target
+/// held `Exposed` (the churned detection-latency probe); the pipeline
+/// drain counts as one more audit round, matching [`drive_until_exposed`].
+fn drive_churned_point(
+    pr: &mut PeerReview,
+    point: &SweepPoint,
+    target: Option<u32>,
+) -> Result<Option<u64>, CoreError> {
+    if point.partition_rounds > 0 {
+        pr.cluster_mut()
+            .set_partition(PartitionSchedule::new([1], 1, 1 + point.partition_rounds));
+    }
+    let exposed = |pr: &PeerReview| {
+        target.is_some_and(|t| {
+            let witnesses = pr.correct_witnesses_of(t);
+            !witnesses.is_empty()
+                && witnesses
+                    .iter()
+                    .all(|&w| pr.verdict_of(w, t) == Verdict::Exposed)
+        })
+    };
+    let period = point.audit_period.max(1);
+    // A crash-recover cycle spans two audit rounds (down for one, back for
+    // the next), so the cycle length is at least 2.
+    let cycle = if point.churn_rate > 0.0 {
+        ((1.0 / point.churn_rate).round() as u64).max(2)
+    } else {
+        0
+    };
+    let mut crashed = false;
+    let mut audit_rounds = 0u64;
+    for chunk in 0..point.rounds / period {
+        pr.run_scenario_ext(period, point.messages_per_round, period)?;
+        audit_rounds += 1;
+        if exposed(pr) {
+            return Ok(Some(audit_rounds));
+        }
+        if cycle > 0 {
+            if crashed {
+                pr.recover_node(1)?;
+                crashed = false;
+            } else if chunk % cycle == 0 {
+                pr.crash_node(1);
+                crashed = true;
+            }
+        }
+    }
+    for _ in 0..point.rounds % period {
+        pr.run_workload(point.messages_per_round)?;
+    }
+    if crashed {
+        pr.recover_node(1)?;
+    }
+    pr.drain_audits()?;
+    audit_rounds += 1;
+    Ok(exposed(pr).then_some(audit_rounds))
+}
+
+/// Detection-latency twin of a PeerReview sweep point: the same
+/// configuration (including any churn/partition schedule) with a seq-0
+/// log tamperer at node 1, counting *audit* rounds until every correct
+/// witness of the tamperer exposes it.
+fn sweep_exposure_probe(point: &SweepPoint) -> Result<Option<u64>, CoreError> {
+    let config = sweep_point_config(point);
     let target = 1u32.min(point.nodes.saturating_sub(1));
-    let pr = PeerReview::new(
+    let mut pr = PeerReview::new(
         config,
         FaultPlan::single(target, NodeFault::TamperLogEntry { seq: 0 }),
     )?;
-    drive_until_exposed(
-        pr,
-        target,
-        point.rounds,
-        point.messages_per_round,
-        point.audit_period,
-    )
+    if point_has_churn(point) {
+        drive_churned_point(&mut pr, point, Some(target))
+    } else {
+        drive_until_exposed(
+            pr,
+            target,
+            point.rounds,
+            point.messages_per_round,
+            point.audit_period,
+        )
+    }
 }
 
 fn run_peerreview_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
-    let mut config = PeerReviewConfig {
-        nodes: point.nodes,
-        baseline: Baseline::Tnic,
-        stack: NetworkStackKind::Tnic,
-        seed: 42,
-        app_payload_len: point.payload,
-        checkpoint_interval: point.checkpoint_interval,
-        ..PeerReviewConfig::default()
-    };
-    point.mode.apply(&mut config);
+    let config = sweep_point_config(&point);
     let mut pr = PeerReview::new(config, FaultPlan::all_correct())?;
-    pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
+    if point_has_churn(&point) {
+        drive_churned_point(&mut pr, &point, None)?;
+    } else {
+        pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
+    }
     let stats = pr.stats();
     let exposure_latency = sweep_exposure_probe(&point)?;
     Ok(sweep_row(
@@ -1413,10 +1503,72 @@ fn run_cr_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
 /// `(witness, node) → verdict` over a run's *final* witness sets.
 pub type VerdictMap = BTreeMap<(u32, u32), Verdict>;
 
+/// One scripted membership event of a [`ChurnPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Crash-stop a node: its links are refused (and counted) while its
+    /// log stays intact. For the chain-replication app this fails the
+    /// replica over out of the chain.
+    Crash {
+        /// The crashing node.
+        node: u32,
+    },
+    /// Recover a crashed node: restore its links and re-announce its
+    /// sealed log head. For the chain-replication app the replica rejoins
+    /// as the new tail.
+    Recover {
+        /// The recovering node.
+        node: u32,
+    },
+    /// Join a fresh node to the running deployment (PeerReview substrate
+    /// only; `id` must equal the current cluster size).
+    Join {
+        /// Id of the joining node.
+        id: u32,
+    },
+    /// Gracefully depart a node: farewell commitment plus unaudited tail
+    /// to its witnesses, then links down (PeerReview substrate only).
+    Leave {
+        /// The departing node.
+        node: u32,
+    },
+}
+
+/// A scripted membership/partition schedule applied between the rounds of
+/// a [`ParitySpec`] run (see [`run_verdict_matrix`]).
+#[derive(Debug, Clone, Default)]
+pub struct ChurnPlan {
+    /// `(after_round, action)` pairs: each action fires once that many
+    /// workload+audit rounds have completed (0 = before the first round).
+    pub actions: Vec<(u64, ChurnAction)>,
+    /// Partition schedule installed on the cluster before the run
+    /// (PeerReview substrate only; its rounds count *audit* rounds).
+    pub partition: Option<PartitionSchedule>,
+}
+
+impl ChurnPlan {
+    /// The actions scheduled to fire after `round` completed rounds.
+    fn at(&self, round: u64) -> impl Iterator<Item = &ChurnAction> {
+        self.actions
+            .iter()
+            .filter(move |(r, _)| *r == round)
+            .map(|(_, a)| a)
+    }
+
+    /// How many nodes the plan joins (they extend the verdict matrix).
+    fn joins(&self) -> u32 {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, ChurnAction::Join { .. }))
+            .count() as u32
+    }
+}
+
 /// One accountable run to drive for verdict comparison: any accounted
 /// application × fault plan × commit mode, optionally behind a packet-level
-/// adversary, compared against a *twin* run (clean network, different
-/// commit mode, no checkpointing, …) with [`assert_verdict_parity`].
+/// adversary or a scripted churn plan, compared against a *twin* run (clean
+/// network, different commit mode, no checkpointing, …) with
+/// [`assert_verdict_parity`].
 #[derive(Debug, Clone)]
 pub struct ParitySpec {
     /// The workload under audit.
@@ -1441,6 +1593,15 @@ pub struct ParitySpec {
     /// PeerReview substrate exposes its cluster for this; the harness
     /// panics if set for another app.
     pub adversary: Option<Adversary>,
+    /// Scripted membership churn applied between rounds. Crash/recover is
+    /// supported on the PeerReview and chain-replication substrates;
+    /// join/leave and partitions on PeerReview only (the harness panics
+    /// otherwise).
+    pub churn: Option<ChurnPlan>,
+    /// Challenge re-sends before a silent node is downgraded to suspected
+    /// (0 = classic single-shot challenges) — lets churn runs bridge
+    /// crash/partition windows without a false downgrade.
+    pub challenge_retries: u32,
     /// Drain the piggyback audit pipeline at the end of the run.
     pub drain: bool,
 }
@@ -1459,6 +1620,8 @@ impl ParitySpec {
             seed: 42,
             checkpoint_interval: None,
             adversary: None,
+            churn: None,
+            challenge_retries: 0,
             drain: true,
         }
     }
@@ -1466,6 +1629,7 @@ impl ParitySpec {
     fn engine_config(&self) -> EngineConfig {
         let mut config = self.mode.engine_config(self.seed);
         config.checkpoint_interval = config.checkpoint_interval.or(self.checkpoint_interval);
+        config.challenge_retries = self.challenge_retries;
         config
     }
 }
@@ -1488,6 +1652,12 @@ pub struct ParityOutcome {
     pub messages_sent: u64,
     /// Messages the cluster transport rejected (duplicates, tampering).
     pub messages_rejected: u64,
+    /// Sends refused because an endpoint was crashed or departed (0 where
+    /// the app does not expose its cluster).
+    pub messages_unreachable: u64,
+    /// Sends refused by an open partition cut (0 where the app does not
+    /// expose its cluster).
+    pub messages_partitioned: u64,
     /// Total virtual time of the run in microseconds.
     pub virtual_time_us: u64,
 }
@@ -1548,6 +1718,10 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
         spec.adversary.is_none() || spec.app == SweepApp::PeerReview,
         "packet-level adversaries are only supported on the PeerReview substrate"
     );
+    assert!(
+        spec.churn.is_none() || matches!(spec.app, SweepApp::PeerReview | SweepApp::Cr),
+        "churn plans are only supported on the PeerReview and chain-replication substrates"
+    );
     let byzantine = spec.faults.byzantine_nodes();
     // The four accountable systems share a verdict/witness surface but no
     // trait; the macros stamp the common round-driving loop and outcome
@@ -1574,7 +1748,8 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
         }};
     }
     macro_rules! acct_outcome {
-        ($system:expr, $nodes:expr, $stats:expr, $sent:expr, $rejected:expr) => {{
+        ($system:expr, $nodes:expr, $stats:expr, $sent:expr, $rejected:expr,
+         $unreachable:expr, $partitioned:expr) => {{
             let nodes: u32 = $nodes;
             let mut verdicts = VerdictMap::new();
             let mut evidence = BTreeMap::new();
@@ -1599,6 +1774,8 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 stats: $stats,
                 messages_sent: $sent,
                 messages_rejected: $rejected,
+                messages_unreachable: $unreachable,
+                messages_partitioned: $partitioned,
                 virtual_time_us: $system.now().as_micros(),
             }
         }};
@@ -1611,25 +1788,51 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 stack: NetworkStackKind::Tnic,
                 seed: spec.seed,
                 checkpoint_interval: spec.checkpoint_interval,
+                challenge_retries: spec.challenge_retries,
                 ..PeerReviewConfig::default()
             };
             spec.mode.apply(&mut config);
+            let piggyback = config.piggyback;
             let mut pr = PeerReview::new(config, spec.faults.clone())?;
             if let Some(adversary) = spec.adversary.clone() {
                 pr.cluster_mut()
                     .set_adversary(adversary, spec.seed ^ 0xAD5A);
             }
-            pr.run_scenario(spec.rounds, spec.ops_per_round)?;
+            if let Some(plan) = &spec.churn {
+                if let Some(schedule) = plan.partition.clone() {
+                    pr.cluster_mut().set_partition(schedule);
+                }
+                // Churn runs drive round by round so scripted actions land
+                // between rounds, exactly where an operator would apply
+                // them.
+                apply_peerreview_churn(&mut pr, plan, 0)?;
+                for round in 1..=spec.rounds {
+                    if piggyback {
+                        pr.begin_audit_round()?;
+                        pr.run_workload(spec.ops_per_round)?;
+                        pr.finish_audit_round()?;
+                    } else {
+                        pr.run_workload(spec.ops_per_round)?;
+                        pr.run_audit_round()?;
+                    }
+                    apply_peerreview_churn(&mut pr, plan, round)?;
+                }
+            } else {
+                pr.run_scenario(spec.rounds, spec.ops_per_round)?;
+            }
             if spec.drain {
                 pr.drain_audits()?;
             }
+            let nodes = spec.nodes + spec.churn.as_ref().map_or(0, ChurnPlan::joins);
             let cluster_stats = pr.cluster().stats();
             Ok(acct_outcome!(
                 pr,
-                spec.nodes,
+                nodes,
                 pr.stats(),
                 cluster_stats.messages_sent,
-                cluster_stats.messages_rejected
+                cluster_stats.messages_rejected,
+                cluster_stats.messages_unreachable,
+                cluster_stats.messages_partitioned
             ))
         }
         SweepApp::Bft => {
@@ -1653,7 +1856,9 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 system.replica_count() as u32,
                 system.acct_stats(),
                 cluster_stats.messages_sent,
-                cluster_stats.messages_rejected
+                cluster_stats.messages_rejected,
+                cluster_stats.messages_unreachable,
+                cluster_stats.messages_partitioned
             ))
         }
         SweepApp::Cr => {
@@ -1667,17 +1872,46 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 spec.faults.clone(),
             )?;
             let mut op = 0u64;
-            drive_acct_rounds!(system, {
-                system.put(&op.to_le_bytes(), b"value")?;
-                op += 1;
-            });
+            if let Some(plan) = &spec.churn {
+                assert!(
+                    plan.partition.is_none(),
+                    "partition churn is only supported on the PeerReview substrate"
+                );
+                let piggyback = spec.mode.is_piggyback();
+                apply_cr_churn(&mut system, plan, 0)?;
+                for round in 1..=spec.rounds {
+                    if piggyback {
+                        system.begin_audit_round()?;
+                    }
+                    for _ in 0..spec.ops_per_round {
+                        system.put(&op.to_le_bytes(), b"value")?;
+                        op += 1;
+                    }
+                    if piggyback {
+                        system.finish_audit_round()?;
+                    } else {
+                        system.run_audit_round()?;
+                    }
+                    apply_cr_churn(&mut system, plan, round)?;
+                }
+                if spec.drain {
+                    system.drain_audits()?;
+                }
+            } else {
+                drive_acct_rounds!(system, {
+                    system.put(&op.to_le_bytes(), b"value")?;
+                    op += 1;
+                });
+            }
             let cluster_stats = system.cluster().stats();
             Ok(acct_outcome!(
                 system,
                 nodes,
                 system.acct_stats(),
                 cluster_stats.messages_sent,
-                cluster_stats.messages_rejected
+                cluster_stats.messages_rejected,
+                cluster_stats.messages_unreachable,
+                cluster_stats.messages_partitioned
             ))
         }
         SweepApp::A2m => {
@@ -1695,9 +1929,383 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 system.append(format!("entry-{op}").as_bytes())?;
                 op += 1;
             });
-            Ok(acct_outcome!(system, nodes, system.acct_stats(), 0, 0))
+            Ok(acct_outcome!(
+                system,
+                nodes,
+                system.acct_stats(),
+                0,
+                0,
+                0,
+                0
+            ))
         }
     }
+}
+
+/// Applies the churn actions scheduled after `round` to a PeerReview
+/// deployment.
+fn apply_peerreview_churn(
+    pr: &mut PeerReview,
+    plan: &ChurnPlan,
+    round: u64,
+) -> Result<(), CoreError> {
+    for action in plan.at(round) {
+        match *action {
+            ChurnAction::Crash { node } => pr.crash_node(node),
+            ChurnAction::Recover { node } => pr.recover_node(node)?,
+            ChurnAction::Join { id } => pr.join_node(id)?,
+            ChurnAction::Leave { node } => pr.depart_node(node)?,
+        }
+    }
+    Ok(())
+}
+
+/// Applies the churn actions scheduled after `round` to an accountable
+/// chain-replication deployment (crash = fail-over, recover = rejoin as
+/// tail).
+fn apply_cr_churn(
+    system: &mut ChainReplication,
+    plan: &ChurnPlan,
+    round: u64,
+) -> Result<(), CoreError> {
+    for action in plan.at(round) {
+        match *action {
+            ChurnAction::Crash { node } => system.fail_over(NodeId(node)),
+            ChurnAction::Recover { node } => system.rejoin(NodeId(node))?,
+            ChurnAction::Join { .. } | ChurnAction::Leave { .. } => {
+                panic!("join/leave churn is only supported on the PeerReview substrate")
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- membership-churn robustness scenarios ------------------------------
+
+/// One membership-churn robustness scenario: a scripted [`ChurnPlan`]
+/// (plus an optional fault plan) driven through [`run_verdict_matrix`],
+/// with the verdict-settle delay measured in audit rounds beyond the churn
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnScenario {
+    /// Display name (`churn/…`).
+    pub name: &'static str,
+    /// The substrate under churn ([`SweepApp::PeerReview`] or
+    /// [`SweepApp::Cr`]).
+    pub app: SweepApp,
+    /// Cluster size before any join.
+    pub nodes: u32,
+    /// Injected node-level Byzantine behaviours.
+    pub faults: FaultPlan,
+    /// The scripted membership/partition schedule.
+    pub churn: ChurnPlan,
+    /// Challenge retries configured for the run (bridges partition and
+    /// crash windows without a false downgrade).
+    pub challenge_retries: u32,
+    /// Rounds by which every churn action has fired and any partition has
+    /// healed; the settle delay counts rounds beyond this.
+    pub settle_round: u64,
+    /// Node expected `Exposed` at every correct witness (tamper cases).
+    pub expected_exposed: Option<u32>,
+    /// Correct nodes that end the run down for good (failed-over, never
+    /// recovered): they may settle as `Suspected` — silence is never
+    /// proof — but must never be `Exposed`.
+    pub allow_suspected: Vec<u32>,
+}
+
+impl ChurnScenario {
+    /// The churn robustness suite exercised by `reproduce`: crash-rejoin
+    /// (honest and tampering), partition-heal, join, leave (honest and
+    /// tampering) on the PeerReview substrate, plus head/middle/tail
+    /// fail-over and fail-over-rejoin for the chain-replication app.
+    #[must_use]
+    pub fn suite() -> Vec<ChurnScenario> {
+        let pr = |name, faults, actions: Vec<(u64, ChurnAction)>, settle_round| ChurnScenario {
+            name,
+            app: SweepApp::PeerReview,
+            nodes: 4,
+            faults,
+            churn: ChurnPlan {
+                actions,
+                partition: None,
+            },
+            challenge_retries: 0,
+            settle_round,
+            expected_exposed: None,
+            allow_suspected: Vec::new(),
+        };
+        let cr_failover = |name, node| ChurnScenario {
+            name,
+            app: SweepApp::Cr,
+            nodes: 3,
+            faults: FaultPlan::all_correct(),
+            churn: ChurnPlan {
+                actions: vec![(1, ChurnAction::Crash { node })],
+                partition: None,
+            },
+            challenge_retries: 0,
+            settle_round: 2,
+            expected_exposed: None,
+            // The failed-over replica never recovers: its witnesses may
+            // keep it suspected (silence is not proof) but never exposed.
+            allow_suspected: vec![node],
+        };
+        let crash_rejoin = vec![
+            (1, ChurnAction::Crash { node: 1 }),
+            (2, ChurnAction::Recover { node: 1 }),
+        ];
+        vec![
+            pr(
+                "churn/crash-rejoin",
+                FaultPlan::all_correct(),
+                crash_rejoin.clone(),
+                3,
+            ),
+            {
+                let mut s = pr(
+                    "churn/crash-rejoin-tamper",
+                    FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+                    crash_rejoin,
+                    3,
+                );
+                s.expected_exposed = Some(1);
+                s
+            },
+            {
+                let mut s = pr("churn/partition-heal", FaultPlan::all_correct(), vec![], 4);
+                s.churn.partition = Some(PartitionSchedule::new([1], 1, 3));
+                s.challenge_retries = 3;
+                s
+            },
+            pr(
+                "churn/join",
+                FaultPlan::all_correct(),
+                vec![(1, ChurnAction::Join { id: 4 })],
+                3,
+            ),
+            pr(
+                "churn/leave",
+                FaultPlan::all_correct(),
+                vec![(2, ChurnAction::Leave { node: 2 })],
+                3,
+            ),
+            {
+                let mut s = pr(
+                    "churn/leave-tamper",
+                    FaultPlan::single(2, NodeFault::TamperLogEntry { seq: 0 }),
+                    vec![(2, ChurnAction::Leave { node: 2 })],
+                    3,
+                );
+                s.expected_exposed = Some(2);
+                s
+            },
+            cr_failover("churn/cr-failover-head", 0),
+            cr_failover("churn/cr-failover-middle", 1),
+            cr_failover("churn/cr-failover-tail", 2),
+            {
+                let mut s = cr_failover("churn/cr-failover-rejoin", 1);
+                s.churn.actions.push((2, ChurnAction::Recover { node: 1 }));
+                s.settle_round = 3;
+                s.allow_suspected.clear();
+                s
+            },
+        ]
+    }
+
+    /// The [`ParitySpec`] of this scenario over `mode` with a total round
+    /// budget of `rounds`.
+    #[must_use]
+    pub fn spec(&self, mode: CommitMode, rounds: u64) -> ParitySpec {
+        let mut spec = ParitySpec::new(self.app, mode, self.faults.clone());
+        spec.nodes = self.nodes;
+        spec.rounds = rounds;
+        spec.challenge_retries = self.challenge_retries;
+        spec.churn = Some(self.churn.clone());
+        spec
+    }
+
+    /// Whether the verdicts have settled: every correct pair back to
+    /// `Trusted` (permanently-down nodes may stay `Suspected`) and the
+    /// expected tamperer, if any, `Exposed` at every correct witness.
+    #[must_use]
+    pub fn settled(&self, outcome: &ParityOutcome) -> bool {
+        let clean = outcome.verdicts.iter().all(|(&(w, n), &v)| {
+            if outcome.byzantine.contains(&w) || outcome.byzantine.contains(&n) {
+                return true;
+            }
+            if self.allow_suspected.contains(&n) {
+                v != Verdict::Exposed
+            } else {
+                v == Verdict::Trusted
+            }
+        });
+        let exposed = self.expected_exposed.is_none_or(|t| {
+            let witnesses = outcome.correct_witnesses_of(t);
+            !witnesses.is_empty()
+                && witnesses
+                    .iter()
+                    .all(|&w| outcome.verdict_of(w, t) == Verdict::Exposed)
+        });
+        clean && exposed
+    }
+}
+
+/// The measured outcome of one churn scenario in one commit mode.
+#[derive(Debug, Clone)]
+pub struct ChurnScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Commitment mode of the run.
+    pub mode: CommitMode,
+    /// Aggregate verdict label reached by the correct witnesses.
+    pub verdict: &'static str,
+    /// The expected verdict label.
+    pub expected: &'static str,
+    /// Whether the verdicts settled within the round budget.
+    pub settled: bool,
+    /// Audit rounds beyond the churn schedule until the verdicts settled
+    /// (`None` = never within the budget).
+    pub settle_delay_rounds: Option<u64>,
+    /// No correct node was ever exposed at a correct witness (exposure is
+    /// permanent, so the final matrix covers the whole run).
+    pub accuracy: bool,
+    /// Joins performed.
+    pub joins: u64,
+    /// Graceful departures performed.
+    pub departures: u64,
+    /// Crash-stops injected.
+    pub crashes: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Challenge re-sends by the retry/backoff machinery.
+    pub challenge_retries: u64,
+    /// Sends refused because an endpoint was down.
+    pub messages_unreachable: u64,
+    /// Sends refused by an open partition cut.
+    pub messages_partitioned: u64,
+}
+
+/// The most severe verdict any correct witness holds over any correct
+/// node outside `skip` (nodes that legitimately end the run down).
+fn worst_correct_verdict(outcome: &ParityOutcome, skip: &[u32]) -> Verdict {
+    outcome
+        .verdicts
+        .iter()
+        .filter(|(&(w, n), _)| {
+            !outcome.byzantine.contains(&w) && !outcome.byzantine.contains(&n) && !skip.contains(&n)
+        })
+        .map(|(_, &v)| v)
+        .max_by_key(|&v| verdict_rank(v))
+        .unwrap_or(Verdict::Trusted)
+}
+
+/// Runs one churn scenario in `mode`, growing the round budget one audit
+/// round at a time past the churn schedule (up to `max_extra_rounds`
+/// beyond it) until the verdicts settle — the measured settle delay is the
+/// robustness analogue of the exposure-latency probe. Every probe run is a
+/// fresh deterministic deployment of the same spec, so the final outcome
+/// is exactly the reported run.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the runs.
+pub fn run_churn_scenario(
+    scenario: &ChurnScenario,
+    mode: CommitMode,
+    max_extra_rounds: u64,
+) -> Result<ChurnScenarioResult, CoreError> {
+    let mut settle_delay = None;
+    let mut outcome = None;
+    for extra in 0..=max_extra_rounds {
+        let run = run_verdict_matrix(&scenario.spec(mode, scenario.settle_round + extra))?;
+        let settled = scenario.settled(&run);
+        outcome = Some(run);
+        if settled {
+            settle_delay = Some(extra);
+            break;
+        }
+    }
+    let outcome = outcome.expect("the round-budget loop runs at least once");
+    let accuracy = outcome.verdicts.iter().all(|(&(w, n), &v)| {
+        outcome.byzantine.contains(&w) || outcome.byzantine.contains(&n) || v != Verdict::Exposed
+    });
+    let verdict = match scenario.expected_exposed {
+        Some(t) => {
+            let witnesses = outcome.correct_witnesses_of(t);
+            if !witnesses.is_empty()
+                && witnesses
+                    .iter()
+                    .all(|&w| outcome.verdict_of(w, t) == Verdict::Exposed)
+            {
+                "exposed"
+            } else {
+                "NOT exposed"
+            }
+        }
+        None => worst_correct_verdict(&outcome, &scenario.allow_suspected).label(),
+    };
+    let expected = if scenario.expected_exposed.is_some() {
+        "exposed"
+    } else {
+        "trusted"
+    };
+    Ok(ChurnScenarioResult {
+        name: scenario.name,
+        mode,
+        verdict,
+        expected,
+        settled: settle_delay.is_some(),
+        settle_delay_rounds: settle_delay,
+        accuracy,
+        joins: outcome.stats.joins,
+        departures: outcome.stats.departures,
+        crashes: outcome.stats.crashes,
+        recoveries: outcome.stats.recoveries,
+        challenge_retries: outcome.stats.challenge_retries,
+        messages_unreachable: outcome.messages_unreachable,
+        messages_partitioned: outcome.messages_partitioned,
+    })
+}
+
+/// Renders the churn-robustness results table.
+#[must_use]
+pub fn render_churn_table(results: &[ChurnScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<15} {:<12} {:<10} {:>6} {:>9} {:>13} {:>7} {:>7} {:>6}\n",
+        "scenario",
+        "mode",
+        "verdict",
+        "expected",
+        "delay",
+        "accuracy",
+        "j/l/c/r",
+        "retry",
+        "unrch",
+        "part"
+    ));
+    out.push_str(&"-".repeat(122));
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!(
+            "{:<26} {:<15} {:<12} {:<10} {:>6} {:>9} {:>13} {:>7} {:>7} {:>6}\n",
+            r.name,
+            r.mode.label(),
+            r.verdict,
+            r.expected,
+            r.settle_delay_rounds
+                .map_or_else(|| "never".to_string(), |d| format!("+{d}")),
+            if r.accuracy { "ok" } else { "FAIL" },
+            format!(
+                "{}/{}/{}/{}",
+                r.joins, r.departures, r.crashes, r.recoveries
+            ),
+            r.challenge_retries,
+            r.messages_unreachable,
+            r.messages_partitioned
+        ));
+    }
+    out
 }
 
 /// Drives a 4-node PeerReview deployment round by round (8 messages per
@@ -1902,6 +2510,8 @@ mod tests {
             rounds: 4,
             messages_per_round: 8,
             checkpoint_interval: None,
+            churn_rate: 0.0,
+            partition_rounds: 0,
         })
         .unwrap();
         assert_eq!(row.witnesses, 2);
@@ -1909,6 +2519,10 @@ mod tests {
         assert!(row.piggybacked > 0);
         let csv = row.to_csv();
         assert!(csv.starts_with("peerreview,piggyback(w=2),256,4,2,2,-,4,8,32,"));
+        assert!(
+            csv.ends_with(",0.00,0"),
+            "churn columns sit at the end of the row: {csv}"
+        );
         assert_eq!(
             csv.split(',').count(),
             SWEEP_CSV_HEADER.split(',').count(),
@@ -1928,6 +2542,8 @@ mod tests {
                 rounds: 3,
                 messages_per_round: 4,
                 checkpoint_interval: None,
+                churn_rate: 0.0,
+                partition_rounds: 0,
             })
             .unwrap();
             assert_eq!(row.witnesses, 2, "{app:?}");
@@ -1938,6 +2554,125 @@ mod tests {
             assert!(csv.starts_with(app.label()), "{app:?}");
             assert_eq!(csv.split(',').count(), SWEEP_CSV_HEADER.split(',').count());
         }
+    }
+
+    #[test]
+    fn churn_suite_settles_cleanly_in_both_modes() {
+        // The acceptance matrix of the robustness claim: crash-rejoin,
+        // partition-heal, join, leave and chain fail-over — honest and
+        // tampering — in both commit modes. No correct node is ever
+        // exposed, tampering churners always are, and verdicts settle
+        // within the CI bound.
+        for scenario in ChurnScenario::suite() {
+            for mode in [
+                CommitMode::Dedicated,
+                CommitMode::Piggyback { witnesses: 2 },
+            ] {
+                let result = run_churn_scenario(&scenario, mode, 8).unwrap();
+                assert!(
+                    result.accuracy,
+                    "{} [{}]: a correct node was exposed under churn",
+                    scenario.name,
+                    mode.label()
+                );
+                assert_eq!(
+                    result.verdict,
+                    result.expected,
+                    "{} [{}]",
+                    scenario.name,
+                    mode.label()
+                );
+                let delay = result.settle_delay_rounds.unwrap_or_else(|| {
+                    panic!(
+                        "{} [{}]: verdicts never settled",
+                        scenario.name,
+                        mode.label()
+                    )
+                });
+                assert!(
+                    delay <= 6,
+                    "{} [{}]: settle delay {delay} exceeds the CI bound",
+                    scenario.name,
+                    mode.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_runs_keep_verdict_parity_across_commit_modes() {
+        // A crash-rejoin schedule must classify identically whether
+        // commitments are dedicated or piggybacked — churn does not break
+        // the commit-mode equivalence the parity harness asserts elsewhere.
+        let churn = ChurnPlan {
+            actions: vec![
+                (1, ChurnAction::Crash { node: 1 }),
+                (2, ChurnAction::Recover { node: 1 }),
+            ],
+            partition: None,
+        };
+        let mut dedicated = ParitySpec::new(
+            SweepApp::PeerReview,
+            CommitMode::Dedicated,
+            FaultPlan::all_correct(),
+        );
+        dedicated.rounds = 4;
+        dedicated.churn = Some(churn);
+        let mut piggyback = dedicated.clone();
+        piggyback.mode = CommitMode::Piggyback { witnesses: 2 };
+        let a = run_verdict_matrix(&dedicated).unwrap();
+        let b = run_verdict_matrix(&piggyback).unwrap();
+        assert!(a.stats.crashes == 1 && a.stats.recoveries == 1);
+        assert!(
+            a.messages_unreachable > 0,
+            "crash window must refuse (and count) sends, not lose them"
+        );
+        assert_verdict_parity(&a, &b, "crash-rejoin dedicated vs piggyback");
+    }
+
+    #[test]
+    fn churned_sweep_points_carry_the_new_columns_and_still_detect() {
+        // Crash-recover churn cycles.
+        let churned = run_sweep_point(SweepPoint {
+            app: SweepApp::PeerReview,
+            mode: CommitMode::Piggyback { witnesses: 2 },
+            payload: 64,
+            nodes: 4,
+            audit_period: 1,
+            rounds: 8,
+            messages_per_round: 8,
+            checkpoint_interval: None,
+            churn_rate: 0.25,
+            partition_rounds: 0,
+        })
+        .unwrap();
+        let csv = churned.to_csv();
+        assert!(csv.ends_with(",0.25,0"), "{csv}");
+        assert_eq!(csv.split(',').count(), SWEEP_CSV_HEADER.split(',').count());
+        assert!(
+            churned.exposure_latency_rounds.is_some(),
+            "the tamperer twin must still be detected under churn"
+        );
+        // A healed partition window.
+        let partitioned = run_sweep_point(SweepPoint {
+            app: SweepApp::PeerReview,
+            mode: CommitMode::Dedicated,
+            payload: 64,
+            nodes: 4,
+            audit_period: 1,
+            rounds: 8,
+            messages_per_round: 8,
+            checkpoint_interval: None,
+            churn_rate: 0.0,
+            partition_rounds: 2,
+        })
+        .unwrap();
+        let csv = partitioned.to_csv();
+        assert!(csv.ends_with(",0.00,2"), "{csv}");
+        assert!(
+            partitioned.exposure_latency_rounds.is_some(),
+            "detection must land once the partition heals"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! and tests compose exactly the report they need.
 
 use crate::gates::GateOutcome;
-use crate::{AcctScenarioResult, ScenarioResult, SweepRow};
+use crate::{AcctScenarioResult, ChurnScenarioResult, ScenarioResult, SweepRow};
 use std::fmt::Write as _;
 use std::path::Path;
 use tnic_obs::metrics::MetricsRegistry;
@@ -86,6 +86,41 @@ pub fn acct_section(results: &[AcctScenarioResult]) -> String {
             virtual_throughput(r.app_messages, r.virtual_time_us),
             if r.protocol_committed { "ok" } else { "FAIL" },
             if r.state_parity { "ok" } else { "FAIL" },
+        );
+    }
+    out
+}
+
+/// The membership-churn robustness table: verdicts, settle delay and
+/// churn/drop counters per scenario × commit mode.
+#[must_use]
+pub fn churn_section(results: &[ChurnScenarioResult]) -> String {
+    let mut out = String::from(
+        "## Membership churn, crash-recovery and partition healing\n\n\
+         Settle delay counts audit rounds past the churn schedule until every \
+         correct pair is back to `trusted` (and the tamperer, where injected, \
+         is `exposed` at every correct witness).\n\n\
+         | scenario | mode | verdict | expected | settle delay | accuracy | \
+         joins | leaves | crashes | recoveries | retries | drops |\n\
+         |---|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.name,
+            r.mode.label(),
+            r.verdict,
+            r.expected,
+            r.settle_delay_rounds
+                .map_or_else(|| "never".to_string(), |d| format!("+{d}")),
+            if r.accuracy { "ok" } else { "FAIL" },
+            r.joins,
+            r.departures,
+            r.crashes,
+            r.recoveries,
+            r.challenge_retries,
+            r.messages_unreachable + r.messages_partitioned,
         );
     }
     out

@@ -22,7 +22,7 @@ use tnic_device::attestation::AttestedMessage;
 use tnic_device::dma::DmaRegion;
 use tnic_device::roce::packet::{PacketHeader, RdmaOpcode, RocePacket};
 use tnic_device::types::{DeviceId, Ipv4Addr, MacAddr, QueuePairId, SessionId};
-use tnic_net::adversary::Adversary;
+use tnic_net::adversary::{Adversary, PartitionSchedule};
 use tnic_net::stack::NetworkStackKind;
 use tnic_sim::clock::SimClock;
 use tnic_sim::rng::DetRng;
@@ -98,6 +98,15 @@ pub struct ClusterStats {
     pub messages_rejected: u64,
     /// Remote reads/writes executed.
     pub remote_ops: u64,
+    /// Sends refused because an endpoint had departed or crashed. Before
+    /// membership tracking these were silent losses; now every one is
+    /// counted, traced (net-drop with a reason) and surfaced as
+    /// [`CoreError::Unreachable`] *before* the attested channel's session
+    /// counter advances.
+    pub messages_unreachable: u64,
+    /// Sends refused because an open [`PartitionSchedule`] cut separated the
+    /// endpoints (healing restores the link with counters intact).
+    pub messages_partitioned: u64,
 }
 
 /// A set of TNIC nodes wired together over a (modelled) network stack.
@@ -116,6 +125,14 @@ pub struct Cluster {
     stats: ClusterStats,
     accountability: Option<SharedAccountability>,
     adversary: Option<(Adversary, DetRng)>,
+    /// Nodes currently unreachable (departed or crash-stopped), with the
+    /// drop-reason label surfaced in errors, stats and trace events.
+    unreachable: BTreeMap<NodeId, &'static str>,
+    /// An installed healing-partition schedule, if any.
+    partition: Option<PartitionSchedule>,
+    /// The round the partition schedule is evaluated against (advanced by
+    /// the protocol driver via [`Cluster::set_partition_round`]).
+    partition_round: u64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -149,6 +166,9 @@ impl Cluster {
             stats: ClusterStats::default(),
             accountability: None,
             adversary: None,
+            unreachable: BTreeMap::new(),
+            partition: None,
+            partition_round: 0,
         }
     }
 
@@ -243,6 +263,111 @@ impl Cluster {
     /// Removes the installed packet-level adversary, if any.
     pub fn clear_adversary(&mut self) -> Option<Adversary> {
         self.adversary.take().map(|(a, _)| a)
+    }
+
+    /// Marks `node` unreachable (departed or crash-stopped): every later
+    /// send touching it is refused with [`CoreError::Unreachable`] — counted
+    /// and traced, never silently lost — *before* the attested channel's
+    /// session counter advances, so the channel survives a recovery intact.
+    /// `reason` is the drop label (`"departed"` or `"crashed"`).
+    pub fn mark_unreachable(&mut self, node: NodeId, reason: &'static str) {
+        self.unreachable.insert(node, reason);
+    }
+
+    /// Restores reachability of a crash-recovered node.
+    pub fn mark_reachable(&mut self, node: NodeId) {
+        self.unreachable.remove(&node);
+    }
+
+    /// Whether `node` is currently reachable (known and not down).
+    #[must_use]
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.endpoints.contains_key(&node) && !self.unreachable.contains_key(&node)
+    }
+
+    /// Installs a healing-partition schedule (see [`PartitionSchedule`]);
+    /// the cut is evaluated against the round set by
+    /// [`Cluster::set_partition_round`].
+    pub fn set_partition(&mut self, schedule: PartitionSchedule) {
+        self.partition = Some(schedule);
+    }
+
+    /// Removes the installed partition schedule, if any.
+    pub fn clear_partition(&mut self) -> Option<PartitionSchedule> {
+        self.partition.take()
+    }
+
+    /// Advances the round the partition schedule is evaluated against,
+    /// emitting a partition open/heal trace event on the transition.
+    pub fn set_partition_round(&mut self, round: u64) {
+        let Some(schedule) = &self.partition else {
+            self.partition_round = round;
+            return;
+        };
+        let was_active = schedule.active(self.partition_round);
+        let now_active = schedule.active(round);
+        if was_active != now_active {
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::Partition,
+                at_us: self.clock.now().as_micros(),
+                seq: schedule.group.len() as u64,
+                round: round,
+                aux: if now_active {
+                    tnic_obs::codes::PARTITION_OPEN
+                } else {
+                    tnic_obs::codes::PARTITION_HEAL
+                }
+            );
+        }
+        self.partition_round = round;
+    }
+
+    /// Why the link `from → to` is down right now, if it is: an unreachable
+    /// endpoint's reason label, or `"partitioned"` under an open cut.
+    #[must_use]
+    pub fn link_blocked(&self, from: NodeId, to: NodeId) -> Option<&'static str> {
+        if let Some(&reason) = self
+            .unreachable
+            .get(&to)
+            .or_else(|| self.unreachable.get(&from))
+        {
+            return Some(reason);
+        }
+        if let Some(schedule) = &self.partition {
+            if schedule.cuts(self.partition_round, from.0, to.0) {
+                return Some("partitioned");
+            }
+        }
+        None
+    }
+
+    /// Refuses a send over a down link: counts the drop, emits the net-drop
+    /// trace event with its reason code, and returns
+    /// [`CoreError::Unreachable`].
+    fn refuse_blocked_send(&mut self, from: NodeId, to: NodeId, reason: &'static str) -> CoreError {
+        let code = match reason {
+            "departed" => tnic_obs::codes::DROP_DEPARTED,
+            "crashed" => tnic_obs::codes::DROP_CRASHED,
+            _ => tnic_obs::codes::DROP_PARTITIONED,
+        };
+        if code == tnic_obs::codes::DROP_PARTITIONED {
+            self.stats.messages_partitioned += 1;
+        } else {
+            self.stats.messages_unreachable += 1;
+        }
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::NetDrop,
+            at_us: self.clock.now().as_micros(),
+            node: to.0,
+            peer: from.0,
+            round: self.partition_round,
+            aux: code
+        );
+        CoreError::Unreachable {
+            from: from.0,
+            to: to.0,
+            reason,
+        }
     }
 
     /// The attached accountability layer, if any.
@@ -478,6 +603,13 @@ impl Cluster {
         to: NodeId,
         payload: &[u8],
     ) -> Result<AttestedMessage, CoreError> {
+        // Churn/partition drops happen here, before the session counter
+        // advances: the attested channel's strict receive counters cannot
+        // tolerate a delivery gap, so a blocked link must refuse the send
+        // rather than lose an attested message.
+        if let Some(reason) = self.link_blocked(from, to) {
+            return Err(self.refuse_blocked_send(from, to, reason));
+        }
         let session = self
             .sessions
             .get(&(from, to))
@@ -649,6 +781,13 @@ impl Cluster {
         receivers: &[NodeId],
         payload: &[u8],
     ) -> Result<AttestedMessage, CoreError> {
+        // Same pre-attestation discipline as `auth_send`: a multicast with
+        // any blocked leg is refused whole before the group counter moves.
+        for &to in std::iter::once(&from).chain(receivers) {
+            if let Some(reason) = self.link_blocked(from, to) {
+                return Err(self.refuse_blocked_send(from, to, reason));
+            }
+        }
         let session = self
             .group_sessions
             .get(&from)
@@ -890,6 +1029,57 @@ mod tests {
             c.deliver(NodeId(0), NodeId(1), msg),
             Err(CoreError::Device(DeviceError::BadAttestation))
         ));
+    }
+
+    #[test]
+    fn blocked_sends_are_counted_not_silently_lost() {
+        let mut c = cluster(3);
+        c.auth_send(NodeId(0), NodeId(1), b"before").unwrap();
+        c.mark_unreachable(NodeId(1), "crashed");
+        assert!(!c.is_reachable(NodeId(1)));
+        let err = c.auth_send(NodeId(0), NodeId(1), b"lost").unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Unreachable {
+                from: 0,
+                to: 1,
+                reason: "crashed"
+            }
+        ));
+        // A crashed node cannot send either.
+        assert!(c.auth_send(NodeId(1), NodeId(2), b"up").is_err());
+        assert_eq!(c.stats().messages_unreachable, 2);
+        assert_eq!(c.stats().messages_partitioned, 0);
+        // Recovery restores the channel with counters intact.
+        c.mark_reachable(NodeId(1));
+        assert!(c.is_reachable(NodeId(1)));
+        c.auth_send(NodeId(0), NodeId(1), b"after").unwrap();
+        let delivered = c.poll(NodeId(1)).unwrap();
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[1].message.payload, b"after");
+        assert!(TraceChecker::check(c.trace()).holds());
+    }
+
+    #[test]
+    fn partition_schedule_cuts_and_heals_links() {
+        let mut c = cluster(3);
+        c.set_partition(PartitionSchedule::new([2], 1, 3));
+        c.auth_send(NodeId(0), NodeId(2), b"r0").unwrap();
+        c.set_partition_round(1);
+        let err = c.auth_send(NodeId(0), NodeId(2), b"cut").unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Unreachable {
+                reason: "partitioned",
+                ..
+            }
+        ));
+        // Links inside the majority side stay up.
+        c.auth_send(NodeId(0), NodeId(1), b"same-side").unwrap();
+        c.set_partition_round(3);
+        c.auth_send(NodeId(0), NodeId(2), b"healed").unwrap();
+        assert_eq!(c.stats().messages_partitioned, 1);
+        assert_eq!(c.poll(NodeId(2)).unwrap().len(), 2);
     }
 
     #[test]

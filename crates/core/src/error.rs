@@ -30,6 +30,18 @@ pub enum CoreError {
     TransformViolation(&'static str),
     /// A property lemma was violated on the recorded trace.
     PropertyViolation(String),
+    /// The peer is not currently reachable — departed, crash-stopped or cut
+    /// off by an open network partition. The send was refused *before* the
+    /// attested channel's session counter advanced, so the channel stays
+    /// consistent for a later recovery.
+    Unreachable {
+        /// The sending node.
+        from: u32,
+        /// The unreachable peer.
+        to: u32,
+        /// Why the link is down (`"departed"`, `"crashed"`, `"partitioned"`).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +59,9 @@ impl fmt::Display for CoreError {
             CoreError::AttestationFailed(step) => write!(f, "remote attestation failed: {step}"),
             CoreError::TransformViolation(what) => write!(f, "transformation violation: {what}"),
             CoreError::PropertyViolation(what) => write!(f, "property violation: {what}"),
+            CoreError::Unreachable { from, to, reason } => {
+                write!(f, "node {to} unreachable from node {from} ({reason})")
+            }
         }
     }
 }

@@ -634,6 +634,53 @@ impl ChainReplication {
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
     }
+
+    /// Crash fail-over: removes `node` from the chain and re-links the
+    /// survivors around it — head fail-over promotes the next node, middle
+    /// fail-over splices predecessor to successor, tail fail-over makes the
+    /// predecessor the new tail. With accountability attached the node is
+    /// also crash-stopped in the engine: traffic touching it is refused and
+    /// counted (never silently lost), its audit record freezes, and its
+    /// verdicts survive — a crashed node is tolerated, not punished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two chained nodes would survive.
+    pub fn fail_over(&mut self, node: NodeId) {
+        let Some(pos) = self.chain.iter().position(|&n| n == node) else {
+            return;
+        };
+        assert!(
+            self.chain.len() >= 3,
+            "fail-over needs at least a head and a tail to survive"
+        );
+        self.chain.remove(pos);
+        if let Some(engine) = self.acct.as_mut() {
+            engine.crash_node(&mut self.cluster, node.0);
+        }
+    }
+
+    /// Brings a failed-over node back as the new tail: the engine recovery
+    /// re-announces its sealed log head to its witnesses (see
+    /// [`AccountabilityEngine::recover_node`]) and the chain extends by one
+    /// hop. Requests committed while it was away are *not* backfilled — the
+    /// store re-converges through subsequent operations; witness audits
+    /// only ever compare the node against its own log, so the gap cannot
+    /// falsely expose it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the recovery announcement.
+    pub fn rejoin(&mut self, node: NodeId) -> Result<(), CoreError> {
+        if self.chain.contains(&node) {
+            return Ok(());
+        }
+        if let Some(engine) = self.acct.as_mut() {
+            engine.recover_node(&mut self.cluster, &mut self.app, node.0)?;
+        }
+        self.chain.push(node);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -810,6 +857,109 @@ mod tests {
             let digests: Vec<[u8; 32]> = cr.chain().iter().map(|&n| cr.store_digest(n)).collect();
             assert!(digests.windows(2).all(|w| w[0] == w[1]));
         }
+    }
+
+    #[test]
+    fn chain_fails_over_head_middle_and_tail_under_accountability() {
+        for failed in 0..3u32 {
+            for piggyback in [false, true] {
+                let mut cr = accountable_chain(FaultPlan::all_correct(), piggyback);
+                // A committed round with the full chain first.
+                if piggyback {
+                    cr.begin_audit_round().unwrap();
+                }
+                for i in 0..4u32 {
+                    assert!(cr.put(format!("a{i}").as_bytes(), b"v").unwrap().committed);
+                }
+                if piggyback {
+                    cr.finish_audit_round().unwrap();
+                } else {
+                    cr.run_audit_round().unwrap();
+                }
+                // Fail the head, a middle or the tail; survivors re-link.
+                cr.fail_over(NodeId(failed));
+                assert_eq!(cr.chain().len(), 2);
+                assert!(!cr.chain().contains(&NodeId(failed)));
+                for round in 0..2 {
+                    if piggyback {
+                        cr.begin_audit_round().unwrap();
+                    }
+                    for i in 0..4u32 {
+                        let put = cr.put(format!("b{round}-{i}").as_bytes(), b"v").unwrap();
+                        assert!(put.committed, "failed={failed} round {round} op {i}");
+                        assert_eq!(put.replies.len(), 2);
+                    }
+                    if piggyback {
+                        cr.finish_audit_round().unwrap();
+                    } else {
+                        cr.run_audit_round().unwrap();
+                    }
+                }
+                cr.drain_audits().unwrap();
+                // The crash is tolerated: nobody is exposed, survivors stay
+                // trusted, and traffic to the failed node was refused and
+                // counted rather than silently lost.
+                for node in 0..3u32 {
+                    for &w in cr.witnesses_of(node) {
+                        assert_ne!(
+                            cr.verdict_of(w, node),
+                            Verdict::Exposed,
+                            "failed={failed} node {node} witness {w}"
+                        );
+                    }
+                }
+                for &survivor in cr.chain() {
+                    for w in cr.correct_witnesses_of(survivor.0) {
+                        assert_eq!(
+                            cr.verdict_of(w, survivor.0),
+                            Verdict::Trusted,
+                            "failed={failed} survivor {survivor:?} witness {w}"
+                        );
+                    }
+                }
+                assert!(cr.cluster().stats().messages_unreachable > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_over_node_rejoins_as_tail_and_stays_trusted() {
+        let mut cr = accountable_chain(FaultPlan::all_correct(), false);
+        for i in 0..4u32 {
+            assert!(cr.put(format!("a{i}").as_bytes(), b"v").unwrap().committed);
+        }
+        cr.run_audit_round().unwrap();
+        cr.fail_over(NodeId(1));
+        for i in 0..4u32 {
+            assert!(cr.put(format!("b{i}").as_bytes(), b"v").unwrap().committed);
+        }
+        cr.run_audit_round().unwrap();
+        cr.rejoin(NodeId(1)).unwrap();
+        assert_eq!(cr.chain(), &[NodeId(0), NodeId(2), NodeId(1)]);
+        // Writes commit through the re-formed three-hop chain, and a key
+        // written after the rejoin reads back from all replicas.
+        for i in 0..4u32 {
+            let put = cr.put(format!("c{i}").as_bytes(), b"v2").unwrap();
+            assert!(put.committed, "op {i}");
+            assert_eq!(put.replies.len(), 3);
+        }
+        let get = cr.get(b"c0").unwrap();
+        assert!(get.committed);
+        assert_eq!(get.output.unwrap(), b"v2");
+        cr.run_audit_round().unwrap();
+        cr.drain_audits().unwrap();
+        for node in 0..3u32 {
+            for w in cr.correct_witnesses_of(node) {
+                assert_eq!(
+                    cr.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "node {node} witness {w}"
+                );
+            }
+        }
+        let stats = cr.acct_stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
     }
 
     #[test]

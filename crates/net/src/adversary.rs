@@ -16,7 +16,7 @@
 //!   TNIC device itself stays honest (the paper's trust model), which is
 //!   precisely why these faults remain detectable.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tnic_device::roce::packet::RocePacket;
 use tnic_sim::rng::DetRng;
 
@@ -94,6 +94,54 @@ impl Adversary {
                 }
             }
         }
+    }
+}
+
+/// A healing network partition, scheduled in protocol rounds: for rounds in
+/// `start_round..heal_round` the nodes in [`PartitionSchedule::group`] cannot
+/// exchange messages with the nodes outside it (both directions); traffic
+/// *within* either side is unaffected. Once the window passes, the partition
+/// has healed and every link works again — the accountability protocol must
+/// tolerate the outage with delayed verdicts, never false exposure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    /// The minority (or any) side of the cut, by raw node id.
+    pub group: BTreeSet<u32>,
+    /// First round (inclusive) during which the cut is open.
+    pub start_round: u64,
+    /// First round (exclusive end) at which the cut has healed.
+    pub heal_round: u64,
+}
+
+impl PartitionSchedule {
+    /// A partition separating `group` from everyone else during rounds
+    /// `start_round..heal_round`.
+    #[must_use]
+    pub fn new(group: impl IntoIterator<Item = u32>, start_round: u64, heal_round: u64) -> Self {
+        PartitionSchedule {
+            group: group.into_iter().collect(),
+            start_round,
+            heal_round,
+        }
+    }
+
+    /// Whether the cut is open during `round`.
+    #[must_use]
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.start_round && round < self.heal_round
+    }
+
+    /// Whether the cut severs the link `a ↔ b` during `round`: exactly one
+    /// endpoint sits inside the partitioned group.
+    #[must_use]
+    pub fn cuts(&self, round: u64, a: u32, b: u32) -> bool {
+        self.active(round) && (self.group.contains(&a) != self.group.contains(&b))
+    }
+
+    /// Length of the outage in rounds.
+    #[must_use]
+    pub fn outage_rounds(&self) -> u64 {
+        self.heal_round.saturating_sub(self.start_round)
     }
 }
 
@@ -365,6 +413,23 @@ mod tests {
         assert!(!NodeFault::Correct.is_witness_fault());
         assert!(NodeFault::WithholdCosignatures.is_witness_fault());
         assert_eq!(NodeFault::ForgeEvidence.label(), "forge-evidence");
+    }
+
+    #[test]
+    fn partition_schedule_cuts_only_across_the_group_during_the_window() {
+        let schedule = PartitionSchedule::new([0, 1], 2, 4);
+        assert_eq!(schedule.outage_rounds(), 2);
+        // Before the window and after healing: nothing is cut.
+        for round in [0, 1, 4, 5] {
+            assert!(!schedule.cuts(round, 0, 2), "round {round}");
+        }
+        // During the window only cross-group links are severed.
+        for round in [2, 3] {
+            assert!(schedule.cuts(round, 0, 2));
+            assert!(schedule.cuts(round, 3, 1), "direction-agnostic");
+            assert!(!schedule.cuts(round, 0, 1), "intra-group survives");
+            assert!(!schedule.cuts(round, 2, 3), "other side survives");
+        }
     }
 
     #[test]

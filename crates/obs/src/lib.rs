@@ -114,13 +114,26 @@ pub enum EventKind {
     /// `peer` source address, `seq` PSN.
     NetDeliver = 12,
     /// Fabric dropped a packet (link loss or adversary): `node` destination
-    /// address, `peer` source address, `seq` PSN.
+    /// address, `peer` source address, `seq` PSN. Cluster-level drops to an
+    /// unreachable endpoint carry a reason in `aux`
+    /// ([`codes::DROP_DEPARTED`] etc.).
     NetDrop = 13,
+    /// A node's membership phase changed: `node` the member, `aux` the new
+    /// phase ([`codes::MEMBER_JOINING`] etc.), `round` audit round.
+    Membership = 14,
+    /// A network partition opened or healed: `aux` 0 = open / 1 = heal
+    /// ([`codes::PARTITION_OPEN`]/[`codes::PARTITION_HEAL`]), `round` the
+    /// partition-schedule round, `seq` the partitioned group size.
+    Partition = 15,
+    /// A witness re-issued an unanswered challenge (timeout–retry–backoff):
+    /// `node` witness, `peer` audited node, `seq` challenged upper log
+    /// sequence, `round` audit round, `aux` retry attempt (1-based).
+    Retry = 16,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for per-kind aggregation).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Send,
         EventKind::Recv,
         EventKind::Attest,
@@ -135,6 +148,9 @@ impl EventKind {
         EventKind::Prune,
         EventKind::NetDeliver,
         EventKind::NetDrop,
+        EventKind::Membership,
+        EventKind::Partition,
+        EventKind::Retry,
     ];
 
     /// Short stable label used in reports.
@@ -155,6 +171,9 @@ impl EventKind {
             EventKind::Prune => "prune",
             EventKind::NetDeliver => "net-deliver",
             EventKind::NetDrop => "net-drop",
+            EventKind::Membership => "membership",
+            EventKind::Partition => "partition",
+            EventKind::Retry => "retry",
         }
     }
 }
@@ -224,6 +243,56 @@ pub mod codes {
     pub const MIS_CHECKPOINT_MISMATCH: u64 = 7;
     /// Forged accusation turned against its accuser.
     pub const MIS_FORGED_ACCUSATION: u64 = 8;
+
+    /// Membership phase: node is bootstrapping into the witness protocol.
+    pub const MEMBER_JOINING: u64 = 0;
+    /// Membership phase: node participates fully.
+    pub const MEMBER_ACTIVE: u64 = 1;
+    /// Membership phase: node is sealing its log for departure.
+    pub const MEMBER_LEAVING: u64 = 2;
+    /// Membership phase: node left; its sealed log stays auditable.
+    pub const MEMBER_DEPARTED: u64 = 3;
+    /// Membership phase: node crash-stopped (unreachable, log intact).
+    pub const MEMBER_CRASHED: u64 = 4;
+    /// Membership phase: node rejoined and is re-proving its log head.
+    pub const MEMBER_RECOVERING: u64 = 5;
+
+    /// Human-readable membership-phase name.
+    #[must_use]
+    pub fn member_phase_name(code: u64) -> &'static str {
+        match code {
+            MEMBER_JOINING => "joining",
+            MEMBER_ACTIVE => "active",
+            MEMBER_LEAVING => "leaving",
+            MEMBER_DEPARTED => "departed",
+            MEMBER_CRASHED => "crashed",
+            MEMBER_RECOVERING => "recovering",
+            _ => "unknown",
+        }
+    }
+
+    /// Partition transition: the schedule's cut became active.
+    pub const PARTITION_OPEN: u64 = 0;
+    /// Partition transition: the cut healed.
+    pub const PARTITION_HEAL: u64 = 1;
+
+    /// Net-drop reason: destination (or source) departed the membership.
+    pub const DROP_DEPARTED: u64 = 1;
+    /// Net-drop reason: destination (or source) is crash-stopped.
+    pub const DROP_CRASHED: u64 = 2;
+    /// Net-drop reason: an open partition separates the endpoints.
+    pub const DROP_PARTITIONED: u64 = 3;
+
+    /// Human-readable net-drop reason label.
+    #[must_use]
+    pub fn drop_reason_name(code: u64) -> &'static str {
+        match code {
+            DROP_DEPARTED => "departed",
+            DROP_CRASHED => "crashed",
+            DROP_PARTITIONED => "partitioned",
+            _ => "adversary",
+        }
+    }
 
     /// Checkpoint phase: proposal sealed/announced.
     pub const CKPT_PROPOSE: u64 = 0;

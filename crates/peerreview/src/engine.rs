@@ -123,6 +123,64 @@
 //! commitment it receives covers everything since the cosigned root.
 //! Checkpoint control traffic itself travels as ordinary envelopes and can
 //! carry piggyback riders like any other message.
+//!
+//! # Membership lifecycle
+//!
+//! Membership is dynamic: nodes join, leave, crash and recover while the
+//! audit machinery keeps running. Each node moves through the phases of
+//! [`MemberPhase`] along two paths:
+//!
+//! ```text
+//!   join_node              depart_node
+//!  ──────────▶ Joining ──▶ Active ──▶ Leaving ──▶ Departed (terminal)
+//!                            │  ▲
+//!                 crash_node │  │ end of the next audit round
+//!                            ▼  │
+//!                        Crashed ──▶ Recovering
+//!                              recover_node
+//! ```
+//!
+//! * **Joining → Active** ([`AccountabilityEngine::join_node`]): the
+//!   cluster gains an endpoint and sessions, the key-bootstrap installs the
+//!   joiner's log-session key on every audit kernel (and every existing key
+//!   on the joiner's), witness sets are re-derived over the grown
+//!   membership, and the joiner announces its initial sealed head
+//!   ([`Envelope::Join`]) to its new witnesses. Where the joiner itself
+//!   becomes a witness it bootstraps from the latest *cosigned checkpoint
+//!   certificate* (verified donor handover — the same mechanism epoch
+//!   rotation uses), so it audits from a quorum-vouched boundary instead of
+//!   replaying history it never saw.
+//! * **Active → Leaving → Departed** ([`AccountabilityEngine::depart_node`]):
+//!   the leaver seals a final commitment and ships it *with its unaudited
+//!   log tail* ([`Envelope::Leave`]) to every witness, which closes the
+//!   audit (tampered tails convict, honest tails advance the audited
+//!   prefix) before the node becomes unreachable. The sealed log and every
+//!   verdict remain held by the witnesses — departure never launders
+//!   misbehaviour.
+//! * **Active → Crashed → Recovering → Active**
+//!   ([`AccountabilityEngine::crash_node`] /
+//!   [`AccountabilityEngine::recover_node`]): a crash-stopped node stops
+//!   sending and receiving (the cluster refuses the sends — see
+//!   `tnic_core::api::Cluster::mark_unreachable` — rather than losing
+//!   attested messages). Its witnesses may transiently *suspect* it
+//!   (silence is never proof), but never expose it. On recovery the node
+//!   re-announces its current sealed head ([`Envelope::Recover`]): an
+//!   honest recovery is consistent with the pre-crash commitments the
+//!   witnesses still hold, so the next audit replays it and the verdict
+//!   returns to trusted; a *tampered* recovery either conflicts with a held
+//!   commitment (equivocation — exposed on arrival) or fails audit replay
+//!   (exec divergence — exposed with the replay evidence). The phase
+//!   returns to Active at the end of the audit round that processed the
+//!   recovery.
+//!
+//! Challenges to crashed or departed auditees are withheld (they cannot
+//! answer), and the challenge/response path tolerates transient silence
+//! via timeout–retry–backoff: with [`EngineConfig::challenge_retries`] set,
+//! an unanswered challenge is re-sent up to that many times with
+//! exponentially growing round gaps ([`EngineConfig::retry_backoff_rounds`]
+//! doubling per attempt) before the witness downgrades the auditee to
+//! suspected — bounded escalation, since suspicion without evidence never
+//! exceeds [`Verdict::Suspected`].
 
 use crate::audit::{commitments_conflict, Misbehavior, TraceCtx, Verdict, WitnessRecord};
 use crate::checkpoint::{cosign_quorum, witness_set, CheckpointMark, Cosignature};
@@ -180,6 +238,14 @@ pub trait AccountedApp {
         let _ = (node, from, envelope);
     }
 
+    /// A node joined the cluster ([`AccountabilityEngine::join_node`]):
+    /// allocate its application state at genesis. Default: ignored —
+    /// applications with per-node state maps must override this or the
+    /// joiner's first command will find no machine.
+    fn on_join(&mut self, node: u32) {
+        let _ = node;
+    }
+
     /// Human-readable name used in diagnostics.
     fn label(&self) -> &'static str {
         "accounted-app"
@@ -229,6 +295,10 @@ impl AccountedApp for CounterApp {
             .map_or([0u8; 32], CounterMachine::state_digest)
     }
 
+    fn on_join(&mut self, node: u32) {
+        self.machines.entry(node).or_default();
+    }
+
     fn label(&self) -> &'static str {
         "counter"
     }
@@ -255,6 +325,16 @@ pub struct EngineConfig {
     /// `witness_count < n - 1`; all-to-all sets are rotation-invariant).
     /// Requires `checkpoint_interval` — epochs are the rotation boundary.
     pub rotate_witnesses: bool,
+    /// How many times an unanswered challenge is re-sent before the witness
+    /// downgrades the auditee to suspected (0 = immediate suspicion at
+    /// round end, the classic behaviour). Retries let audits degrade
+    /// gracefully across transient outages — crashes that recover,
+    /// partitions that heal — instead of stalling on one lost response.
+    pub challenge_retries: u32,
+    /// Base gap, in audit rounds, before the first challenge retry; the gap
+    /// doubles per attempt (exponential backoff). Values below 1 are
+    /// treated as 1.
+    pub retry_backoff_rounds: u64,
 }
 
 impl Default for EngineConfig {
@@ -266,8 +346,58 @@ impl Default for EngineConfig {
             piggyback: false,
             checkpoint_interval: None,
             rotate_witnesses: false,
+            challenge_retries: 0,
+            retry_backoff_rounds: 1,
         }
     }
+}
+
+/// Where a node stands in the membership lifecycle (see the module docs'
+/// state machine). Nodes never observed by a lifecycle operation are
+/// implicitly [`MemberPhase::Active`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberPhase {
+    /// Mid-[`AccountabilityEngine::join_node`]: endpoint and keys exist,
+    /// the initial commitment is being announced.
+    Joining,
+    /// Full member: audited every round, eligible as a witness.
+    Active,
+    /// Mid-[`AccountabilityEngine::depart_node`]: the farewell commitment
+    /// and log tail are being shipped to the witnesses.
+    Leaving,
+    /// Gone for good. The sealed log and all verdicts remain with the
+    /// witnesses; sends to (or from) the node are refused by the cluster.
+    Departed,
+    /// Crash-stopped: unreachable, not challenged, possibly suspected —
+    /// never exposed for silence alone.
+    Crashed,
+    /// Back up after a crash: reachable again, its recovery commitment
+    /// announced; promoted to Active at the end of the next audit round.
+    Recovering,
+}
+
+impl MemberPhase {
+    /// The `tnic-obs` membership code traced for this phase.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            MemberPhase::Joining => tnic_obs::codes::MEMBER_JOINING,
+            MemberPhase::Active => tnic_obs::codes::MEMBER_ACTIVE,
+            MemberPhase::Leaving => tnic_obs::codes::MEMBER_LEAVING,
+            MemberPhase::Departed => tnic_obs::codes::MEMBER_DEPARTED,
+            MemberPhase::Crashed => tnic_obs::codes::MEMBER_CRASHED,
+            MemberPhase::Recovering => tnic_obs::codes::MEMBER_RECOVERING,
+        }
+    }
+}
+
+/// Per-(witness, auditee) challenge retry bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// Round-end timeouts seen for the outstanding challenge so far.
+    attempts: u32,
+    /// The audit round at which the challenge is re-sent next.
+    resume_round: u64,
 }
 
 /// Per-node state held by the commitment layer.
@@ -695,6 +825,15 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     /// quorum), kept so a challenge below the pruned base can be answered
     /// with the certificate itself instead of an uncoverable log segment.
     certificates: BTreeMap<u32, (CheckpointMark, Vec<Cosignature>)>,
+    /// Per node: its membership phase; absent = [`MemberPhase::Active`].
+    membership: BTreeMap<u32, MemberPhase>,
+    /// (witness, auditee) → retry/backoff state for the outstanding
+    /// challenge (only populated with [`EngineConfig::challenge_retries`]).
+    retry_state: BTreeMap<(u32, u32), RetryState>,
+    /// Per node: its log-session key, kept so a joiner's audit kernel can
+    /// be provisioned with every existing key (the bootstrap protocol's
+    /// key-distribution step).
+    seal_keys: BTreeMap<u32, [u8; 32]>,
 }
 
 impl<A: AccountedApp> std::fmt::Debug for AccountabilityEngine<A> {
@@ -727,8 +866,10 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .iter()
             .map(|n| (n.0, Provider::new(config.baseline, n.device(), config.seed)))
             .collect();
+        let mut seal_keys = BTreeMap::new();
         for node in &nodes {
             let key = rng.bytes32();
+            seal_keys.insert(node.0, key);
             layer.register_node(node.0, config.baseline, key);
             for kernel in audit_kernels.values_mut() {
                 kernel.install_session_key(log_session(node.0), key);
@@ -778,6 +919,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             pending_checkpoints: BTreeMap::new(),
             completed_checkpoints: BTreeMap::new(),
             certificates: BTreeMap::new(),
+            membership: BTreeMap::new(),
+            retry_state: BTreeMap::new(),
+            seal_keys,
         }
     }
 
@@ -949,6 +1093,20 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.sweep_until_quiet(cluster, app)?;
         self.finish_round();
         self.audit_rounds_done += 1;
+        // The audit round is the partition schedule's clock: advancing it
+        // opens/heals any installed cut for the next round's traffic.
+        cluster.set_partition_round(self.audit_rounds_done);
+        // A recovery that survived this round's audit traffic is a full
+        // member again.
+        let recovering: Vec<u32> = self
+            .membership
+            .iter()
+            .filter(|&(_, &p)| p == MemberPhase::Recovering)
+            .map(|(&n, _)| n)
+            .collect();
+        for node in recovering {
+            self.set_phase(node, MemberPhase::Active);
+        }
         if let Some(interval) = self.config.checkpoint_interval {
             if interval > 0 && self.audit_rounds_done.is_multiple_of(interval) {
                 self.run_checkpoint_round(cluster, app)?;
@@ -986,6 +1144,276 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.completed_checkpoints.get(&node).map_or(0, |m| m.cut)
     }
 
+    // ---- membership lifecycle (see the module docs' state machine) -------
+
+    /// Where `node` stands in the membership lifecycle.
+    #[must_use]
+    pub fn member_phase(&self, node: u32) -> MemberPhase {
+        self.membership
+            .get(&node)
+            .copied()
+            .unwrap_or(MemberPhase::Active)
+    }
+
+    /// The node ids that are currently full members (Active, Joining,
+    /// Leaving or Recovering — everyone but the crashed and the departed).
+    #[must_use]
+    pub fn live_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .map(|n| n.0)
+            .filter(|&n| !self.is_down(n))
+            .collect()
+    }
+
+    /// Whether `node` is currently unable to participate (crashed or
+    /// departed): not challenged, not committing, unreachable.
+    fn is_down(&self, node: u32) -> bool {
+        matches!(
+            self.membership.get(&node),
+            Some(MemberPhase::Crashed | MemberPhase::Departed)
+        )
+    }
+
+    /// Records a phase transition and traces it.
+    fn set_phase(&mut self, node: u32, phase: MemberPhase) {
+        self.membership.insert(node, phase);
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::Membership,
+            at_us: self.clock.now().as_micros(),
+            node: node,
+            round: self.audit_rounds_done,
+            aux: phase.code()
+        );
+    }
+
+    /// Crash-stops `node`: it becomes unreachable (sends touching it are
+    /// refused and counted by the cluster, never silently lost) and is no
+    /// longer challenged or expected to commit. Witnesses whose challenge
+    /// was in flight may transiently suspect it — silence is never proof,
+    /// so a crashed correct node is never exposed.
+    pub fn crash_node(&mut self, cluster: &mut Cluster, node: u32) {
+        if self.is_down(node) {
+            return;
+        }
+        self.set_phase(node, MemberPhase::Crashed);
+        cluster.mark_unreachable(NodeId(node), "crashed");
+        self.stats.crashes += 1;
+    }
+
+    /// Brings a crashed `node` back: the cluster link is restored and the
+    /// node re-announces its current sealed log head ([`Envelope::Recover`])
+    /// to its witnesses. An honest recovery is consistent with the
+    /// pre-crash commitments the witnesses hold and merely resumes the
+    /// audit (a transient suspicion clears on the next successful replay);
+    /// a tampered one conflicts or fails replay and is exposed. The phase
+    /// returns to Active at the end of the next audit round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the recovery announcement.
+    pub fn recover_node(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+        node: u32,
+    ) -> Result<(), CoreError> {
+        if self.member_phase(node) != MemberPhase::Crashed {
+            return Ok(());
+        }
+        cluster.mark_reachable(NodeId(node));
+        self.set_phase(node, MemberPhase::Recovering);
+        self.stats.recoveries += 1;
+        // A forging host rewrites while it is down, before re-committing —
+        // which is exactly what distinguishes a tampering recoverer (head
+        // conflicts or replay diverges → exposed) from an honest one.
+        self.apply_scheduled_tampering();
+        let (seq, head, _) = self.layer.borrow().commitment_data(node);
+        if seq > 0 {
+            let (auth, cost) = self.layer.borrow_mut().seal(node, seq, head);
+            self.clock.advance(cost);
+            self.stats.commitments_published += 1;
+            for witness in self.witnesses_of(node).to_vec() {
+                self.send_control(
+                    cluster,
+                    NodeId(node),
+                    NodeId(witness),
+                    &Envelope::Recover(auth.clone()),
+                )?;
+            }
+            self.sweep_until_quiet(cluster, app)?;
+        }
+        Ok(())
+    }
+
+    /// Gracefully removes `node`: it seals a final commitment and ships it
+    /// with its unaudited log tail ([`Envelope::Leave`]) to every witness —
+    /// closing the audit before the node goes away — then becomes
+    /// unreachable for good. The sealed log and all verdicts remain with
+    /// the witnesses: a tampered tail convicts on the way out, and an
+    /// exposure verdict survives the departure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the farewell traffic.
+    pub fn depart_node(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+        node: u32,
+    ) -> Result<(), CoreError> {
+        if self.is_down(node) {
+            return Ok(());
+        }
+        self.set_phase(node, MemberPhase::Leaving);
+        // A forging leaver rewrites before sealing its farewell; the tail
+        // replay below convicts it on the way out.
+        self.apply_scheduled_tampering();
+        let (seq, head, _) = self.layer.borrow().commitment_data(node);
+        let base = self.layer.borrow().base_seq(node);
+        if seq > 0 {
+            let (auth, cost) = self.layer.borrow_mut().seal(node, seq, head);
+            self.clock.advance(cost);
+            self.stats.commitments_published += 1;
+            // The full retained tail: each witness aligns it to its own
+            // audited prefix.
+            let entries = self.layer.borrow().segment(node, base, seq);
+            for witness in self.witnesses_of(node).to_vec() {
+                self.send_control(
+                    cluster,
+                    NodeId(node),
+                    NodeId(witness),
+                    &Envelope::Leave {
+                        auth: auth.clone(),
+                        entries: entries.clone(),
+                    },
+                )?;
+            }
+            self.sweep_until_quiet(cluster, app)?;
+        }
+        self.set_phase(node, MemberPhase::Departed);
+        cluster.mark_unreachable(NodeId(node), "departed");
+        self.stats.departures += 1;
+        Ok(())
+    }
+
+    /// Adds a new node `id` to the running deployment: cluster endpoint and
+    /// sessions, log-session key bootstrap (the joiner's key reaches every
+    /// audit kernel; every existing key reaches the joiner's), witness sets
+    /// re-derived over the grown membership, and the joiner's initial
+    /// sealed head announced to its new witnesses ([`Envelope::Join`]).
+    /// Where the joiner itself becomes a witness it bootstraps from the
+    /// latest cosigned checkpoint certificate (verified donor handover), so
+    /// it audits from a quorum-vouched boundary.
+    ///
+    /// `id` should be the next unused node id (witness rotation arithmetic
+    /// assumes contiguous ids `0..n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster connection and attestation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already a member.
+    pub fn join_node(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &mut A,
+        id: u32,
+    ) -> Result<NodeId, CoreError> {
+        let node = NodeId(id);
+        assert!(!self.nodes.contains(&node), "node {id} is already a member");
+        cluster.add_node(node);
+        // Sessions with every existing member, reachable or not: session
+        // keys come from the bootstrap authority, so a currently-crashed
+        // node can talk to the joiner after it recovers.
+        for peer in self.nodes.clone() {
+            cluster.connect(node, peer)?;
+        }
+        self.set_phase(id, MemberPhase::Joining);
+        // Key bootstrap: the joiner's log-session key is installed on its
+        // own sealer and on every verification kernel; the joiner's kernel
+        // learns every existing key so it can verify seals as a witness.
+        let key = self.rng.bytes32();
+        self.seal_keys.insert(id, key);
+        self.layer
+            .borrow_mut()
+            .register_node(id, self.config.baseline, key);
+        let mut kernel = Provider::new(self.config.baseline, node.device(), self.config.seed);
+        for (&n, &k) in &self.seal_keys {
+            kernel.install_session_key(log_session(n), k);
+        }
+        self.audit_kernels.insert(id, kernel);
+        for kernel in self.audit_kernels.values_mut() {
+            kernel.install_session_key(log_session(id), key);
+        }
+        self.nodes.push(node);
+        self.shadows.insert(id, app.replay_machine());
+        app.on_join(id);
+        self.rebuild_witness_sets(app);
+        // Announce the joiner's (empty) initial head so witnesses hold its
+        // base commitment from day one.
+        let (seq, head, _) = self.layer.borrow().commitment_data(id);
+        let (auth, cost) = self.layer.borrow_mut().seal(id, seq, head);
+        self.clock.advance(cost);
+        self.stats.commitments_published += 1;
+        for witness in self.witnesses_of(id).to_vec() {
+            self.send_control(
+                cluster,
+                node,
+                NodeId(witness),
+                &Envelope::Join(auth.clone()),
+            )?;
+        }
+        self.sweep_until_quiet(cluster, app)?;
+        self.set_phase(id, MemberPhase::Active);
+        self.stats.joins += 1;
+        Ok(node)
+    }
+
+    /// Re-derives every witness set over the current membership (the join
+    /// path's reconfiguration step — the epoch-rotation variant of this
+    /// lives in `rotate_witness_sets`). Records carry over for surviving
+    /// (witness, auditee) pairs; new pairs start from the latest certified
+    /// checkpoint via verified donor handover (or genesis), with exposure
+    /// evidence handed over so verdicts survive reconfiguration.
+    fn rebuild_witness_sets(&mut self, app: &A) {
+        let n = self.nodes.len() as u32;
+        self.witness_width = self
+            .config
+            .witness_count
+            .unwrap_or(n.saturating_sub(1))
+            .clamp(u32::from(n > 1), n.saturating_sub(1).max(1));
+        let old_records = std::mem::take(&mut self.records);
+        let old_witnesses = std::mem::take(&mut self.witnesses);
+        for node in self.nodes.clone() {
+            let node = node.0;
+            let old_set = old_witnesses.get(&node).cloned().unwrap_or_default();
+            let new_set = witness_set(node, n, self.witness_width, self.epoch);
+            let handover: Vec<Misbehavior> = old_set
+                .iter()
+                .filter_map(|&w| old_records.get(&(w, node)))
+                .find(|r| r.verdict == Verdict::Exposed)
+                .map(|r| r.evidence.clone())
+                .unwrap_or_default();
+            for &witness in &new_set {
+                let record = if let Some(kept) = old_records.get(&(witness, node)) {
+                    kept.clone()
+                } else {
+                    self.stats.witness_handovers += 1;
+                    self.incoming_record(app, node, &old_set, &old_records, &handover)
+                };
+                self.records.insert((witness, node), record);
+            }
+            self.witnesses.insert(node, new_set);
+        }
+        self.challenge_started
+            .retain(|pair, _| self.records.contains_key(pair));
+        self.retry_state
+            .retain(|pair, _| self.records.contains_key(pair));
+    }
+
     /// Runs one checkpoint round (see [`crate::checkpoint`] for the
     /// lifecycle): every node proposes a checkpoint of its last committed
     /// boundary to its witnesses, witnesses cosign what they have verified,
@@ -1011,6 +1439,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         // where later audits re-verify it during replay.
         let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
         for node in self.nodes.clone() {
+            if self.is_down(node.0) {
+                continue; // the down propose nothing (their log is frozen)
+            }
             let Some(&(cut, state_digest)) = self.commit_snapshots.get(&node.0) else {
                 continue; // nothing committed yet
             };
@@ -1319,6 +1750,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         // entries to the log.
         let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
         for node in self.nodes.clone() {
+            if self.is_down(node.0) {
+                continue; // a crashed or departed node announces nothing
+            }
             let fault = self.faults.fault_of(node.0);
             let (seq, head, forked_head) = self.layer.borrow().commitment_data(node.0);
             if seq > 0 {
@@ -1364,6 +1798,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     /// directly and is exposed by the audit (head mismatch).
     fn queue_commitments(&mut self) {
         for node in self.nodes.clone() {
+            if self.is_down(node.0) {
+                continue; // a crashed or departed node commits nothing
+            }
             let fault = self.faults.fault_of(node.0);
             let (seq, head, forked_head) = self.layer.borrow().commitment_data(node.0);
             let witness_set = self.witnesses_of(node.0).to_vec();
@@ -1403,6 +1840,19 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         let at_us = now.as_micros();
         let round = self.audit_rounds_done;
         for (&(witness, node), record) in &mut self.records {
+            // Down witnesses challenge nobody; down auditees cannot answer
+            // (challenging them would only manufacture suspicion while an
+            // in-flight challenge from before the crash already covers the
+            // transient-suspicion semantics).
+            let down = |n: &u32| {
+                matches!(
+                    self.membership.get(n),
+                    Some(MemberPhase::Crashed | MemberPhase::Departed)
+                )
+            };
+            if down(&witness) || down(&node) {
+                continue;
+            }
             match self.faults.fault_of(witness) {
                 // A silent witness skips its audit duties outright; its
                 // record simply never advances (and never convicts).
@@ -1428,7 +1878,35 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 }
                 _ => {}
             }
-            if record.verdict == Verdict::Exposed || record.pending_challenge.is_some() {
+            if record.verdict == Verdict::Exposed {
+                continue;
+            }
+            if let Some(pending) = record.pending_challenge.clone() {
+                // Retry firing: a still-outstanding challenge whose backoff
+                // gap has elapsed is re-sent (the response may have been
+                // lost to a crash or an open partition).
+                if let Some(rs) = self.retry_state.get(&(witness, node)) {
+                    if round >= rs.resume_round {
+                        outgoing.push((
+                            NodeId(witness),
+                            NodeId(node),
+                            Envelope::Challenge {
+                                from_seq: record.audited_seq,
+                                upto_seq: pending.seq,
+                            },
+                        ));
+                        tnic_obs::trace_event!(
+                            tnic_obs::EventKind::Retry,
+                            at_us: at_us,
+                            node: witness,
+                            peer: node,
+                            seq: pending.seq,
+                            round: round,
+                            aux: u64::from(rs.attempts)
+                        );
+                        self.stats.challenge_retries += 1;
+                    }
+                }
                 continue;
             }
             if let Some(target) = record.next_audit_target().cloned() {
@@ -1553,18 +2031,46 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     fn finish_round(&mut self) {
         let at_us = self.clock.now().as_micros();
         let round = self.audit_rounds_done;
+        let retries = self.config.challenge_retries;
+        let backoff = self.config.retry_backoff_rounds.max(1);
         for (&(witness, node), record) in &mut self.records {
-            if record.pending_challenge.take().is_some() {
-                self.stats.unanswered_challenges += 1;
-                record.trace = TraceCtx {
-                    witness,
-                    node,
-                    at_us,
-                    round,
-                };
-                record.mark_unresponsive();
-                self.challenge_started.remove(&(witness, node));
+            if record.pending_challenge.is_none() {
+                continue;
             }
+            // Timeout–retry–backoff: while retry budget remains, keep the
+            // challenge pending and schedule the next (exponentially later)
+            // re-send instead of suspecting immediately. An entry waiting
+            // out its backoff gap (not yet due) has not timed out again.
+            let state = self
+                .retry_state
+                .entry((witness, node))
+                .or_insert(RetryState {
+                    attempts: 0,
+                    resume_round: round,
+                });
+            if round < state.resume_round {
+                continue; // still backing off; nothing fired this round
+            }
+            if state.attempts < retries {
+                state.attempts += 1;
+                let gap = backoff.saturating_mul(1 << (state.attempts - 1).min(16));
+                state.resume_round = round + gap;
+                continue;
+            }
+            // Retry budget exhausted (or zero): the classic downgrade.
+            // Suspicion is bounded — without evidence the verdict never
+            // exceeds Suspected, and a later valid response clears it.
+            record.pending_challenge = None;
+            self.stats.unanswered_challenges += 1;
+            record.trace = TraceCtx {
+                witness,
+                node,
+                at_us,
+                round,
+            };
+            record.mark_unresponsive();
+            self.challenge_started.remove(&(witness, node));
+            self.retry_state.remove(&(witness, node));
         }
     }
 
@@ -1574,6 +2080,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 .nodes
                 .iter()
                 .copied()
+                // A crashed node's inbox stays queued until recovery; a
+                // departed node's is never drained.
+                .filter(|&n| !self.is_down(n.0))
                 .filter(|&n| {
                     cluster
                         .endpoint_of(n)
@@ -1669,6 +2178,110 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             Envelope::CheckpointCommit { mark, cosigs } => {
                 self.handle_checkpoint_commit(node.0, &mark, &cosigs);
             }
+            Envelope::Join(auth) => {
+                self.handle_join(node.0, from, auth, outgoing);
+            }
+            Envelope::Leave { auth, entries } => {
+                self.handle_leave(node.0, from, auth, &entries, outgoing);
+            }
+            Envelope::Recover(auth) => {
+                self.handle_recover(node.0, from, auth, outgoing);
+            }
+        }
+    }
+
+    /// Witness side of a joiner's first announcement: only the joiner
+    /// itself may announce its own initial head (the attested channel
+    /// guarantees origin), after which the commitment is stored and
+    /// gossiped like any other — the joiner is audited from this base.
+    fn handle_join(
+        &mut self,
+        witness: u32,
+        from: u32,
+        auth: Authenticator,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        if auth.node != from {
+            return; // nobody announces a join on another node's behalf
+        }
+        self.handle_commitment(witness, auth, true, outgoing);
+    }
+
+    /// Witness side of a crash-recovery announcement: the recovered node
+    /// re-announces its current sealed head. Stored as an ordinary direct
+    /// commitment — an honest recovery extends the pre-crash chain and the
+    /// next audit round resumes from the stalled prefix; a tampered one
+    /// conflicts with a held commitment (equivocation, exposed on arrival)
+    /// or fails the subsequent replay (exec divergence).
+    fn handle_recover(
+        &mut self,
+        witness: u32,
+        from: u32,
+        auth: Authenticator,
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        if auth.node != from {
+            return; // only the recovering node speaks for itself
+        }
+        self.handle_commitment(witness, auth, true, outgoing);
+    }
+
+    /// Witness side of a departure: the leaver's final sealed commitment
+    /// plus its unaudited log tail. The witness stores the commitment
+    /// (conflict checks included), aligns the tail to its own audited
+    /// prefix and closes the audit on the spot — an honest tail advances
+    /// the audited prefix (clearing a transient suspicion), a tampered one
+    /// convicts on the way out. A tail that cannot be aligned (e.g. the
+    /// witness lags a pruned base) is skipped rather than guessed at: a
+    /// correct node is never convicted on a replay the witness cannot
+    /// ground.
+    fn handle_leave(
+        &mut self,
+        witness: u32,
+        from: u32,
+        auth: Authenticator,
+        entries: &[LogEntry],
+        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+    ) {
+        if auth.node != from {
+            return; // only the leaver seals its own farewell
+        }
+        let node = auth.node;
+        let seq = auth.seq;
+        self.handle_commitment(witness, auth.clone(), true, outgoing);
+        let at_us = self.clock.now().as_micros();
+        let round = self.audit_rounds_done;
+        let Some(record) = self.records.get_mut(&(witness, node)) else {
+            return;
+        };
+        if record.verdict != Verdict::Exposed && seq > record.audited_seq {
+            let tail: Vec<LogEntry> = entries
+                .iter()
+                .filter(|e| e.seq >= record.audited_seq && e.seq < seq)
+                .cloned()
+                .collect();
+            let aligned = tail.first().is_some_and(|e| e.seq == record.audited_seq)
+                && tail.len() as u64 == seq - record.audited_seq;
+            if aligned {
+                record.trace = TraceCtx {
+                    witness,
+                    node,
+                    at_us,
+                    round,
+                };
+                self.stats.leave_audits += 1;
+                let _ = record.check_response(&auth, &tail);
+            }
+        }
+        // The farewell subsumes any challenge it covers.
+        if record
+            .pending_challenge
+            .as_ref()
+            .is_some_and(|t| t.seq <= seq)
+        {
+            record.pending_challenge = None;
+            self.challenge_started.remove(&(witness, node));
+            self.retry_state.remove(&(witness, node));
         }
     }
 
@@ -1845,8 +2458,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                     record.fast_forward(mark.cut, mark.head, machine, pending);
                     // The fast-forward subsumes any in-flight challenge (a
                     // certificate may arrive as the *answer* to one); drop
-                    // its latency bookkeeping with it.
+                    // its latency and retry bookkeeping with it.
                     self.challenge_started.remove(&(witness, node));
+                    self.retry_state.remove(&(witness, node));
                 }
             }
         }
@@ -2063,6 +2677,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         // locally verified evidence, so no further transfer is needed —
         // every witness audits independently.
         let _ = record.check_response(&target, entries);
+        self.retry_state.remove(&(witness, node));
         if let Some(started) = self.challenge_started.remove(&(witness, node)) {
             self.stats
                 .audit_latency
@@ -2144,10 +2759,18 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         envelope: &Envelope,
     ) -> Result<(), CoreError> {
         let payload = envelope.encode();
-        let msg = cluster.auth_send(from, to, &payload)?;
-        self.stats.control_messages += 1;
-        self.stats.control_bytes += msg.wire_len() as u64;
-        Ok(())
+        match cluster.auth_send(from, to, &payload) {
+            Ok(msg) => {
+                self.stats.control_messages += 1;
+                self.stats.control_bytes += msg.wire_len() as u64;
+                Ok(())
+            }
+            // A departed/crashed/partitioned peer is not an engine error:
+            // the cluster counted and traced the refused send, and the
+            // challenge retry / suspicion machinery deals with the silence.
+            Err(CoreError::Unreachable { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 }
 

@@ -81,6 +81,19 @@ pub struct AccountabilityStats {
     pub retained_log_bytes: u64,
     /// Commitments currently stored across all witness records (snapshot).
     pub retained_commitments: u64,
+    /// Nodes that joined the running cluster.
+    pub joins: u64,
+    /// Nodes that left the cluster (log sealed, still auditable).
+    pub departures: u64,
+    /// Crash-stop events injected into the cluster.
+    pub crashes: u64,
+    /// Crashed nodes that recovered and re-announced their log head.
+    pub recoveries: u64,
+    /// Challenges re-sent by the retry/backoff machinery before a silent
+    /// node is downgraded to suspected.
+    pub challenge_retries: u64,
+    /// Departure tails replayed by witnesses to close the leaver's audit.
+    pub leave_audits: u64,
     /// Witness-set rotations performed at checkpoint epochs.
     pub witness_rotations: u64,
     /// Incoming-witness records created by rotation (state handovers).

@@ -61,6 +61,13 @@ pub struct PeerReviewConfig {
     /// Rotate witness sets at checkpoint epochs (meaningful with
     /// `witness_count < n - 1` and a checkpoint interval).
     pub rotate_witnesses: bool,
+    /// How many times a witness re-sends an unanswered challenge before
+    /// downgrading the silent node to suspected (0 = classic single-shot
+    /// behavior).
+    pub challenge_retries: u32,
+    /// Base backoff between challenge retries in audit rounds (doubles per
+    /// attempt; clamped to at least 1).
+    pub retry_backoff_rounds: u64,
 }
 
 impl Default for PeerReviewConfig {
@@ -75,6 +82,8 @@ impl Default for PeerReviewConfig {
             app_payload_len: crate::workload::APP_COMMAND.len(),
             checkpoint_interval: None,
             rotate_witnesses: false,
+            challenge_retries: 0,
+            retry_backoff_rounds: 1,
         }
     }
 }
@@ -90,6 +99,8 @@ impl PeerReviewConfig {
             piggyback: self.piggyback,
             checkpoint_interval: self.checkpoint_interval,
             rotate_witnesses: self.rotate_witnesses,
+            challenge_retries: self.challenge_retries,
+            retry_backoff_rounds: self.retry_backoff_rounds,
         }
     }
 }
@@ -229,7 +240,13 @@ impl PeerReview {
         for _ in 0..messages {
             let (from, to) = crate::workload::next_pair(&self.nodes, &mut self.workload_cursor);
             let t0 = self.clock.now();
-            self.cluster.auth_send(from, to, &payload)?;
+            match self.cluster.auth_send(from, to, &payload) {
+                Ok(_) => {}
+                // Either endpoint down or partitioned off: the cluster
+                // counted and traced the refused send; the workload moves on.
+                Err(CoreError::Unreachable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
             let latency = self.clock.now().duration_since(t0);
             self.engine.record_app_send(latency);
             self.engine.poll(&mut self.cluster, &mut self.app, to)?;
@@ -325,6 +342,59 @@ impl PeerReview {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// `node`'s membership phase (see
+    /// [`crate::engine::MemberPhase`]).
+    #[must_use]
+    pub fn member_phase(&self, node: u32) -> crate::engine::MemberPhase {
+        self.engine.member_phase(node)
+    }
+
+    /// Crash-stops `node`: sends to and from it are refused (and counted)
+    /// until [`PeerReview::recover_node`].
+    pub fn crash_node(&mut self, node: u32) {
+        self.engine.crash_node(&mut self.cluster, node);
+    }
+
+    /// Recovers a crashed `node`: restores its links and re-announces its
+    /// sealed log head to its witnesses (see
+    /// [`AccountabilityEngine::recover_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the announcement.
+    pub fn recover_node(&mut self, node: u32) -> Result<(), CoreError> {
+        self.engine
+            .recover_node(&mut self.cluster, &mut self.app, node)
+    }
+
+    /// Gracefully departs `node`: its final sealed commitment plus
+    /// unaudited tail go to its witnesses, then its links come down (see
+    /// [`AccountabilityEngine::depart_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/session errors on the farewell traffic.
+    pub fn depart_node(&mut self, node: u32) -> Result<(), CoreError> {
+        self.engine
+            .depart_node(&mut self.cluster, &mut self.app, node)
+    }
+
+    /// Adds a node with id `id` (must equal the current cluster size) to
+    /// the running deployment: connects it to every peer, bootstraps its
+    /// accountability state and audits it from its initial commitment (see
+    /// [`AccountabilityEngine::join_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/attestation errors.
+    pub fn join_node(&mut self, id: u32) -> Result<(), CoreError> {
+        let node = self
+            .engine
+            .join_node(&mut self.cluster, &mut self.app, id)?;
+        self.nodes.push(node);
         Ok(())
     }
 
@@ -575,6 +645,209 @@ mod tests {
                 .evidence_of(w, 1)
                 .iter()
                 .any(|e| matches!(e, Misbehavior::ExecDivergence { .. })));
+        }
+    }
+
+    // ---- membership churn, crash-recovery, partition healing ----------
+
+    use crate::engine::MemberPhase;
+    use tnic_net::adversary::PartitionSchedule;
+
+    #[test]
+    fn crashed_node_is_tolerated_and_rejoins_trusted() {
+        let mut pr = deployment(FaultPlan::all_correct());
+        pr.run_scenario(2, 8).unwrap();
+        pr.crash_node(1);
+        assert_eq!(pr.member_phase(1), MemberPhase::Crashed);
+        pr.run_scenario(2, 8).unwrap();
+        // Sends touching the crashed node were refused and counted, never
+        // silently lost; its silence is tolerated, not punished.
+        assert!(pr.cluster().stats().messages_unreachable > 0);
+        for &w in pr.witnesses_of(1) {
+            assert_ne!(pr.verdict_of(w, 1), Verdict::Exposed, "witness {w}");
+        }
+        pr.recover_node(1).unwrap();
+        assert_eq!(pr.member_phase(1), MemberPhase::Recovering);
+        pr.run_scenario(2, 8).unwrap();
+        pr.drain_audits().unwrap();
+        assert_eq!(pr.member_phase(1), MemberPhase::Active);
+        for node in 0..4 {
+            for &w in pr.witnesses_of(node) {
+                assert_eq!(
+                    pr.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "witness {w} of node {node} after recovery"
+                );
+            }
+        }
+        let stats = pr.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn tampering_recoverer_is_exposed_honest_recoverer_is_not() {
+        // Honest twin: crash with an unaudited tail, recover, audit — clean.
+        let mut honest = deployment(FaultPlan::all_correct());
+        honest.run_workload(8).unwrap();
+        honest.crash_node(1);
+        honest.recover_node(1).unwrap();
+        honest.run_scenario(2, 8).unwrap();
+        honest.drain_audits().unwrap();
+        for &w in honest.witnesses_of(1) {
+            assert_eq!(honest.verdict_of(w, 1), Verdict::Trusted, "witness {w}");
+        }
+        // Same timeline, but the recoverer rewrote its log while down: the
+        // re-announced head fails replay — crash-recovery is no amnesty.
+        let mut pr = deployment(FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }));
+        pr.run_workload(8).unwrap();
+        pr.crash_node(1);
+        pr.recover_node(1).unwrap();
+        pr.run_scenario(2, 8).unwrap();
+        pr.drain_audits().unwrap();
+        for w in pr.correct_witnesses_of(1) {
+            assert_eq!(pr.verdict_of(w, 1), Verdict::Exposed, "witness {w}");
+            assert!(!pr.evidence_of(w, 1).is_empty());
+        }
+        for node in [0u32, 2, 3] {
+            for w in pr.correct_witnesses_of(node) {
+                assert_ne!(pr.verdict_of(w, node), Verdict::Exposed);
+            }
+        }
+    }
+
+    #[test]
+    fn departing_node_closes_its_audit_on_the_way_out() {
+        let mut pr = deployment(FaultPlan::all_correct());
+        pr.run_scenario(1, 8).unwrap();
+        pr.run_workload(8).unwrap(); // leave an unaudited tail behind
+        pr.depart_node(2).unwrap();
+        assert_eq!(pr.member_phase(2), MemberPhase::Departed);
+        let stats = pr.stats();
+        assert_eq!(stats.departures, 1);
+        assert!(
+            stats.leave_audits > 0,
+            "witnesses replayed the farewell tail"
+        );
+        for &w in pr.witnesses_of(2) {
+            assert_eq!(pr.verdict_of(w, 2), Verdict::Trusted, "witness {w}");
+        }
+        // The survivors keep running; the leaver's sealed log and verdicts
+        // stay with the witnesses.
+        pr.run_scenario(2, 8).unwrap();
+        pr.drain_audits().unwrap();
+        for &w in pr.witnesses_of(2) {
+            assert_eq!(pr.verdict_of(w, 2), Verdict::Trusted, "witness {w}");
+            assert!(pr.evidence_of(w, 2).is_empty());
+        }
+        assert!(pr.cluster().stats().messages_unreachable > 0);
+    }
+
+    #[test]
+    fn tampering_leaver_is_convicted_on_the_way_out() {
+        let mut pr = deployment(FaultPlan::single(2, NodeFault::TamperLogEntry { seq: 0 }));
+        pr.run_workload(8).unwrap();
+        pr.depart_node(2).unwrap();
+        for w in pr.correct_witnesses_of(2) {
+            assert_eq!(pr.verdict_of(w, 2), Verdict::Exposed, "witness {w}");
+            assert!(pr
+                .evidence_of(w, 2)
+                .iter()
+                .any(|e| matches!(e, Misbehavior::ExecDivergence { .. })));
+        }
+    }
+
+    #[test]
+    fn joined_node_is_audited_from_its_base_and_ends_trusted() {
+        let mut pr = deployment(FaultPlan::all_correct());
+        pr.run_scenario(2, 8).unwrap();
+        pr.join_node(4).unwrap();
+        assert_eq!(pr.member_phase(4), MemberPhase::Active);
+        assert!(!pr.witnesses_of(4).is_empty());
+        pr.run_scenario(2, 10).unwrap();
+        pr.drain_audits().unwrap();
+        assert!(pr.log_len(4) > 0, "the joiner took workload traffic");
+        for node in 0..5 {
+            for &w in pr.witnesses_of(node) {
+                assert_eq!(
+                    pr.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "witness {w} of node {node} after join"
+                );
+            }
+        }
+        assert_eq!(pr.stats().joins, 1);
+    }
+
+    #[test]
+    fn piggyback_crash_rejoin_keeps_verdict_parity() {
+        let mut pr = PeerReview::new(piggyback_config(2), FaultPlan::all_correct()).unwrap();
+        pr.run_scenario(2, 8).unwrap();
+        pr.crash_node(3);
+        pr.run_scenario(2, 8).unwrap();
+        pr.recover_node(3).unwrap();
+        pr.run_scenario(2, 8).unwrap();
+        pr.drain_audits().unwrap();
+        for node in 0..4 {
+            for &w in pr.witnesses_of(node) {
+                assert_eq!(
+                    pr.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "witness {w} of node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn challenge_retries_bound_suspicion_escalation() {
+        let config = PeerReviewConfig {
+            challenge_retries: 2,
+            ..PeerReviewConfig::default()
+        };
+        let mut pr = PeerReview::new(
+            config,
+            FaultPlan::single(2, NodeFault::SuppressAudits { probability: 1.0 }),
+        )
+        .unwrap();
+        pr.run_scenario(2, 6).unwrap();
+        // Within the retry budget the silent node is still only pending —
+        // the witness re-sends instead of jumping to suspicion.
+        for w in pr.correct_witnesses_of(2) {
+            assert_eq!(pr.verdict_of(w, 2), Verdict::Trusted, "witness {w}");
+        }
+        assert!(pr.stats().challenge_retries > 0);
+        pr.run_scenario(4, 6).unwrap();
+        // Budget exhausted: downgraded to suspected — never exposed,
+        // silence is not proof.
+        for w in pr.correct_witnesses_of(2) {
+            assert_eq!(pr.verdict_of(w, 2), Verdict::Suspected, "witness {w}");
+            assert!(pr.evidence_of(w, 2).is_empty());
+        }
+    }
+
+    #[test]
+    fn partition_heals_and_no_correct_node_is_ever_exposed() {
+        let config = PeerReviewConfig {
+            challenge_retries: 3,
+            ..PeerReviewConfig::default()
+        };
+        let mut pr = PeerReview::new(config, FaultPlan::all_correct()).unwrap();
+        pr.run_scenario(1, 8).unwrap();
+        // Cut node 1 off for audit rounds 1–2; the schedule heals at 3.
+        pr.cluster_mut()
+            .set_partition(PartitionSchedule::new([1], 1, 3));
+        pr.run_scenario(5, 8).unwrap();
+        pr.drain_audits().unwrap();
+        assert!(pr.cluster().stats().messages_partitioned > 0);
+        for node in 0..4 {
+            for &w in pr.witnesses_of(node) {
+                assert_eq!(
+                    pr.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "witness {w} of node {node} after heal"
+                );
+            }
         }
     }
 

@@ -19,6 +19,10 @@
 //! * [`Envelope::Piggyback`] — any of the above *plus* a small batch of
 //!   commitments riding along, the control-plane optimisation that makes
 //!   fault-free rounds nearly announce-free.
+//! * [`Envelope::Join`] / [`Envelope::Leave`] / [`Envelope::Recover`] —
+//!   membership-lifecycle traffic: a joiner's first sealed commitment, a
+//!   leaver's final commitment plus unaudited log tail, and a
+//!   crash-recovered node's re-announcement of its current head.
 //!
 //! # The piggyback protocol
 //!
@@ -72,6 +76,9 @@ const TAG_PIGGYBACK: u8 = 6;
 const TAG_CKPT_PROPOSE: u8 = 7;
 const TAG_CKPT_COSIGN: u8 = 8;
 const TAG_CKPT_COMMIT: u8 = 9;
+const TAG_JOIN: u8 = 10;
+const TAG_LEAVE: u8 = 11;
+const TAG_RECOVER: u8 = 12;
 
 /// A typed accountability-protocol payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +137,29 @@ pub enum Envelope {
         /// The quorum of cosignatures (1 to [`MAX_COSIGNERS`]).
         cosigs: Vec<Cosignature>,
     },
+    /// A joining node's first sealed commitment, sent to its new witnesses
+    /// so auditing starts from the joiner's (empty or bootstrapped) log head.
+    Join(
+        /// The joiner's sealed initial log commitment.
+        Authenticator,
+    ),
+    /// A departing node's farewell: its final sealed commitment plus the
+    /// still-unaudited log tail, so witnesses can close the audit of a node
+    /// that will never answer another challenge.
+    Leave {
+        /// The leaver's final sealed log commitment.
+        auth: Authenticator,
+        /// The unaudited log tail (up to the commitment's `seq`).
+        entries: Vec<LogEntry>,
+    },
+    /// A crash-recovered node re-announcing its current sealed log head to
+    /// its witnesses. A tampered recovery conflicts with the pre-crash
+    /// commitments the witnesses still hold and is exposed as equivocation;
+    /// an honest recovery merely resumes the audit from where it stalled.
+    Recover(
+        /// The recovering node's sealed current log commitment.
+        Authenticator,
+    ),
 }
 
 /// One commitment riding on a piggybacked envelope.
@@ -221,6 +251,22 @@ impl Envelope {
                 for cosig in cosigs {
                     push_block(&mut out, &cosig.encode());
                 }
+            }
+            Envelope::Join(auth) => {
+                out.push(TAG_JOIN);
+                out.extend_from_slice(&auth.encode());
+            }
+            Envelope::Leave { auth, entries } => {
+                out.push(TAG_LEAVE);
+                push_block(&mut out, &auth.encode());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for entry in entries {
+                    push_block(&mut out, &entry.encode());
+                }
+            }
+            Envelope::Recover(auth) => {
+                out.push(TAG_RECOVER);
+                out.extend_from_slice(&auth.encode());
             }
         }
         out
@@ -381,6 +427,34 @@ impl Envelope {
                 }
                 Ok(Envelope::CheckpointCommit { mark, cosigs })
             }
+            TAG_JOIN => Ok(Envelope::Join(Authenticator::decode(rest)?)),
+            TAG_LEAVE => {
+                let (auth_block, used) = read_block(rest).ok_or_else(malformed)?;
+                let auth = Authenticator::decode(auth_block)?;
+                let rest = &rest[used..];
+                if rest.len() < 4 {
+                    return Err(malformed());
+                }
+                let count = u32::from_le_bytes(rest[..4].try_into().expect("sized")) as usize;
+                let mut off = 4;
+                // As in `Response`: `count` is untrusted, cap preallocation
+                // by what the buffer could possibly hold.
+                let mut entries = Vec::with_capacity(count.min(rest.len() / 53));
+                for _ in 0..count {
+                    let (block, used) = read_block(&rest[off..]).ok_or_else(malformed)?;
+                    let (entry, entry_used) = LogEntry::decode(block).ok_or_else(malformed)?;
+                    if entry_used != block.len() {
+                        return Err(malformed());
+                    }
+                    entries.push(entry);
+                    off += used;
+                }
+                if off != rest.len() {
+                    return Err(malformed());
+                }
+                Ok(Envelope::Leave { auth, entries })
+            }
+            TAG_RECOVER => Ok(Envelope::Recover(Authenticator::decode(rest)?)),
             _ => Err(DeviceError::MalformedMessage("unknown envelope tag")),
         }
     }
@@ -611,6 +685,49 @@ mod tests {
     }
 
     #[test]
+    fn membership_envelopes_round_trip() {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Recv { from: 2 }, b"cmd".to_vec());
+        log.append(EntryKind::Exec, b"out".to_vec());
+        let join = Envelope::Join(sealed_auth(5));
+        assert_eq!(Envelope::decode(&join.encode()).unwrap(), join);
+        let recover = Envelope::Recover(sealed_auth(1));
+        assert_eq!(Envelope::decode(&recover.encode()).unwrap(), recover);
+        for tail in [0, 1, 2] {
+            let leave = Envelope::Leave {
+                auth: sealed_auth(1),
+                entries: log.entries()[..tail].to_vec(),
+            };
+            assert_eq!(Envelope::decode(&leave.encode()).unwrap(), leave, "{tail}");
+        }
+        // Membership control traffic is never mistaken for app commands and
+        // can carry piggyback rides like any other envelope.
+        assert_eq!(Envelope::app_command(&join.encode()), None);
+        let ridden = Envelope::Piggyback {
+            riders: vec![rider(3, true)],
+            inner: Box::new(recover),
+        };
+        assert_eq!(Envelope::decode(&ridden.encode()).unwrap(), ridden);
+    }
+
+    #[test]
+    fn leave_with_huge_claimed_entry_count_rejected_without_allocation() {
+        let leave = Envelope::Leave {
+            auth: sealed_auth(1),
+            entries: Vec::new(),
+        };
+        let mut bytes = leave.encode();
+        // Forge the entry count at the end (the empty tail's count field).
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Envelope::decode(&bytes).is_err());
+        // Trailing garbage after the tail is rejected.
+        let mut padded = leave.encode();
+        padded.push(0);
+        assert!(Envelope::decode(&padded).is_err());
+    }
+
+    #[test]
     fn piggyback_round_trip_over_every_inner_kind() {
         let mut log = SecureLog::new();
         log.append(EntryKind::Exec, b"out".to_vec());
@@ -741,6 +858,13 @@ mod tests {
                 cosigs: vec![sealed_cosign(2, &mark), sealed_cosign(3, &mark)],
             }
             .encode(),
+            Envelope::Join(sealed_auth(4)).encode(),
+            Envelope::Leave {
+                auth: sealed_auth(1),
+                entries: log.entries().to_vec(),
+            }
+            .encode(),
+            Envelope::Recover(sealed_auth(2)).encode(),
         ];
         for bytes in &samples {
             // Every strict prefix must either fail to decode or decode to
@@ -910,6 +1034,144 @@ mod tests {
                 turned,
                 "piggyback={piggyback}: the forged accusation convicts the accuser"
             );
+        }
+    }
+
+    /// Membership-envelope twin of the hostile-evidence fuzz: join, leave
+    /// and recovery announcements — genuine ones replayed by a third party,
+    /// reseal-tampered ones (the forger's own device sealing a head it
+    /// claims belongs to the victim), truncations and random bit flips —
+    /// must either fail to decode or pass harmlessly through a live engine
+    /// in both commit modes. Membership churn is an attack surface: none of
+    /// it may ever expose a correct node.
+    #[test]
+    fn hostile_membership_fuzz_never_exposes_a_correct_node() {
+        use crate::engine::{AccountabilityEngine, CounterApp, EngineConfig};
+        use tnic_core::api::{Cluster, NodeId};
+        use tnic_net::adversary::FaultPlan;
+        use tnic_net::stack::NetworkStackKind;
+        use tnic_sim::rng::DetRng;
+        use tnic_tee::profile::Baseline;
+
+        let mut rng = DetRng::new(0xC1024);
+        let victim = 1u32;
+        let forger = 3u32;
+        let mut victim_kernel = AttestationKernel::new(DeviceId(victim), AttestationTiming::zero());
+        victim_kernel.install_session_key(log_session(victim), [victim as u8; 32]);
+        let mut forger_kernel = AttestationKernel::new(DeviceId(forger), AttestationTiming::zero());
+        forger_kernel.install_session_key(log_session(forger), [forger as u8; 32]);
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Recv { from: 0 }, b"cmd".to_vec());
+        log.append(EntryKind::Exec, b"out".to_vec());
+        let genuine = {
+            let payload = Authenticator::payload(victim, log.len(), &log.head());
+            let (attestation, _) = victim_kernel.attest(log_session(victim), &payload).unwrap();
+            Authenticator {
+                node: victim,
+                seq: log.len(),
+                head: log.head(),
+                attestation,
+            }
+        };
+        let resealed = {
+            let mut head = log.head();
+            head[0] ^= 0xFF;
+            let payload = Authenticator::payload(victim, log.len(), &head);
+            let (attestation, _) = forger_kernel.attest(log_session(forger), &payload).unwrap();
+            Authenticator {
+                node: victim,
+                seq: log.len(),
+                head,
+                attestation,
+            }
+        };
+        let mut tampered_entries = log.entries().to_vec();
+        tampered_entries[1].content = b"forged-out".to_vec();
+        let samples: Vec<Vec<u8>> = vec![
+            Envelope::Join(genuine.clone()).encode(),
+            Envelope::Join(resealed.clone()).encode(),
+            Envelope::Recover(genuine.clone()).encode(),
+            Envelope::Recover(resealed.clone()).encode(),
+            Envelope::Leave {
+                auth: genuine.clone(),
+                entries: log.entries().to_vec(),
+            }
+            .encode(),
+            Envelope::Leave {
+                auth: resealed,
+                entries: tampered_entries,
+            }
+            .encode(),
+        ];
+
+        // Survivors of truncation and bit-flip mangling.
+        let mut survivors: Vec<Envelope> = Vec::new();
+        for bytes in &samples {
+            for cut in 0..bytes.len() {
+                if let Ok(env) = Envelope::decode(&bytes[..cut]) {
+                    assert_eq!(env.encode(), &bytes[..cut], "prefix of len {cut}");
+                    survivors.push(env);
+                }
+            }
+            for _ in 0..200 {
+                let mut mutated = bytes.clone();
+                let idx = rng.next_below(mutated.len() as u64) as usize;
+                mutated[idx] ^= 1 << rng.next_below(8);
+                if let Ok(env) = Envelope::decode(&mutated) {
+                    survivors.push(env);
+                }
+            }
+            survivors.push(Envelope::decode(bytes).unwrap());
+        }
+
+        // Feed every survivor through a live engine as traffic from the
+        // forger, in both commit modes.
+        for piggyback in [false, true] {
+            let config = EngineConfig {
+                piggyback,
+                witness_count: piggyback.then_some(2),
+                ..EngineConfig::default()
+            };
+            let mut cluster =
+                Cluster::fully_connected(4, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+            let mut app = CounterApp::new(&cluster.nodes());
+            let mut engine =
+                AccountabilityEngine::attach(&mut cluster, &app, config, FaultPlan::all_correct());
+            for (receiver, env) in survivors
+                .iter()
+                .flat_map(|e| (0..4u32).map(move |r| (r, e.clone())))
+            {
+                if receiver == forger {
+                    continue;
+                }
+                let payload = env.encode();
+                if cluster
+                    .auth_send(NodeId(forger), NodeId(receiver), &payload)
+                    .is_ok()
+                {
+                    engine
+                        .poll(&mut cluster, &mut app, NodeId(receiver))
+                        .unwrap();
+                }
+            }
+            // Forged churn traffic never convicts a correct node: a relayed
+            // genuine announcement is dropped (only a node speaks for
+            // itself) and a resealed one fails seal verification. The
+            // forger itself is fair game — a bit flip can mutate a
+            // membership tag into a forged `Evidence` envelope, which turns
+            // against its author.
+            for node in 0..4u32 {
+                if node == forger {
+                    continue;
+                }
+                for &w in engine.witnesses_of(node) {
+                    assert_ne!(
+                        engine.verdict_of(w, node),
+                        crate::audit::Verdict::Exposed,
+                        "piggyback={piggyback}: node {node} exposed at witness {w}"
+                    );
+                }
+            }
         }
     }
 
