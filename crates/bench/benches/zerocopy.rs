@@ -13,10 +13,20 @@
 //! active (the recorder preallocates its ring; recording an event is a
 //! slot write), so observability can stay on in production datapaths.
 
+//! A second probe covers the **audit hot loop**: the witness protocol's
+//! challenge/response wire encoding reuses one scratch buffer per cluster
+//! round, so allocations per audit round must stay flat in steady state —
+//! later rounds may not allocate more than earlier (warm) rounds beyond a
+//! small tolerance, or the scratch reuse has regressed into per-message
+//! buffer churn.
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use tnic_bench::CommitMode;
 use tnic_device::attestation::{AttestationKernel, AttestationTiming, AttestedMessage};
 use tnic_device::types::{DeviceId, SessionId};
+use tnic_net::adversary::FaultPlan;
+use tnic_peerreview::system::{PeerReview, PeerReviewConfig};
 
 /// System allocator wrapper counting every allocation.
 struct CountingAlloc;
@@ -142,6 +152,10 @@ fn main() {
         }
     }
 
+    if audit_path_probe() {
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
@@ -149,4 +163,78 @@ fn main() {
         "\nwarm in-place datapath: 0 allocations per message on every size, \
          with the event recorder active"
     );
+}
+
+/// Allocation accounting for the audit hot loop: drives a fault-free
+/// 8-node piggybacked deployment, warms it for a few audit rounds, then
+/// compares the allocation count of two consecutive measured windows.
+/// Scratch-buffer reuse in the challenge/response encoder means the second
+/// window must not allocate more than the first beyond a small tolerance
+/// (per-round log growth is bounded, so steady-state rounds do equal
+/// work). Returns `true` on failure.
+fn audit_path_probe() -> bool {
+    const WARM_ROUNDS: u64 = 3;
+    const WINDOW_ROUNDS: u64 = 4;
+    const MSGS_PER_ROUND: u64 = 8;
+
+    let mut config = PeerReviewConfig {
+        nodes: 8,
+        seed: 42,
+        ..PeerReviewConfig::default()
+    };
+    CommitMode::Piggyback { witnesses: 3 }.apply(&mut config);
+    let mut pr = match PeerReview::new(config, FaultPlan::all_correct()) {
+        Ok(pr) => pr,
+        Err(err) => {
+            eprintln!("audit-path probe: cannot build deployment: {err}");
+            return true;
+        }
+    };
+
+    let mut failed = false;
+    let window = |pr: &mut PeerReview, rounds: u64| -> u64 {
+        let mut err_seen = None;
+        let spent = allocs(|| {
+            for _ in 0..rounds {
+                if let Err(err) = pr
+                    .run_workload(MSGS_PER_ROUND)
+                    .and_then(|()| pr.run_audit_round())
+                {
+                    err_seen = Some(err);
+                    break;
+                }
+            }
+        });
+        if let Some(err) = err_seen {
+            eprintln!("audit-path probe: round failed: {err}");
+        }
+        spent
+    };
+
+    let _warm = window(&mut pr, WARM_ROUNDS);
+    let first = window(&mut pr, WINDOW_ROUNDS);
+    let second = window(&mut pr, WINDOW_ROUNDS);
+
+    println!(
+        "\naudit hot loop (8 nodes, piggyback w=3, {MSGS_PER_ROUND} msgs/round): \
+         {:.0} allocs/audit-round warm window A, {:.0} window B",
+        first as f64 / WINDOW_ROUNDS as f64,
+        second as f64 / WINDOW_ROUNDS as f64
+    );
+    // Tolerance: 25% plus a small constant headroom for map rebalancing —
+    // anything beyond that means per-round allocations are *growing*,
+    // i.e. wire buffers are no longer being reused.
+    if second > first + first / 4 + 64 {
+        eprintln!(
+            "FAIL: audit-path allocations grew between steady-state windows \
+             ({first} -> {second} over {WINDOW_ROUNDS} rounds each) — \
+             scratch-buffer reuse has regressed"
+        );
+        failed = true;
+    }
+    if first == 0 {
+        eprintln!("suspicious: audit window allocated 0 times — accounting may be broken");
+        failed = true;
+    }
+    failed
 }

@@ -6,7 +6,8 @@
 //! Usage: `cargo run --release -p tnic-bench --bin reproduce
 //! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
 //! [--max-retained-entries N] [--max-exposure-latency-rounds N]
-//! [--max-verdict-delay-rounds N] [--report PATH]`
+//! [--max-verdict-delay-rounds N] [--max-audit-msgs-per-node-round RATE]
+//! [--report PATH]`
 //!
 //! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
 //! × 8 application messages) with one Byzantine behaviour injected through
@@ -37,6 +38,14 @@
 //! accountability engine under the BFT counter, the replicated KV chain
 //! and the replicated A2M, and a 200-audit-round retention probe certifies
 //! the bounded-memory story (see `tnic_bench::run_retention_probe`).
+//!
+//! A sampled-auditing probe (`tnic_bench::run_sampled_probe`) compares full
+//! auditing against rotating samples of size 2 and 1: the `audit-traffic`
+//! gate bounds audit messages per node per audit round for sampled rows
+//! (`--max-audit-msgs-per-node-round`, default 4.0) and the
+//! `sampled-detection-latency` gate requires a log tamperer's exposure to
+//! land within `--max-exposure-latency-rounds` plus the coverage window —
+//! sampling must buy traffic, not lose detection.
 //!
 //! A membership-churn suite (`tnic_bench::ChurnScenario`) then drives
 //! crash-rejoin (honest and tampering), partition healing, live joins,
@@ -72,9 +81,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tnic_bench::gates::{self, GateOutcome};
 use tnic_bench::{
     measure_exposure_latency, render_acct_table, render_churn_table, render_table, report,
-    run_acct_scenario, run_churn_scenario, run_retention_probe, run_scenario_mode,
-    run_scenario_traced, AcctScenario, AcctScenarioResult, ChurnScenario, ChurnScenarioResult,
-    CommitMode, Scenario, ScenarioResult,
+    run_acct_scenario, run_churn_scenario, run_retention_probe, run_sampled_probe,
+    run_scenario_mode, run_scenario_traced, AcctScenario, AcctScenarioResult, ChurnScenario,
+    ChurnScenarioResult, CommitMode, SampledProbeRow, Scenario, ScenarioResult,
 };
 use tnic_net::adversary::{FaultPlan, NodeFault};
 use tnic_obs::metrics::MetricsRegistry;
@@ -127,6 +136,12 @@ const CKPT_OVERHEAD_FACTOR: f64 = 3.0;
 /// Ring capacity for the traced scenario runs (events, not bytes).
 const TRACE_CAPACITY: usize = 1 << 18;
 
+/// Coverage window of the sampled-auditing probe: every pair is audited at
+/// least once per this many rounds on top of the rotating sample, so the
+/// sampled-detection-latency gate bound is
+/// `--max-exposure-latency-rounds + SAMPLED_COVERAGE_WINDOW`.
+const SAMPLED_COVERAGE_WINDOW: u64 = 4;
+
 fn main() {
     let mut all_baselines = false;
     let mut check = false;
@@ -135,6 +150,7 @@ fn main() {
     let mut max_retained_entries = 600u64;
     let mut max_exposure_latency_rounds = 6u64;
     let mut max_verdict_delay_rounds = 6u64;
+    let mut max_audit_msgs_per_node_round = 4.0f64;
     let mut report_path = std::path::PathBuf::from("reports/reproduce.md");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -174,6 +190,13 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--max-audit-msgs-per-node-round" => {
+                max_audit_msgs_per_node_round =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-audit-msgs-per-node-round requires a number");
+                        std::process::exit(2);
+                    });
+            }
             "--report" => match args.next() {
                 Some(path) => report_path = std::path::PathBuf::from(path),
                 None => {
@@ -187,7 +210,7 @@ fn main() {
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
                      [--max-acct-ctl-app RATIO] [--max-retained-entries N] \
                      [--max-exposure-latency-rounds N] [--max-verdict-delay-rounds N] \
-                     [--report PATH]"
+                     [--max-audit-msgs-per-node-round RATE] [--report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -415,6 +438,54 @@ fn main() {
         }
     };
 
+    // ---- sampled-auditing scaling probe ----------------------------------
+
+    println!(
+        "\nsampled auditing probe: 8 nodes piggyback w=3, full audit vs rotating samples \
+         (audit-traffic gate: <= {max_audit_msgs_per_node_round:.1} audit msgs/node/audit-round \
+         for sampled rows; detection gate: <= {} audit rounds)",
+        max_exposure_latency_rounds + SAMPLED_COVERAGE_WINDOW
+    );
+    let mut probe_rows: Vec<SampledProbeRow> = Vec::new();
+    let mut audit_cases: Vec<(String, f64)> = Vec::new();
+    let mut sampled_cases: Vec<(String, Option<u64>)> = Vec::new();
+    for (sample, window) in [
+        (None, 0),
+        (Some(2), SAMPLED_COVERAGE_WINDOW),
+        (Some(1), SAMPLED_COVERAGE_WINDOW),
+    ] {
+        match run_sampled_probe(sample, window) {
+            Ok(row) => {
+                println!(
+                    "  {:<14} {:.2} audit msgs/node/round ({} audit wire msgs, {} batched), \
+                     detection {}",
+                    row.label,
+                    row.audit_msgs_per_node_round,
+                    row.messages_audit,
+                    row.messages_batched,
+                    row.detection_latency_rounds
+                        .map_or_else(|| "NEVER".to_string(), |r| format!("{r} round(s)"))
+                );
+                let scope = registry.scope("sampled-auditing");
+                scope.inc(&format!("{}_messages_audit", row.label), row.messages_audit);
+                scope.inc(
+                    &format!("{}_messages_batched", row.label),
+                    row.messages_batched,
+                );
+                if row.audit_sample_size.is_some() {
+                    audit_cases.push((row.label.clone(), row.audit_msgs_per_node_round));
+                    sampled_cases.push((row.label.clone(), row.detection_latency_rounds));
+                }
+                probe_rows.push(row);
+            }
+            Err(err) => {
+                let line = format!("sampled probe (sample {sample:?}): {err}");
+                eprintln!("{line}");
+                failed_runs.push(line);
+            }
+        }
+    }
+
     // ---- named gates -----------------------------------------------------
 
     // Deviations from the accountability claims: fatal with or without
@@ -435,6 +506,11 @@ fn main() {
         gates::acct_overhead_gate(&acct_results, max_acct_ctl_app, CKPT_OVERHEAD_FACTOR),
         gates::exposure_latency_gate(&latency_cases, max_exposure_latency_rounds),
         gates::churn_delay_gate(&churn_results, max_verdict_delay_rounds),
+        gates::audit_traffic_gate(&audit_cases, max_audit_msgs_per_node_round),
+        gates::sampled_detection_latency_gate(
+            &sampled_cases,
+            max_exposure_latency_rounds + SAMPLED_COVERAGE_WINDOW,
+        ),
     ];
     if let Some(retention) = &retention {
         deviation_gates.push(gates::retention_verdict_gate(retention));
@@ -462,6 +538,7 @@ fn main() {
         report::churn_section(&churn_results),
     ];
     sections.extend(timeline_sections);
+    sections.push(report::scaling_section(&probe_rows));
     sections.push(registry.render_markdown());
     sections.push(report::allocs_section(
         ALLOCATIONS.load(Ordering::Relaxed),

@@ -47,6 +47,9 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                     checkpoint_interval: None,
                     churn_rate: 0.0,
                     partition_rounds: 0,
+                    audit_sample_size: None,
+                    shards: 1,
+                    event_driven: false,
                 };
                 points.push(point(CommitMode::Dedicated));
                 for &w in &witness_counts {
@@ -89,6 +92,9 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                 checkpoint_interval: None,
                 churn_rate,
                 partition_rounds,
+                audit_sample_size: None,
+                shards: 1,
+                event_driven: false,
             });
         }
     }
@@ -112,6 +118,9 @@ fn grid(full: bool) -> Vec<SweepPoint> {
                         checkpoint_interval: None,
                         churn_rate: 0.0,
                         partition_rounds: 0,
+                        audit_sample_size: None,
+                        shards: 1,
+                        event_driven: false,
                     };
                     points.push(point(CommitMode::Dedicated));
                     points.push(point(CommitMode::Piggyback { witnesses: 2 }));
@@ -123,13 +132,75 @@ fn grid(full: bool) -> Vec<SweepPoint> {
             }
         }
     }
+    // The scaling frontier: n = 1000 with sharded witnesses on the
+    // event-driven core — a full-audit baseline row and a sampled row. The
+    // pair quantifies the headline trade: sampled auditing cuts audit
+    // messages per node per round by an order of magnitude while the
+    // rotating sample keeps detection latency bounded by `charges/size`
+    // audit rounds (the `detection_latency_rounds` column; measured
+    // `w + 1` at k = 1, the last witness's rotation reaching the pair).
+    let frontier = |audit_sample_size, rounds| SweepPoint {
+        app: SweepApp::PeerReview,
+        mode: CommitMode::Piggyback { witnesses: 24 },
+        payload: 64,
+        nodes: 1000,
+        audit_period: 1,
+        rounds,
+        messages_per_round: 1000,
+        checkpoint_interval: None,
+        churn_rate: 0.0,
+        partition_rounds: 0,
+        audit_sample_size,
+        shards: 8,
+        event_driven: true,
+    };
+    // Short full-audit run (every round already costs 2·w·n audit
+    // messages; a pair with an outstanding challenge is skipped, so an odd
+    // round count maximizes the measured per-round rate); longer sampled
+    // run so the rotating sample completes a full coverage cycle and the
+    // detection probe can land.
+    points.push(frontier(None, 3));
+    points.push(frontier(Some(1), 28));
     points
+}
+
+/// The ≥10× headline check: at the n = 1000 frontier the sampled row must
+/// cut audit messages per node per round by at least 10× against the
+/// full-audit row, and its detection probe must land.
+fn check_frontier(rows: &[tnic_bench::SweepRow]) -> Result<(), String> {
+    let frontier: Vec<_> = rows.iter().filter(|r| r.point.nodes >= 1000).collect();
+    let full = frontier
+        .iter()
+        .find(|r| r.point.audit_sample_size.is_none())
+        .ok_or("no full-audit frontier row")?;
+    let sampled = frontier
+        .iter()
+        .find(|r| r.point.audit_sample_size.is_some())
+        .ok_or("no sampled frontier row")?;
+    let ratio = full.audit_msgs_per_node_round() / sampled.audit_msgs_per_node_round().max(1e-9);
+    if ratio < 10.0 {
+        return Err(format!(
+            "sampled auditing only cut audit traffic {ratio:.1}x at n = 1000 \
+             ({:.2} vs {:.2} audit msgs/node/round); the headline requires >= 10x",
+            full.audit_msgs_per_node_round(),
+            sampled.audit_msgs_per_node_round()
+        ));
+    }
+    let latency = sampled
+        .detection_latency_rounds
+        .ok_or("sampled frontier row never detected its tamperer twin")?;
+    eprintln!(
+        "frontier: {ratio:.1}x audit-traffic cut at n = 1000, \
+         sampled detection in {latency} audit rounds"
+    );
+    Ok(())
 }
 
 fn main() {
     let mut full = false;
     let mut out_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut max_large_n_seconds: f64 = 240.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -148,10 +219,18 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--max-large-n-seconds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_large_n_seconds = v,
+                None => {
+                    eprintln!("--max-large-n-seconds requires a number");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: sweep [--full] [--out FILE] [--report FILE]"
+                     usage: sweep [--full] [--out FILE] [--report FILE] \
+                     [--max-large-n-seconds SECS]"
                 );
                 std::process::exit(2);
             }
@@ -162,6 +241,7 @@ fn main() {
     let mut measured = Vec::new();
     let mut failures = 0u32;
     for point in grid(full) {
+        let started = std::time::Instant::now();
         match run_sweep_point(point) {
             Ok(row) => {
                 rows.push(row.to_csv());
@@ -172,6 +252,22 @@ fn main() {
                 eprintln!("sweep point {point:?}: {err}");
             }
         }
+        // The wall-clock budget of the event-driven core: an n >= 1000 row
+        // must stay inside CI time (the budget is per row, probes
+        // included).
+        let elapsed = started.elapsed().as_secs_f64();
+        if point.nodes >= 1000 && elapsed > max_large_n_seconds {
+            failures += 1;
+            eprintln!(
+                "sweep point n={} took {elapsed:.1}s, over the \
+                 --max-large-n-seconds budget of {max_large_n_seconds:.1}s",
+                point.nodes
+            );
+        }
+    }
+    if let Err(err) = check_frontier(&measured) {
+        failures += 1;
+        eprintln!("ERROR: {err}");
     }
     let csv = rows.join("\n") + "\n";
 

@@ -332,6 +332,44 @@ pub fn exposure_latency_gate(cases: &[(String, Option<u64>)], max_rounds: u64) -
     GateOutcome::from_violations("exposure-latency", violations)
 }
 
+/// Every audit-traffic case stays under the per-node-per-audit-round wire
+/// bound — the overhead axis of the sampled-auditing frontier (a bound,
+/// enforced under `--check` via `--max-audit-msgs-per-node-round`).
+#[must_use]
+pub fn audit_traffic_gate(cases: &[(String, f64)], max_per_node_round: f64) -> GateOutcome {
+    let violations = cases
+        .iter()
+        .filter(|(_, rate)| *rate > max_per_node_round)
+        .map(|(case, rate)| {
+            format!("{case}: {rate:.2} audit msgs/node/round exceed {max_per_node_round:.2}")
+        })
+        .collect();
+    GateOutcome::from_violations("audit-traffic", violations)
+}
+
+/// Every sampled-auditing case still detects its tamperer within the
+/// round bound — sampling trades detection latency for audit traffic but
+/// must never lose detection outright (`None` always violates).
+#[must_use]
+pub fn sampled_detection_latency_gate(
+    cases: &[(String, Option<u64>)],
+    max_rounds: u64,
+) -> GateOutcome {
+    let violations = cases
+        .iter()
+        .filter_map(|(case, latency)| match latency {
+            Some(rounds) if *rounds > max_rounds => Some(format!(
+                "{case}: sampled detection took {rounds} rounds, bound is {max_rounds}"
+            )),
+            None => Some(format!(
+                "{case}: sampled auditing never detected the tamperer"
+            )),
+            _ => None,
+        })
+        .collect();
+    GateOutcome::from_violations("sampled-detection-latency", violations)
+}
+
 /// The long-running checkpointed deployment keeps its verdicts clean and
 /// actually certifies checkpoints.
 #[must_use]
@@ -494,6 +532,38 @@ mod tests {
         assert!(!completeness.passed);
         assert_eq!(completeness.violations.len(), 1);
         assert!(completeness.violations[0].contains("never exposed"));
+    }
+
+    #[test]
+    fn audit_traffic_gate_bounds_the_wire_rate() {
+        let cases = vec![
+            ("full audit".to_string(), 12.5),
+            ("sampled (k=1)".to_string(), 1.2),
+        ];
+        let gate = audit_traffic_gate(&cases, 4.0);
+        assert!(!gate.passed);
+        assert_eq!(gate.violations.len(), 1);
+        assert!(
+            gate.violations[0].contains("12.50 audit msgs/node/round exceed 4.00"),
+            "{:?}",
+            gate.violations
+        );
+        assert!(audit_traffic_gate(&cases[1..], 4.0).passed);
+    }
+
+    #[test]
+    fn sampled_detection_gate_distinguishes_slow_from_never() {
+        let cases = vec![
+            ("sampled (k=2)".to_string(), Some(3)),
+            ("sampled (k=1)".to_string(), Some(11)),
+            ("sampled (k=1, hostile)".to_string(), None),
+        ];
+        let gate = sampled_detection_latency_gate(&cases, 8);
+        assert!(!gate.passed);
+        assert_eq!(gate.violations.len(), 2, "{:?}", gate.violations);
+        assert!(gate.violations.iter().any(|v| v.contains("11 rounds")));
+        assert!(gate.violations.iter().any(|v| v.contains("never detected")));
+        assert!(sampled_detection_latency_gate(&cases[..1], 8).passed);
     }
 
     fn churn_row(

@@ -211,7 +211,9 @@ impl CommitMode {
         }
     }
 
-    fn apply(self, config: &mut PeerReviewConfig) {
+    /// Applies this mode's commitment settings to a deployment
+    /// configuration (public so benches can build deployments mode-first).
+    pub fn apply(self, config: &mut PeerReviewConfig) {
         match self {
             CommitMode::Dedicated => {}
             CommitMode::Piggyback { witnesses } => {
@@ -1051,6 +1053,18 @@ pub struct SweepPoint {
     /// partition; the run gets `partition_rounds + 1` challenge retries so
     /// healing clears suspicion). PeerReview substrate only.
     pub partition_rounds: u64,
+    /// Charges each witness audits per round (`None` = full audit every
+    /// round). Maps to `PeerReviewConfig::audit_sample_size`; the rotating
+    /// sample still covers every charge within `ceil(charges / size)`
+    /// rounds. PeerReview substrate only.
+    pub audit_sample_size: Option<u32>,
+    /// Consistent-hash witness shards (`<= 1` = unsharded: witnesses drawn
+    /// from the whole cluster). PeerReview substrate only.
+    pub shards: u32,
+    /// Event-driven sparse simulation core (lazily connected links and an
+    /// active-set scheduler) instead of dense n×n iteration — required for
+    /// the n ≥ 1000 grid points. PeerReview substrate only.
+    pub event_driven: bool,
 }
 
 impl SweepPoint {
@@ -1096,15 +1110,26 @@ pub struct SweepRow {
     /// Detection latency: audit rounds until every correct witness exposes
     /// a seq-0 log tamperer in a twin run of the same configuration
     /// (PeerReview substrate only; `None` elsewhere or when the twin's
-    /// round budget ends before full exposure).
+    /// round budget ends before full exposure). Always measured under
+    /// *full* auditing, so the sampled columns can be compared against it.
     pub exposure_latency_rounds: Option<u64>,
+    /// Audit wire messages (challenges + responses; a batched envelope
+    /// counts once) sent over the fault-free run.
+    pub audit_messages: u64,
+    /// Detection latency of the row's *own* audit configuration: audit
+    /// rounds until every correct witness exposes the seq-0 tamperer twin
+    /// under the row's sampling/sharding. Equal to
+    /// [`SweepRow::exposure_latency_rounds`] when sampling is off; the gap
+    /// between the two is the latency price of sampling.
+    pub detection_latency_rounds: Option<u64>,
 }
 
 /// Header line of the sweep CSV.
 pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit_period,\
 checkpoint_interval,rounds,messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,\
 challenges,log_entries,retained_entries,retained_bytes,audit_p50_us,audit_p99_us,app_p50_us,\
-virt_time_us,exposure_latency_rounds,churn_rate,partition_rounds";
+virt_time_us,exposure_latency_rounds,churn_rate,partition_rounds,audit_sample_size,shards,\
+audit_msgs_per_node_round,detection_latency_rounds";
 
 impl SweepRow {
     /// Control messages per application message.
@@ -1127,11 +1152,25 @@ impl SweepRow {
         }
     }
 
+    /// Audit wire messages per node per audit round of the fault-free run
+    /// (the drain pass that closes a finite run counts as one more audit
+    /// round) — the overhead axis of the detection-latency frontier.
+    #[must_use]
+    pub fn audit_msgs_per_node_round(&self) -> f64 {
+        let audit_rounds = self.point.rounds / self.point.audit_period.max(1) + 1;
+        let node_rounds = u64::from(self.point.nodes) * audit_rounds;
+        if node_rounds == 0 {
+            0.0
+        } else {
+            self.audit_messages as f64 / node_rounds as f64
+        }
+    }
+
     /// The CSV record for this row (matches [`SWEEP_CSV_HEADER`]).
     #[must_use]
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{},{:.2},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{},{:.2},{},{},{},{:.2},{}",
             self.point.app.label(),
             self.point.mode.label(),
             self.point.payload,
@@ -1157,7 +1196,14 @@ impl SweepRow {
             self.exposure_latency_rounds
                 .map_or_else(|| "-".to_string(), |r| r.to_string()),
             self.point.churn_rate,
-            self.point.partition_rounds
+            self.point.partition_rounds,
+            self.point
+                .audit_sample_size
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            self.point.shards.max(1),
+            self.audit_msgs_per_node_round(),
+            self.detection_latency_rounds
+                .map_or_else(|| "-".to_string(), |r| r.to_string())
         )
     }
 }
@@ -1182,6 +1228,7 @@ fn sweep_row(
     stats: &AccountabilityStats,
     virtual_time_us: u64,
     exposure_latency_rounds: Option<u64>,
+    detection_latency_rounds: Option<u64>,
 ) -> SweepRow {
     SweepRow {
         point,
@@ -1198,6 +1245,8 @@ fn sweep_row(
         app_p50_us: stats.app_latency.percentile_us(0.5),
         virtual_time_us,
         exposure_latency_rounds,
+        audit_messages: stats.audit_messages,
+        detection_latency_rounds,
     }
 }
 
@@ -1267,6 +1316,10 @@ fn sweep_point_config(point: &SweepPoint) -> PeerReviewConfig {
             .saturating_add(1);
     }
     point.mode.apply(&mut config);
+    // The scaling knobs (orthogonal to the commit mode).
+    config.audit_sample_size = point.audit_sample_size;
+    config.shards = point.shards.max(1);
+    config.event_driven = point.event_driven;
     config
 }
 
@@ -1334,9 +1387,14 @@ fn drive_churned_point(
 /// Detection-latency twin of a PeerReview sweep point: the same
 /// configuration (including any churn/partition schedule) with a seq-0
 /// log tamperer at node 1, counting *audit* rounds until every correct
-/// witness of the tamperer exposes it.
-fn sweep_exposure_probe(point: &SweepPoint) -> Result<Option<u64>, CoreError> {
-    let config = sweep_point_config(point);
+/// witness of the tamperer exposes it. With `full_audit` the twin strips
+/// sampling, so the measurement is the full-audit baseline the sampled
+/// `detection_latency_rounds` column is compared against.
+fn sweep_exposure_probe(point: &SweepPoint, full_audit: bool) -> Result<Option<u64>, CoreError> {
+    let mut config = sweep_point_config(point);
+    if full_audit {
+        config.audit_sample_size = None;
+    }
     let target = 1u32.min(point.nodes.saturating_sub(1));
     let mut pr = PeerReview::new(
         config,
@@ -1364,13 +1422,22 @@ fn run_peerreview_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> 
         pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
     }
     let stats = pr.stats();
-    let exposure_latency = sweep_exposure_probe(&point)?;
+    let exposure_latency = sweep_exposure_probe(&point, true)?;
+    // Under sampling the row's own detection latency differs from the
+    // full-audit baseline; without it the twin would be identical, so the
+    // second probe is skipped.
+    let detection_latency = if point.audit_sample_size.is_some() {
+        sweep_exposure_probe(&point, false)?
+    } else {
+        exposure_latency
+    };
     Ok(sweep_row(
         point,
         pr.witnesses_of(0).len() as u32,
         &stats,
         pr.now().as_micros(),
         exposure_latency,
+        detection_latency,
     ))
 }
 
@@ -1415,6 +1482,7 @@ fn run_bft_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
         &stats,
         system.now().as_micros(),
         None,
+        None,
     ))
 }
 
@@ -1453,6 +1521,7 @@ fn run_a2m_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
         system.witnesses_of(0).len() as u32,
         &stats,
         system.now().as_micros(),
+        None,
         None,
     ))
 }
@@ -1494,6 +1563,7 @@ fn run_cr_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> {
         system.witnesses_of(0).len() as u32,
         &stats,
         system.now().as_micros(),
+        None,
         None,
     ))
 }
@@ -1604,6 +1674,15 @@ pub struct ParitySpec {
     pub challenge_retries: u32,
     /// Drain the piggyback audit pipeline at the end of the run.
     pub drain: bool,
+    /// Charges each witness audits per round (`None` = full audit) — the
+    /// sampled-auditing twin axis.
+    pub audit_sample_size: Option<u32>,
+    /// Consistent-hash witness shards (`<= 1` = unsharded).
+    pub shards: u32,
+    /// Event-driven sparse simulation core instead of dense n×n iteration
+    /// (PeerReview substrate only; the other drivers build their clusters
+    /// internally).
+    pub event_driven: bool,
 }
 
 impl ParitySpec {
@@ -1623,6 +1702,9 @@ impl ParitySpec {
             churn: None,
             challenge_retries: 0,
             drain: true,
+            audit_sample_size: None,
+            shards: 1,
+            event_driven: false,
         }
     }
 
@@ -1630,6 +1712,8 @@ impl ParitySpec {
         let mut config = self.mode.engine_config(self.seed);
         config.checkpoint_interval = config.checkpoint_interval.or(self.checkpoint_interval);
         config.challenge_retries = self.challenge_retries;
+        config.audit_sample_size = self.audit_sample_size;
+        config.shards = self.shards.max(1);
         config
     }
 }
@@ -1789,6 +1873,9 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 seed: spec.seed,
                 checkpoint_interval: spec.checkpoint_interval,
                 challenge_retries: spec.challenge_retries,
+                audit_sample_size: spec.audit_sample_size,
+                shards: spec.shards.max(1),
+                event_driven: spec.event_driven,
                 ..PeerReviewConfig::default()
             };
             spec.mode.apply(&mut config);
@@ -2341,6 +2428,75 @@ pub fn measure_exposure_latency(
     drive_until_exposed(pr, target, max_rounds, 8, 1)
 }
 
+/// One row of the sampled-auditing scaling probe driven by `reproduce`:
+/// an 8-node piggyback deployment measured fault-free for the traffic
+/// half, plus a seq-0 log-tamperer twin for the detection half.
+#[derive(Debug, Clone)]
+pub struct SampledProbeRow {
+    /// Probe label (`full audit`, `sampled (k=1)`, …).
+    pub label: String,
+    /// Charges each witness audits per round (`None` = full audit).
+    pub audit_sample_size: Option<u32>,
+    /// Audit wire messages per node per audit round of the fault-free run
+    /// (the drain pass counts as one more audit round).
+    pub audit_msgs_per_node_round: f64,
+    /// Transport messages that carried audit traffic
+    /// (`ClusterStats::messages_audit`).
+    pub messages_audit: u64,
+    /// Audit elements that rode a batched envelope instead of their own
+    /// message (`ClusterStats::messages_batched`).
+    pub messages_batched: u64,
+    /// Audit rounds until every correct witness exposed the tamperer twin
+    /// (`None` = never within the probe's round budget).
+    pub detection_latency_rounds: Option<u64>,
+}
+
+/// Runs one sampled-auditing scaling probe configuration: 8 nodes,
+/// piggybacked commitments over rotating 3-witness sets, 8 audit rounds ×
+/// 8 messages. Full audit (`None`) is the baseline the sampled rows are
+/// compared against; `coverage_window` forces every pair to be audited at
+/// least once per window on top of the rotating sample.
+///
+/// # Errors
+///
+/// Propagates cluster/session errors from the runs.
+pub fn run_sampled_probe(
+    audit_sample_size: Option<u32>,
+    coverage_window: u64,
+) -> Result<SampledProbeRow, CoreError> {
+    const NODES: u32 = 8;
+    const ROUNDS: u64 = 8;
+    const MSGS: u64 = 8;
+    let mut config = PeerReviewConfig {
+        nodes: NODES,
+        seed: 42,
+        audit_sample_size,
+        audit_coverage_window: coverage_window,
+        ..PeerReviewConfig::default()
+    };
+    CommitMode::Piggyback { witnesses: 3 }.apply(&mut config);
+    let mut pr = PeerReview::new(config, FaultPlan::all_correct())?;
+    pr.run_scenario_ext(ROUNDS, MSGS, 1)?;
+    let stats = pr.stats();
+    let cluster = pr.cluster().stats();
+    let twin = PeerReview::new(
+        config,
+        FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+    )?;
+    let detection = drive_until_exposed(twin, 1, 4 * (ROUNDS + coverage_window), MSGS, 1)?;
+    let audit_rounds = ROUNDS + 1;
+    Ok(SampledProbeRow {
+        label: audit_sample_size
+            .map_or_else(|| "full audit".to_string(), |k| format!("sampled (k={k})")),
+        audit_sample_size,
+        audit_msgs_per_node_round: stats.audit_messages as f64
+            / (u64::from(NODES) * audit_rounds) as f64,
+        messages_audit: cluster.messages_audit,
+        messages_batched: cluster.messages_batched,
+        detection_latency_rounds: detection,
+    })
+}
+
 /// Every `(witness, node)` verdict divergence between a run and its twin,
 /// formatted for assertion messages (empty = exact parity). Pairs present
 /// in only one run (rotation can change the final witness relation) are
@@ -2512,6 +2668,9 @@ mod tests {
             checkpoint_interval: None,
             churn_rate: 0.0,
             partition_rounds: 0,
+            audit_sample_size: None,
+            shards: 1,
+            event_driven: false,
         })
         .unwrap();
         assert_eq!(row.witnesses, 2);
@@ -2519,14 +2678,22 @@ mod tests {
         assert!(row.piggybacked > 0);
         let csv = row.to_csv();
         assert!(csv.starts_with("peerreview,piggyback(w=2),256,4,2,2,-,4,8,32,"));
+        let cols: Vec<&str> = csv.split(',').collect();
+        let headers: Vec<&str> = SWEEP_CSV_HEADER.split(',').collect();
+        assert_eq!(cols.len(), headers.len(), "row matches header arity");
+        let col = |name: &str| cols[headers.iter().position(|h| *h == name).unwrap()];
+        assert_eq!(col("churn_rate"), "0.00");
+        assert_eq!(col("partition_rounds"), "0");
+        assert_eq!(col("audit_sample_size"), "-", "full audit prints a dash");
+        assert_eq!(col("shards"), "1");
         assert!(
-            csv.ends_with(",0.00,0"),
-            "churn columns sit at the end of the row: {csv}"
+            col("audit_msgs_per_node_round").parse::<f64>().unwrap() > 0.0,
+            "audits actually ran: {csv}"
         );
         assert_eq!(
-            csv.split(',').count(),
-            SWEEP_CSV_HEADER.split(',').count(),
-            "row matches header arity"
+            col("detection_latency_rounds"),
+            col("exposure_latency_rounds"),
+            "without sampling the two latency columns coincide"
         );
     }
 
@@ -2544,6 +2711,9 @@ mod tests {
                 checkpoint_interval: None,
                 churn_rate: 0.0,
                 partition_rounds: 0,
+                audit_sample_size: None,
+                shards: 1,
+                event_driven: false,
             })
             .unwrap();
             assert_eq!(row.witnesses, 2, "{app:?}");
@@ -2644,10 +2814,13 @@ mod tests {
             checkpoint_interval: None,
             churn_rate: 0.25,
             partition_rounds: 0,
+            audit_sample_size: None,
+            shards: 1,
+            event_driven: false,
         })
         .unwrap();
         let csv = churned.to_csv();
-        assert!(csv.ends_with(",0.25,0"), "{csv}");
+        assert!(csv.contains(",0.25,0,"), "{csv}");
         assert_eq!(csv.split(',').count(), SWEEP_CSV_HEADER.split(',').count());
         assert!(
             churned.exposure_latency_rounds.is_some(),
@@ -2665,14 +2838,158 @@ mod tests {
             checkpoint_interval: None,
             churn_rate: 0.0,
             partition_rounds: 2,
+            audit_sample_size: None,
+            shards: 1,
+            event_driven: false,
         })
         .unwrap();
         let csv = partitioned.to_csv();
-        assert!(csv.ends_with(",0.00,2"), "{csv}");
+        assert!(csv.contains(",0.00,2,"), "{csv}");
         assert!(
             partitioned.exposure_latency_rounds.is_some(),
             "detection must land once the partition heals"
         );
+    }
+
+    #[test]
+    fn sampled_sharded_event_driven_point_cuts_audit_traffic() {
+        // The scaling-frontier columns at a mid-size point: sampling with
+        // sharded witnesses on the event-driven core trades bounded
+        // detection latency for audit traffic.
+        let base = SweepPoint {
+            app: SweepApp::PeerReview,
+            mode: CommitMode::Piggyback { witnesses: 4 },
+            payload: 64,
+            nodes: 12,
+            audit_period: 1,
+            rounds: 6,
+            messages_per_round: 12,
+            checkpoint_interval: None,
+            churn_rate: 0.0,
+            partition_rounds: 0,
+            audit_sample_size: None,
+            shards: 2,
+            event_driven: true,
+        };
+        let full = run_sweep_point(base).unwrap();
+        let sampled = run_sweep_point(SweepPoint {
+            audit_sample_size: Some(1),
+            rounds: 10,
+            ..base
+        })
+        .unwrap();
+        assert!(full.audit_msgs_per_node_round() > 0.0);
+        assert!(
+            sampled.audit_msgs_per_node_round() < full.audit_msgs_per_node_round() / 2.0,
+            "sampling must cut audit traffic: {} vs {}",
+            sampled.audit_msgs_per_node_round(),
+            full.audit_msgs_per_node_round()
+        );
+        let full_latency = full
+            .detection_latency_rounds
+            .expect("full audit detects the twin tamperer");
+        let sampled_latency = sampled
+            .detection_latency_rounds
+            .expect("sampling still detects the twin tamperer");
+        assert!(
+            sampled_latency >= full_latency,
+            "sampling can only delay detection: {sampled_latency} vs {full_latency}"
+        );
+        let csv = sampled.to_csv();
+        let cols: Vec<&str> = csv.split(',').collect();
+        let headers: Vec<&str> = SWEEP_CSV_HEADER.split(',').collect();
+        assert_eq!(cols.len(), headers.len());
+        let col = |name: &str| cols[headers.iter().position(|h| *h == name).unwrap()];
+        assert_eq!(col("audit_sample_size"), "1");
+        assert_eq!(col("shards"), "2");
+        assert_eq!(col("detection_latency_rounds"), sampled_latency.to_string());
+    }
+
+    #[test]
+    fn event_driven_and_sampled_churn_runs_keep_verdict_parity() {
+        // The churned half of the parity claim: a crash-rejoin schedule
+        // classifies identically on the dense and event-driven cores (with
+        // identical transport message counts), and sampled auditing settles
+        // to the same final verdicts — in both commit modes, honest and
+        // tampering.
+        let plans = [
+            FaultPlan::all_correct(),
+            FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+        ];
+        for mode in [
+            CommitMode::Dedicated,
+            CommitMode::Piggyback { witnesses: 2 },
+        ] {
+            for faults in &plans {
+                let mut base = ParitySpec::new(SweepApp::PeerReview, mode, faults.clone());
+                base.rounds = 6;
+                base.challenge_retries = 2;
+                base.churn = Some(ChurnPlan {
+                    actions: vec![
+                        (1, ChurnAction::Crash { node: 2 }),
+                        (2, ChurnAction::Recover { node: 2 }),
+                    ],
+                    partition: None,
+                });
+                let dense = run_verdict_matrix(&base).unwrap();
+                let mut spec = base.clone();
+                spec.event_driven = true;
+                let event = run_verdict_matrix(&spec).unwrap();
+                let context = format!("event-driven churn [{}] {faults:?}", mode.label());
+                assert_verdict_parity(&dense, &event, &context);
+                assert_eq!(
+                    dense.messages_sent, event.messages_sent,
+                    "{context}: the schedulers must send the same messages"
+                );
+                assert_eq!(dense.stats.challenges, event.stats.challenges, "{context}");
+                let mut spec = base.clone();
+                spec.audit_sample_size = Some(1);
+                let sampled = run_verdict_matrix(&spec).unwrap();
+                let context = format!("sampled churn [{}] {faults:?}", mode.label());
+                assert_verdict_parity(&dense, &sampled, &context);
+                assert!(
+                    sampled.stats.challenges < dense.stats.challenges,
+                    "{context}: sampling must issue fewer challenges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_detection_lands_within_the_coverage_bound() {
+        // The sampled-auditing safety property, swept over sample sizes and
+        // sample seeds: a tampering node is exposed within the coverage
+        // window plus the full-audit exposure pipeline slack, never missed.
+        let window = 4u64;
+        let slack = 4u64;
+        for sample_size in 1..=3u32 {
+            for sample_seed in [1u64, 42, 0xfeed] {
+                let config = PeerReviewConfig {
+                    nodes: 6,
+                    seed: 42,
+                    audit_sample_size: Some(sample_size),
+                    audit_sample_seed: sample_seed,
+                    audit_coverage_window: window,
+                    ..PeerReviewConfig::default()
+                };
+                let pr = PeerReview::new(
+                    config,
+                    FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+                )
+                .unwrap();
+                let latency = drive_until_exposed(pr, 1, 4 * (window + slack), 8, 1)
+                    .unwrap()
+                    .unwrap_or_else(|| {
+                        panic!("size {sample_size} seed {sample_seed:#x}: tamperer never exposed")
+                    });
+                assert!(
+                    latency <= window + slack,
+                    "size {sample_size} seed {sample_seed:#x}: \
+                     detection took {latency} > {} rounds",
+                    window + slack
+                );
+            }
+        }
     }
 
     #[test]

@@ -269,6 +269,43 @@ fn witness_fault_matrix_preserves_accuracy_in_every_app_and_mode() {
     }
 }
 
+/// The event-driven sparse core is a pure execution strategy: across the
+/// node-fault suite × both commit modes, a dense-scan run and its
+/// event-driven twin must agree on every single verdict **and** every
+/// message count — same protocol, different scheduler.
+#[test]
+fn event_driven_twin_matches_the_dense_run_exactly() {
+    let suite: [FaultPlan; 4] = [
+        FaultPlan::all_correct(),
+        FaultPlan::single(1, NodeFault::Equivocate),
+        FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+        FaultPlan::single(0, NodeFault::SuppressAudits { probability: 1.0 }),
+    ];
+    for faults in suite {
+        for mode in [
+            CommitMode::Dedicated,
+            CommitMode::Piggyback { witnesses: 2 },
+        ] {
+            let mut dense = ParitySpec::new(SweepApp::PeerReview, mode, faults.clone());
+            dense.rounds = 4;
+            let mut sparse = dense.clone();
+            sparse.event_driven = true;
+            let dense_run = run_verdict_matrix(&dense).unwrap();
+            let sparse_run = run_verdict_matrix(&sparse).unwrap();
+            let context = format!("{faults:?} / {}", mode.label());
+            assert_verdict_parity(&sparse_run, &dense_run, &context);
+            assert_eq!(
+                sparse_run.messages_sent, dense_run.messages_sent,
+                "{context}: the sparse scheduler changed the wire traffic"
+            );
+            assert_eq!(
+                sparse_run.stats.challenges, dense_run.stats.challenges,
+                "{context}: the sparse scheduler changed the audit schedule"
+            );
+        }
+    }
+}
+
 /// A witness fault composed with a *node* fault: the lying witness must not
 /// shield the criminal. An equivocator whose first witness withholds all
 /// gossip is still exposed by the remaining correct witness in every

@@ -15,7 +15,7 @@ use crate::accountability::SharedAccountability;
 use crate::error::CoreError;
 use crate::provider::Provider;
 use crate::verification::{ActionFact, TraceLog};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use tnic_crypto::ed25519::{Keypair, Signature, VerifyingKey};
 use tnic_crypto::sha256::sha256;
 use tnic_device::attestation::AttestedMessage;
@@ -107,6 +107,16 @@ pub struct ClusterStats {
     /// Sends refused because an open [`PartitionSchedule`] cut separated the
     /// endpoints (healing restores the link with counters intact).
     pub messages_partitioned: u64,
+    /// Audit wire messages (challenges/responses and their batched forms)
+    /// among `messages_sent`, reported by the accountability driver via
+    /// [`Cluster::note_audit_message`] — the control-plane slice the sampled
+    /// audit path is designed to shrink.
+    pub messages_audit: u64,
+    /// Wire messages *saved* by challenge/response batching: individual
+    /// challenges/responses that travelled coalesced inside a batch envelope
+    /// instead of as their own message (also via
+    /// [`Cluster::note_audit_message`]).
+    pub messages_batched: u64,
 }
 
 /// A set of TNIC nodes wired together over a (modelled) network stack.
@@ -133,6 +143,15 @@ pub struct Cluster {
     /// The round the partition schedule is evaluated against (advanced by
     /// the protocol driver via [`Cluster::set_partition_round`]).
     partition_round: u64,
+    /// Nodes with a non-empty inbox — the event-driven scheduler's active
+    /// set, so a drain pass visits O(pending) nodes instead of scanning all
+    /// n (maintained by `deliver`/`poll`).
+    pending_nodes: BTreeSet<NodeId>,
+    /// Establish pairwise sessions on first send instead of eagerly at
+    /// construction ([`Cluster::sparse`]): an n = 1000 cluster would
+    /// otherwise pay ~n²/2 key exchanges up front, while sharded witness
+    /// sets only ever use O(n·w) links.
+    lazy_connect: bool,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -169,6 +188,8 @@ impl Cluster {
             unreachable: BTreeMap::new(),
             partition: None,
             partition_round: 0,
+            pending_nodes: BTreeSet::new(),
+            lazy_connect: false,
         }
     }
 
@@ -184,6 +205,23 @@ impl Cluster {
                 cluster.connect(NodeId(i), NodeId(j)).expect("nodes exist");
             }
         }
+        cluster
+    }
+
+    /// A cluster of `n` nodes (ids 0..n) with *lazy* pairwise sessions:
+    /// links are established on first `auth_send` instead of all n²/2 up
+    /// front. Behaviour on every link actually used is identical to
+    /// [`Cluster::fully_connected`] (same key-exchange procedure, run on
+    /// demand); only the session-establishment order — and therefore which
+    /// links exist at all — differs. This is the constructor for large-n
+    /// sharded-audit runs, where each node ever talks to O(w) peers.
+    #[must_use]
+    pub fn sparse(n: u32, baseline: Baseline, stack: NetworkStackKind, seed: u64) -> Self {
+        let mut cluster = Cluster::new(baseline, stack, seed);
+        for i in 0..n {
+            cluster.add_node(NodeId(i));
+        }
+        cluster.lazy_connect = true;
         cluster
     }
 
@@ -610,14 +648,23 @@ impl Cluster {
         if let Some(reason) = self.link_blocked(from, to) {
             return Err(self.refuse_blocked_send(from, to, reason));
         }
-        let session = self
-            .sessions
-            .get(&(from, to))
-            .copied()
-            .ok_or(CoreError::NoSession {
-                from: from.0,
-                to: to.0,
-            })?;
+        let session = match self.sessions.get(&(from, to)).copied() {
+            Some(session) => session,
+            // Lazy-session mode: establish the link on first use, exactly as
+            // `connect` would have at construction time.
+            None if self.lazy_connect
+                && self.endpoints.contains_key(&from)
+                && self.endpoints.contains_key(&to) =>
+            {
+                self.connect(from, to)?
+            }
+            None => {
+                return Err(CoreError::NoSession {
+                    from: from.0,
+                    to: to.0,
+                })
+            }
+        };
         let wrapped = self
             .accountability
             .as_ref()
@@ -744,6 +791,7 @@ impl Cluster {
                     layer.borrow_mut().on_delivered(to, &delivered);
                 }
                 self.endpoint_mut(to)?.inbox.push_back(delivered);
+                self.pending_nodes.insert(to);
                 Ok(())
             }
             Err(e) => {
@@ -850,7 +898,28 @@ impl Cluster {
     /// Returns [`CoreError::UnknownNode`] for unknown nodes.
     pub fn poll(&mut self, node: NodeId) -> Result<Vec<Delivered>, CoreError> {
         let endpoint = self.endpoint_mut(node)?;
-        Ok(endpoint.inbox.drain(..).collect())
+        let drained: Vec<Delivered> = endpoint.inbox.drain(..).collect();
+        self.pending_nodes.remove(&node);
+        Ok(drained)
+    }
+
+    /// The nodes with at least one undrained inbox message, in id order —
+    /// the event-driven scheduler's active set. Maintained incrementally by
+    /// `deliver`/`poll`, so reading it is O(pending), not O(n).
+    #[must_use]
+    pub fn nodes_with_pending(&self) -> Vec<NodeId> {
+        self.pending_nodes.iter().copied().collect()
+    }
+
+    /// Attributes the most recent sends to the audit plane: `wire_messages`
+    /// audit envelopes just went over the wire carrying `elements`
+    /// individual challenges/responses (`elements > wire_messages` when
+    /// batching coalesced some). Called by the accountability driver; feeds
+    /// the `messages_audit` / `messages_batched` breakdown in
+    /// [`ClusterStats`].
+    pub fn note_audit_message(&mut self, wire_messages: u64, elements: u64) {
+        self.stats.messages_audit += wire_messages;
+        self.stats.messages_batched += elements.saturating_sub(wire_messages);
     }
 
     /// `rem_write()`: writes into the remote node's registered memory over an
@@ -1174,5 +1243,39 @@ mod tests {
             sev.auth_send(NodeId(0), NodeId(1), &[0u8; 64]).unwrap();
         }
         assert!(sev.now() > tnic.now());
+    }
+
+    #[test]
+    fn sparse_cluster_connects_lazily_on_first_send() {
+        let mut c = Cluster::sparse(4, Baseline::Tnic, NetworkStackKind::Tnic, 7);
+        assert_eq!(c.nodes().len(), 4);
+        // No session yet; the first send brings the link up transparently.
+        c.auth_send(NodeId(0), NodeId(1), b"first").unwrap();
+        assert_eq!(c.poll(NodeId(1)).unwrap().len(), 1);
+        // An unknown endpoint still fails instead of phantom-connecting.
+        assert!(c.auth_send(NodeId(0), NodeId(9), b"x").is_err());
+    }
+
+    #[test]
+    fn pending_nodes_track_undrained_inboxes() {
+        let mut c = Cluster::sparse(4, Baseline::Tnic, NetworkStackKind::Tnic, 7);
+        assert!(c.nodes_with_pending().is_empty());
+        c.auth_send(NodeId(0), NodeId(2), b"a").unwrap();
+        c.auth_send(NodeId(1), NodeId(3), b"b").unwrap();
+        c.auth_send(NodeId(0), NodeId(3), b"c").unwrap();
+        assert_eq!(c.nodes_with_pending(), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(c.poll(NodeId(3)).unwrap().len(), 2);
+        assert_eq!(c.nodes_with_pending(), vec![NodeId(2)]);
+        assert_eq!(c.poll(NodeId(2)).unwrap().len(), 1);
+        assert!(c.nodes_with_pending().is_empty());
+    }
+
+    #[test]
+    fn audit_message_accounting_counts_wire_and_saved_messages() {
+        let mut c = cluster(2);
+        c.note_audit_message(1, 1); // a lone challenge: nothing saved
+        c.note_audit_message(1, 5); // a batch of 5: four envelopes saved
+        assert_eq!(c.stats().messages_audit, 2);
+        assert_eq!(c.stats().messages_batched, 4);
     }
 }

@@ -129,11 +129,19 @@ pub enum EventKind {
     /// `node` witness, `peer` audited node, `seq` challenged upper log
     /// sequence, `round` audit round, `aux` retry attempt (1-based).
     Retry = 16,
+    /// A sampling witness selected a charge for audit this round: `node`
+    /// witness, `peer` selected auditee, `round` audit round, `aux` the
+    /// witness's sample size for the round.
+    AuditSample = 17,
+    /// A witness coalesced several challenges or responses to the same peer
+    /// into one batch envelope: `node` sender, `peer` receiver, `round`
+    /// audit round, `aux` elements in the batch.
+    ChallengeBatch = 18,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for per-kind aggregation).
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::Send,
         EventKind::Recv,
         EventKind::Attest,
@@ -151,6 +159,8 @@ impl EventKind {
         EventKind::Membership,
         EventKind::Partition,
         EventKind::Retry,
+        EventKind::AuditSample,
+        EventKind::ChallengeBatch,
     ];
 
     /// Short stable label used in reports.
@@ -174,6 +184,8 @@ impl EventKind {
             EventKind::Membership => "membership",
             EventKind::Partition => "partition",
             EventKind::Retry => "retry",
+            EventKind::AuditSample => "audit-sample",
+            EventKind::ChallengeBatch => "challenge-batch",
         }
     }
 }

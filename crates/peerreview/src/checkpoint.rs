@@ -365,6 +365,109 @@ pub fn witness_set(node: u32, n: u32, w: u32, epoch: u64) -> Vec<u32> {
         .collect()
 }
 
+/// The witness assignment for a node inside a *shard* — the consistent-hash
+/// witness-sharding counterpart of [`witness_set`]. `members` is the sorted
+/// member list of the node's shard (including the node itself); witnesses
+/// are `w` consecutive shard co-members on the ring that starts just after
+/// the node, rotated by the epoch exactly like [`witness_set`]. With the
+/// full, contiguous membership `0..n` this reproduces `witness_set(node, n,
+/// w, epoch)` byte-for-byte, so `shards = 1` is not a special case — it is
+/// the same function.
+#[must_use]
+pub fn sharded_witness_set(node: u32, members: &[u32], w: u32, epoch: u64) -> Vec<u32> {
+    let Some(pos) = members.iter().position(|&m| m == node) else {
+        return Vec::new();
+    };
+    if members.len() <= 1 {
+        return Vec::new();
+    }
+    let ring = (members.len() - 1) as u32;
+    let w = w.clamp(1, ring);
+    let start = if w == ring {
+        0
+    } else {
+        (epoch % u64::from(ring)) as u32
+    };
+    (0..w)
+        .map(|j| members[(pos + 1 + ((start + j) % ring) as usize) % members.len()])
+        .collect()
+}
+
+/// SplitMix64 — the stateless mixer used to place shards and nodes on the
+/// consistent-hash ring. Deterministic across runs and platforms.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// How many ring points each shard owns. More points smooth the member
+/// distribution across shards; 16 keeps the spread within a few percent at
+/// n = 1000 while the ring stays tiny.
+const SHARD_VNODES: u32 = 16;
+
+/// Partitions `nodes` into at most `shards` witness shards by consistent
+/// hashing: each shard owns `SHARD_VNODES` points on a hash ring and every
+/// node lands in the shard owning the first point at or after its own hash.
+/// Consistency is the point — adding or removing a node never moves *other*
+/// nodes between shards, so witness records survive churn re-sharding.
+///
+/// Shards that end up with fewer than two members (too few to contain both
+/// an auditee and a witness) are merged into the next populated shard, so
+/// every returned group can witness itself; the groups are returned sorted
+/// and disjoint, covering all of `nodes`.
+#[must_use]
+pub fn shard_members(nodes: &[u32], shards: u32, seed: u64) -> Vec<Vec<u32>> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    if shards <= 1 || nodes.len() < 4 {
+        let mut all = nodes.to_vec();
+        all.sort_unstable();
+        return vec![all];
+    }
+    // Ring points: (hash, shard id).
+    let mut ring: Vec<(u64, u32)> = (0..shards)
+        .flat_map(|s| {
+            (0..SHARD_VNODES).map(move |v| (mix64(seed ^ (u64::from(s) << 20) ^ u64::from(v)), s))
+        })
+        .collect();
+    ring.sort_unstable();
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for &node in nodes {
+        let h = mix64(seed ^ 0xA0D1_7E55 ^ u64::from(node));
+        let idx = ring.partition_point(|&(point, _)| point < h) % ring.len();
+        groups.entry(ring[idx].1).or_default().push(node);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    for group in &mut out {
+        group.sort_unstable();
+    }
+    // Merge undersized shards forward so every group has ≥ 2 members.
+    let mut merged: Vec<Vec<u32>> = Vec::with_capacity(out.len());
+    let mut carry: Vec<u32> = Vec::new();
+    for mut group in out {
+        group.append(&mut carry);
+        if group.len() >= 2 {
+            group.sort_unstable();
+            merged.push(group);
+        } else {
+            carry = group;
+        }
+    }
+    if !carry.is_empty() {
+        match merged.last_mut() {
+            Some(last) => {
+                last.append(&mut carry);
+                last.sort_unstable();
+            }
+            None => merged.push(carry),
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +524,102 @@ mod tests {
         assert_eq!(cosign_quorum(3), 2);
         assert_eq!(cosign_quorum(4), 3);
         assert_eq!(cosign_quorum(7), 4);
+    }
+
+    #[test]
+    fn sharded_witness_set_on_full_membership_matches_witness_set() {
+        for n in 2..=12u32 {
+            let members: Vec<u32> = (0..n).collect();
+            for w in 1..n {
+                for epoch in 0..5u64 {
+                    for node in 0..n {
+                        assert_eq!(
+                            sharded_witness_set(node, &members, w, epoch),
+                            witness_set(node, n, w, epoch),
+                            "n={n} w={w} epoch={epoch} node={node}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_witness_set_stays_inside_the_shard_and_rotates() {
+        let members = vec![3u32, 7, 11, 20, 41];
+        for node in &members {
+            for epoch in 0..6u64 {
+                let set = sharded_witness_set(*node, &members, 2, epoch);
+                assert_eq!(set.len(), 2);
+                for w in &set {
+                    assert!(members.contains(w));
+                    assert_ne!(w, node, "a node never witnesses itself");
+                }
+            }
+        }
+        // Rotation walks the ring: over enough epochs every co-member
+        // serves as a witness.
+        let mut seen: Vec<u32> = (0..8)
+            .flat_map(|epoch| sharded_witness_set(3, &members, 2, epoch))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![7, 11, 20, 41]);
+        // Absent node or singleton shard: no witnesses.
+        assert!(sharded_witness_set(99, &members, 2, 0).is_empty());
+        assert!(sharded_witness_set(5, &[5], 2, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_members_is_a_deterministic_balanced_partition() {
+        let nodes: Vec<u32> = (0..1000).collect();
+        let groups = shard_members(&nodes, 8, 42);
+        let twin = shard_members(&nodes, 8, 42);
+        assert_eq!(groups, twin, "assignment is deterministic");
+        // Disjoint cover of all nodes.
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, nodes);
+        // Every group can witness itself and no group hoards the cluster.
+        assert!(groups.len() >= 2 && groups.len() <= 8);
+        for group in &groups {
+            assert!(group.len() >= 2, "undersized shard survived merging");
+            assert!(group.len() < nodes.len(), "degenerate single shard");
+        }
+    }
+
+    #[test]
+    fn shard_members_assignment_is_stable_under_churn() {
+        // Consistent hashing: removing one node never moves another node to
+        // a different shard.
+        let nodes: Vec<u32> = (0..200).collect();
+        let before = shard_members(&nodes, 4, 7);
+        let shard_of = |groups: &[Vec<u32>], node: u32| {
+            groups
+                .iter()
+                .position(|g| g.contains(&node))
+                .expect("assigned")
+        };
+        let survivors: Vec<u32> = nodes.iter().copied().filter(|&n| n != 17).collect();
+        let after = shard_members(&survivors, 4, 7);
+        for &node in &survivors {
+            let b = &before[shard_of(&before, node)];
+            let a = &after[shard_of(&after, node)];
+            // The node's shard keeps the same identity: same members except
+            // possibly the departed one.
+            let b_filtered: Vec<u32> = b.iter().copied().filter(|&n| n != 17).collect();
+            assert_eq!(a, &b_filtered, "node {node} moved shards on departure");
+        }
+    }
+
+    #[test]
+    fn shard_members_degenerate_inputs_collapse_to_one_group() {
+        assert!(shard_members(&[], 4, 1).is_empty());
+        assert_eq!(shard_members(&[2, 0, 1], 4, 1), vec![vec![0, 1, 2]]);
+        assert_eq!(
+            shard_members(&(0..8).collect::<Vec<_>>(), 1, 1),
+            vec![(0..8).collect::<Vec<_>>()]
+        );
     }
 
     #[test]

@@ -181,9 +181,48 @@
 //! doubling per attempt) before the witness downgrades the auditee to
 //! suspected — bounded escalation, since suspicion without evidence never
 //! exceeds [`Verdict::Suspected`].
+//!
+//! # Scaling knobs (n ≥ 1000)
+//!
+//! Full PeerReview audits every (witness, auditee) pair every round — at
+//! n = 1000 that is O(n·w) challenges plus responses per round, and the
+//! dense per-round scans dwarf the protocol itself. Three orthogonal knobs
+//! trade detection latency for audit traffic, and a fourth removes the
+//! simulator's own quadratic costs; all default to off, reproducing the
+//! classic protocol bit-for-bit:
+//!
+//! * **Sampled auditing** ([`EngineConfig::audit_sample_size`]): each
+//!   witness challenges only `k` of its charges per round, on a seeded
+//!   rotating schedule ([`EngineConfig::audit_sample_seed`]) that covers
+//!   every charge within `ceil(charges/k)` rounds;
+//!   [`EngineConfig::audit_coverage_window`] adds a hard upper bound on a
+//!   pair's audit gap. Safety is untouched — an unsampled pair is simply
+//!   not challenged, and only an outstanding challenge can time out into
+//!   suspicion — while exposure of a tamperer is delayed by at most the
+//!   coverage bound (the measured detection-latency/overhead frontier
+//!   lives in `tnic-bench`'s sweep report).
+//! * **Challenge batching** (always on, free): consecutive challenges or
+//!   responses to the same destination coalesce into one
+//!   [`Envelope::ChallengeBatch`]/[`Envelope::ResponseBatch`] wire message,
+//!   and audit responses are encoded straight from borrowed log segments
+//!   into a reused scratch buffer (no per-response allocation).
+//! * **Witness sharding** ([`EngineConfig::shards`]): consistent hashing
+//!   (see [`crate::checkpoint::shard_members`]) partitions the membership
+//!   into groups that witness each other exclusively, so each witness
+//!   tracks O(n/shards) charges instead of O(n); composes with epoch
+//!   rotation, which re-derives witness sets *within* each shard.
+//! * **Event-driven core** ([`EngineConfig::event_driven`]): the cluster
+//!   starts sparse (links come up lazily on first send) and dispatch
+//!   consults the cluster's active set — the nodes with queued deliveries —
+//!   instead of scanning all n endpoints per sweep iteration. Verdicts and
+//!   message counts are identical to the dense mode by construction (same
+//!   visit order), verified by parity tests over the fault and churn
+//!   suites.
 
 use crate::audit::{commitments_conflict, Misbehavior, TraceCtx, Verdict, WitnessRecord};
-use crate::checkpoint::{cosign_quorum, witness_set, CheckpointMark, Cosignature};
+use crate::checkpoint::{
+    cosign_quorum, shard_members, sharded_witness_set, witness_set, CheckpointMark, Cosignature,
+};
 use crate::log::{log_session, Authenticator, EntryKind, LogEntry, SecureLog};
 use crate::stats::AccountabilityStats;
 use crate::wire::{Envelope, PiggybackRider, MAX_PIGGYBACK_RIDERS};
@@ -335,6 +374,43 @@ pub struct EngineConfig {
     /// doubles per attempt (exponential backoff). Values below 1 are
     /// treated as 1.
     pub retry_backoff_rounds: u64,
+    /// **Sampled auditing** (scaling knob): how many of its charges each
+    /// witness audits per round (`None` = all of them, the classic
+    /// behaviour; full audit is exactly the `sample_size ≥ charges` special
+    /// case). The sample is a seeded rotating window over a per-witness
+    /// shuffle, so consecutive rounds cover disjoint charges and every
+    /// charge is audited within `⌈charges / sample_size⌉` rounds even
+    /// before the [`EngineConfig::audit_coverage_window`] backstop kicks
+    /// in. Unsampled pairs are *never* suspected — only a pair with an
+    /// outstanding challenge can time out — so sampling trades detection
+    /// latency, not accuracy.
+    pub audit_sample_size: Option<u32>,
+    /// Seed of the per-witness sampling shuffle, independent of
+    /// [`EngineConfig::seed`] so sampling decisions can be re-rolled
+    /// without perturbing key material or suppression coin flips.
+    pub audit_sample_seed: u64,
+    /// **Coverage window** (scaling knob): with sampling enabled, force-
+    /// select any charge not audited in the last this-many rounds, staggered
+    /// per pair, guaranteeing every active node is audited at least once
+    /// per window regardless of shuffle drift or membership churn (0 = rely
+    /// on window rotation alone, whose bound is `⌈charges/sample_size⌉`
+    /// rounds between consecutive audits of one charge).
+    pub audit_coverage_window: u64,
+    /// **Witness sharding** (scaling knob): partition the membership into
+    /// this many witness shards by consistent hashing
+    /// ([`crate::checkpoint::shard_members`]); witnesses are then drawn
+    /// from the node's shard co-members, so each witness tracks
+    /// O(n / shards) charges instead of O(n). `0` or `1` disables sharding
+    /// (byte-identical to the classic assignment). Composes with epoch
+    /// rotation (the rotation ring is the shard) and checkpoint handover.
+    pub shards: u32,
+    /// **Event-driven drain** (scaling knob): drain inboxes by walking the
+    /// cluster's O(pending) active set instead of scanning all n nodes per
+    /// settle iteration, and lets drivers build the cluster with lazy
+    /// pairwise sessions ([`tnic_core::api::Cluster::sparse`]). Verdicts
+    /// and message counts are identical to the dense scan (both visit
+    /// ready nodes in id order); only the per-round iteration cost changes.
+    pub event_driven: bool,
 }
 
 impl Default for EngineConfig {
@@ -348,6 +424,11 @@ impl Default for EngineConfig {
             rotate_witnesses: false,
             challenge_retries: 0,
             retry_backoff_rounds: 1,
+            audit_sample_size: None,
+            audit_sample_seed: 0,
+            audit_coverage_window: 0,
+            shards: 1,
+            event_driven: false,
         }
     }
 }
@@ -564,7 +645,16 @@ impl CommitmentLayer {
     /// The entries `from_seq..upto_seq` of `node`'s log.
     #[must_use]
     pub fn segment(&self, node: u32, from_seq: u64, upto_seq: u64) -> Vec<LogEntry> {
-        self.state(node).log.segment(from_seq, upto_seq).to_vec()
+        self.segment_ref(node, from_seq, upto_seq).to_vec()
+    }
+
+    /// Borrowed view of the entries `from_seq..upto_seq` of `node`'s log.
+    /// The audit send path encodes responses straight from this slice into
+    /// a reused wire buffer; [`Self::segment`] clones for callers that need
+    /// ownership.
+    #[must_use]
+    pub fn segment_ref(&self, node: u32, from_seq: u64, upto_seq: u64) -> &[LogEntry] {
+        self.state(node).log.segment(from_seq, upto_seq)
     }
 
     /// Current log length of `node`.
@@ -775,6 +865,39 @@ struct PendingCheckpoint {
     cosigners: BTreeMap<u32, Cosignature>,
 }
 
+/// One queued outbound control message produced by a protocol handler.
+///
+/// Handlers push these instead of sending directly so the send path can
+/// coalesce consecutive same-destination challenges/responses into batch
+/// envelopes. `Segment` defers the audit response entirely: the log slice
+/// is borrowed and encoded at send time, so the hot path never clones the
+/// challenged entries into an owned `Vec` first.
+// The queue is transient (drained within the same dispatch), so the size
+// skew against the 16-byte `Segment` variant is irrelevant; boxing the
+// envelope would add an allocation per control message instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Outbound {
+    Env(Envelope),
+    Segment { from_seq: u64, upto_seq: u64 },
+}
+
+impl From<Envelope> for Outbound {
+    fn from(env: Envelope) -> Self {
+        Outbound::Env(env)
+    }
+}
+
+/// Deterministic per-pair phase in `0..window`, spreading the coverage-window
+/// backstop audits of never-yet-sampled pairs across rounds instead of
+/// firing them all in the same round.
+fn pair_stagger(witness: u32, node: u32, window: u64) -> u64 {
+    let mut x = (u64::from(witness) << 32) | u64::from(node);
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    x % window.max(1)
+}
+
 /// The accountability engine: witness protocol + commitment layer over one
 /// application's cluster. See the module docs for the protocol and for how
 /// to attach the engine to a new application.
@@ -834,6 +957,14 @@ pub struct AccountabilityEngine<A: AccountedApp> {
     /// be provisioned with every existing key (the bootstrap protocol's
     /// key-distribution step).
     seal_keys: BTreeMap<u32, [u8; 32]>,
+    /// (witness, auditee) → last round the pair was selected for audit
+    /// (sampled auditing's coverage-window backstop; unused without
+    /// sampling).
+    last_audit_round: BTreeMap<(u32, u32), u64>,
+    /// Reused wire-encode buffer for the audit hot loop (challenge/response
+    /// sends at n = 1000 would otherwise allocate one `Vec` per message per
+    /// round).
+    wire_scratch: Vec<u8>,
 }
 
 impl<A: AccountedApp> std::fmt::Debug for AccountabilityEngine<A> {
@@ -866,13 +997,36 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .iter()
             .map(|n| (n.0, Provider::new(config.baseline, n.device(), config.seed)))
             .collect();
+        let ids: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        let shard_groups = Self::shard_groups(&ids, config.shards, config.seed);
         let mut seal_keys = BTreeMap::new();
         for node in &nodes {
             let key = rng.bytes32();
             seal_keys.insert(node.0, key);
             layer.register_node(node.0, config.baseline, key);
-            for kernel in audit_kernels.values_mut() {
-                kernel.install_session_key(log_session(node.0), key);
+        }
+        // Key distribution: unsharded, every kernel can verify every node
+        // (O(n²) installs — the cost sharding exists to avoid); sharded,
+        // witnesses are drawn in-shard, so each kernel only needs its shard
+        // co-members' keys (O(n²/shards) total).
+        match &shard_groups {
+            None => {
+                for node in &nodes {
+                    let key = seal_keys[&node.0];
+                    for kernel in audit_kernels.values_mut() {
+                        kernel.install_session_key(log_session(node.0), key);
+                    }
+                }
+            }
+            Some(groups) => {
+                for group in groups {
+                    for &member in group {
+                        let kernel = audit_kernels.get_mut(&member).expect("member kernel");
+                        for &peer in group {
+                            kernel.install_session_key(log_session(peer), seal_keys[&peer]);
+                        }
+                    }
+                }
             }
         }
 
@@ -881,10 +1035,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .witness_count
             .unwrap_or(n.saturating_sub(1))
             .clamp(u32::from(n > 1), n.saturating_sub(1).max(1));
+        let sets = Self::derive_witness_sets(&ids, w, 0, shard_groups.as_deref());
         let mut witnesses = BTreeMap::new();
         let mut records = BTreeMap::new();
         for node in &nodes {
-            let set = witness_set(node.0, n, w, 0);
+            let set = sets.get(&node.0).cloned().unwrap_or_default();
             for &witness in &set {
                 records.insert((witness, node.0), WitnessRecord::new(app.replay_machine()));
             }
@@ -922,6 +1077,68 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             membership: BTreeMap::new(),
             retry_state: BTreeMap::new(),
             seal_keys,
+            last_audit_round: BTreeMap::new(),
+            wire_scratch: Vec::new(),
+        }
+    }
+
+    /// The consistent-hash shard groups for `ids`, or `None` when sharding
+    /// is disabled (`shards <= 1` behaves byte-identically to the classic
+    /// assignment).
+    fn shard_groups(ids: &[u32], shards: u32, seed: u64) -> Option<Vec<Vec<u32>>> {
+        (shards > 1).then(|| shard_members(ids, shards, seed))
+    }
+
+    /// The witness assignment for every node: classic ring rotation over
+    /// the whole membership, or — sharded — the same rotation confined to
+    /// each node's shard co-members.
+    fn derive_witness_sets(
+        ids: &[u32],
+        w: u32,
+        epoch: u64,
+        groups: Option<&[Vec<u32>]>,
+    ) -> BTreeMap<u32, Vec<u32>> {
+        match groups {
+            None => {
+                let n = ids.len() as u32;
+                ids.iter()
+                    .map(|&id| (id, witness_set(id, n, w, epoch)))
+                    .collect()
+            }
+            Some(groups) => {
+                let mut out = BTreeMap::new();
+                for group in groups {
+                    for &id in group {
+                        out.insert(id, sharded_witness_set(id, group, w, epoch));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The witness assignment over the *current* membership at `epoch`.
+    fn current_witness_sets(&self, epoch: u64) -> BTreeMap<u32, Vec<u32>> {
+        let ids: Vec<u32> = self.nodes.iter().map(|n| n.0).collect();
+        let groups = Self::shard_groups(&ids, self.config.shards, self.config.seed);
+        Self::derive_witness_sets(&ids, self.witness_width, epoch, groups.as_deref())
+    }
+
+    /// Ensures every witness kernel holds the log-session key of every
+    /// charge it was just assigned. A no-op when unsharded (attach and join
+    /// install all keys everywhere); sharded, churn can merge or split
+    /// groups and hand a witness a charge whose key it never saw.
+    fn provision_witness_keys(&mut self) {
+        if self.config.shards <= 1 {
+            return;
+        }
+        for &(witness, node) in self.records.keys() {
+            if let (Some(kernel), Some(&key)) = (
+                self.audit_kernels.get_mut(&witness),
+                self.seal_keys.get(&node),
+            ) {
+                kernel.install_session_key(log_session(node), key);
+            }
         }
     }
 
@@ -1387,10 +1604,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .clamp(u32::from(n > 1), n.saturating_sub(1).max(1));
         let old_records = std::mem::take(&mut self.records);
         let old_witnesses = std::mem::take(&mut self.witnesses);
+        let new_sets = self.current_witness_sets(self.epoch);
         for node in self.nodes.clone() {
             let node = node.0;
             let old_set = old_witnesses.get(&node).cloned().unwrap_or_default();
-            let new_set = witness_set(node, n, self.witness_width, self.epoch);
+            let new_set = new_sets.get(&node).cloned().unwrap_or_default();
             let handover: Vec<Misbehavior> = old_set
                 .iter()
                 .filter_map(|&w| old_records.get(&(w, node)))
@@ -1412,6 +1630,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             .retain(|pair, _| self.records.contains_key(pair));
         self.retry_state
             .retain(|pair, _| self.records.contains_key(pair));
+        self.last_audit_round
+            .retain(|pair, _| self.records.contains_key(pair));
+        self.provision_witness_keys();
     }
 
     /// Runs one checkpoint round (see [`crate::checkpoint`] for the
@@ -1591,10 +1812,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         }
         let old_records = std::mem::take(&mut self.records);
         let old_witnesses = std::mem::take(&mut self.witnesses);
+        let new_sets = self.current_witness_sets(self.epoch);
         for node in self.nodes.clone() {
             let node = node.0;
             let old_set = old_witnesses.get(&node).cloned().unwrap_or_default();
-            let new_set = witness_set(node, n, self.witness_width, self.epoch);
+            let new_set = new_sets.get(&node).cloned().unwrap_or_default();
             // Evidence handover: whatever proof the outgoing set holds
             // travels to the incoming set (conflicting commitments are
             // transferable seals; replay verdicts carry the signed audit
@@ -1618,6 +1840,9 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         }
         self.challenge_started
             .retain(|pair, _| self.records.contains_key(pair));
+        self.last_audit_round
+            .retain(|pair, _| self.records.contains_key(pair));
+        self.provision_witness_keys();
         self.stats.witness_rotations += 1;
     }
 
@@ -1679,6 +1904,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     /// A host that tampers with its log does so before committing, so the
     /// forged log is internally consistent and only replay can expose it.
     fn apply_scheduled_tampering(&mut self) {
+        // Fault-free fast path: large-n sweep grid points run without an
+        // adversary, so they never pay the per-round Byzantine bookkeeping.
+        if self.faults.is_all_correct() {
+            return;
+        }
         for node in self.faults.byzantine_nodes() {
             if let NodeFault::TamperLogEntry { seq } = self.faults.fault_of(node) {
                 if !self.tamper_applied.contains(&node)
@@ -1835,10 +2065,25 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     }
 
     fn issue_challenges(&mut self, cluster: &mut Cluster) -> Result<(), CoreError> {
-        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        let mut outgoing: Vec<(NodeId, NodeId, Outbound)> = Vec::new();
         let now = self.clock.now();
         let at_us = now.as_micros();
         let round = self.audit_rounds_done;
+        // Hoisted fault-free fast path: with an empty plan the per-record
+        // witness-fault lookup below is skipped entirely — at n = 1000 the
+        // record map holds hundreds of thousands of pairs per audit round.
+        let no_faults = self.faults.is_all_correct();
+        let sampled = self.sample_audit_pairs(round);
+        if let Some(selected) = &sampled {
+            tnic_obs::trace_event!(
+                tnic_obs::EventKind::AuditSample,
+                at_us: at_us,
+                node: 0,
+                peer: 0,
+                seq: round,
+                aux: selected.len() as u64
+            );
+        }
         for (&(witness, node), record) in &mut self.records {
             // Down witnesses challenge nobody; down auditees cannot answer
             // (challenging them would only manufacture suspicion while an
@@ -1853,7 +2098,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             if down(&witness) || down(&node) {
                 continue;
             }
-            match self.faults.fault_of(witness) {
+            match if no_faults {
+                NodeFault::Correct
+            } else {
+                self.faults.fault_of(witness)
+            } {
                 // A silent witness skips its audit duties outright; its
                 // record simply never advances (and never convicts).
                 NodeFault::SilentWitness => {
@@ -1893,7 +2142,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                             Envelope::Challenge {
                                 from_seq: record.audited_seq,
                                 upto_seq: pending.seq,
-                            },
+                            }
+                            .into(),
                         ));
                         tnic_obs::trace_event!(
                             tnic_obs::EventKind::Retry,
@@ -1909,6 +2159,17 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 }
                 continue;
             }
+            // Sampled auditing: a pair outside this round's sample is simply
+            // not challenged — it can never be suspected for the skipped
+            // round, because only a pair with an outstanding challenge can
+            // time out (retries above are always serviced).
+            if let Some(selected) = &sampled {
+                if !selected.contains(&(witness, node)) {
+                    self.stats.audits_sampled_out += 1;
+                    continue;
+                }
+                self.last_audit_round.insert((witness, node), round);
+            }
             if let Some(target) = record.next_audit_target().cloned() {
                 outgoing.push((
                     NodeId(witness),
@@ -1916,7 +2177,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                     Envelope::Challenge {
                         from_seq: record.audited_seq,
                         upto_seq: target.seq,
-                    },
+                    }
+                    .into(),
                 ));
                 record.trace = TraceCtx {
                     witness,
@@ -1937,10 +2199,63 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 self.stats.challenges += 1;
             }
         }
-        for (from, to, env) in outgoing {
-            self.send_control(cluster, from, to, &env)?;
+        self.send_outgoing(cluster, outgoing)
+    }
+
+    /// The (witness, auditee) pairs selected for this round's audits under
+    /// sampled auditing, or `None` when every pair is audited every round
+    /// ([`EngineConfig::audit_sample_size`] unset).
+    ///
+    /// Each witness draws a deterministic permutation of its charges —
+    /// seeded from [`EngineConfig::audit_sample_seed`] and the witness id,
+    /// on a stream independent of the engine's fault RNG — and walks a
+    /// rotating window of `audit_sample_size` charges per round, so every
+    /// charge is audited at least once every `ceil(charges / size)` rounds.
+    /// A positive [`EngineConfig::audit_coverage_window`] additionally
+    /// forces any pair whose last selection is at least `window` rounds old
+    /// (staggered per pair so the backstop audits spread across rounds).
+    fn sample_audit_pairs(&self, round: u64) -> Option<BTreeSet<(u32, u32)>> {
+        let k = (self.config.audit_sample_size? as usize).max(1);
+        let window = self.config.audit_coverage_window;
+        let mut by_witness: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &(witness, node) in self.records.keys() {
+            by_witness.entry(witness).or_default().push(node);
         }
-        Ok(())
+        let mut selected = BTreeSet::new();
+        for (witness, mut charges) in by_witness {
+            let len = charges.len();
+            if len <= k {
+                // The sample covers the full charge list: full auditing.
+                selected.extend(charges.into_iter().map(|n| (witness, n)));
+                continue;
+            }
+            // A per-witness Fisher–Yates shuffle decorrelates the rotating
+            // windows across witnesses (otherwise every witness would audit
+            // the same id-ordered slice of the ring in the same round).
+            let mut rng = DetRng::new(
+                self.config.audit_sample_seed ^ (u64::from(witness) << 32) ^ 0x005a_3d17,
+            );
+            for i in (1..len).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                charges.swap(i, j);
+            }
+            let start = (round as usize).wrapping_mul(k) % len;
+            for offset in 0..k {
+                selected.insert((witness, charges[(start + offset) % len]));
+            }
+            if window > 0 {
+                for &node in &charges {
+                    let due = match self.last_audit_round.get(&(witness, node)) {
+                        Some(&last) => round.saturating_sub(last) >= window,
+                        None => round % window == pair_stagger(witness, node, window),
+                    };
+                    if due {
+                        selected.insert((witness, node));
+                    }
+                }
+            }
+        }
+        Some(selected)
     }
 
     /// The Byzantine forging step: every `ForgeEvidence` witness fabricates
@@ -2076,20 +2391,33 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
 
     fn sweep_until_quiet(&mut self, cluster: &mut Cluster, app: &mut A) -> Result<(), CoreError> {
         loop {
-            let pending: Vec<NodeId> = self
-                .nodes
-                .iter()
-                .copied()
-                // A crashed node's inbox stays queued until recovery; a
-                // departed node's is never drained.
-                .filter(|&n| !self.is_down(n.0))
-                .filter(|&n| {
-                    cluster
-                        .endpoint_of(n)
-                        .map(|e| e.pending() > 0)
-                        .unwrap_or(false)
-                })
-                .collect();
+            // Event-driven mode asks the cluster for its active set — the
+            // nodes with queued deliveries — in O(pending) instead of
+            // scanning all n endpoints per iteration (the dense scan is
+            // quadratic across a round at n = 1000). Both modes visit the
+            // same nodes in the same id order, so verdicts and message
+            // counts are identical.
+            let pending: Vec<NodeId> = if self.config.event_driven {
+                cluster
+                    .nodes_with_pending()
+                    .into_iter()
+                    // A crashed node's inbox stays queued until recovery; a
+                    // departed node's is never drained.
+                    .filter(|&n| !self.is_down(n.0))
+                    .collect()
+            } else {
+                self.nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| !self.is_down(n.0))
+                    .filter(|&n| {
+                        cluster
+                            .endpoint_of(n)
+                            .map(|e| e.pending() > 0)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            };
             if pending.is_empty() {
                 return Ok(());
             }
@@ -2107,17 +2435,149 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         node: NodeId,
     ) -> Result<(), CoreError> {
         let delivered = cluster.poll(node)?;
-        let mut outgoing: Vec<(NodeId, NodeId, Envelope)> = Vec::new();
+        let mut outgoing: Vec<(NodeId, NodeId, Outbound)> = Vec::new();
         for d in delivered {
             let Ok(envelope) = Envelope::decode(&d.message.payload) else {
                 continue;
             };
             self.handle_envelope(app, node, d.from.0, envelope, &mut outgoing);
         }
-        for (from, to, env) in outgoing {
-            self.send_control(cluster, from, to, &env)?;
+        self.send_outgoing(cluster, outgoing)
+    }
+
+    /// Sends a handler's queued outbound messages, coalescing consecutive
+    /// runs with the same (from, to) into batch envelopes where possible.
+    fn send_outgoing(
+        &mut self,
+        cluster: &mut Cluster,
+        outgoing: Vec<(NodeId, NodeId, Outbound)>,
+    ) -> Result<(), CoreError> {
+        let mut i = 0;
+        while i < outgoing.len() {
+            let (from, to) = (outgoing[i].0, outgoing[i].1);
+            let mut j = i + 1;
+            while j < outgoing.len() && outgoing[j].0 == from && outgoing[j].1 == to {
+                j += 1;
+            }
+            self.send_group(cluster, from, to, &outgoing[i..j])?;
+            i = j;
         }
         Ok(())
+    }
+
+    /// Sends one same-destination group: consecutive runs of ≥ 2 challenges
+    /// become one [`Envelope::ChallengeBatch`], runs of deferred segments
+    /// become one [`Envelope::ResponseBatch`] (or a single zero-copy
+    /// response), everything else goes out as-is.
+    fn send_group(
+        &mut self,
+        cluster: &mut Cluster,
+        from: NodeId,
+        to: NodeId,
+        group: &[(NodeId, NodeId, Outbound)],
+    ) -> Result<(), CoreError> {
+        let mut i = 0;
+        while i < group.len() {
+            match &group[i].2 {
+                Outbound::Env(Envelope::Challenge { .. }) => {
+                    let mut challenges: Vec<(u64, u64)> = Vec::new();
+                    let mut j = i;
+                    while let Some((
+                        _,
+                        _,
+                        Outbound::Env(Envelope::Challenge { from_seq, upto_seq }),
+                    )) = group.get(j)
+                    {
+                        challenges.push((*from_seq, *upto_seq));
+                        j += 1;
+                    }
+                    if challenges.len() >= 2 {
+                        let mut scratch = std::mem::take(&mut self.wire_scratch);
+                        Envelope::encode_challenge_batch_into(&mut scratch, &challenges);
+                        let elements = challenges.len() as u64;
+                        let result = self.send_control_raw(cluster, from, to, &scratch, elements);
+                        self.wire_scratch = scratch;
+                        self.stats.challenge_batches += 1;
+                        self.stats.batched_envelopes += elements;
+                        tnic_obs::trace_event!(
+                            tnic_obs::EventKind::ChallengeBatch,
+                            at_us: self.clock.now().as_micros(),
+                            node: from.0,
+                            peer: to.0,
+                            seq: self.audit_rounds_done,
+                            aux: elements
+                        );
+                        result?;
+                    } else {
+                        let (_, _, Outbound::Env(env)) = &group[i] else {
+                            unreachable!("run starts at a challenge envelope")
+                        };
+                        let env = env.clone();
+                        self.send_control(cluster, from, to, &env)?;
+                    }
+                    i = j;
+                }
+                Outbound::Segment { .. } => {
+                    let mut ranges: Vec<(u64, u64)> = Vec::new();
+                    let mut j = i;
+                    while let Some((_, _, Outbound::Segment { from_seq, upto_seq })) = group.get(j)
+                    {
+                        ranges.push((*from_seq, *upto_seq));
+                        j += 1;
+                    }
+                    self.send_segments(cluster, from, to, &ranges)?;
+                    i = j;
+                }
+                Outbound::Env(env) => {
+                    let env = env.clone();
+                    self.send_control(cluster, from, to, &env)?;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers one or more challenges with log segments encoded straight
+    /// from the retained log into the reused wire buffer — the audit hot
+    /// path never materialises an owned copy of the challenged entries.
+    /// Two or more segments to the same witness coalesce into one
+    /// [`Envelope::ResponseBatch`].
+    fn send_segments(
+        &mut self,
+        cluster: &mut Cluster,
+        from: NodeId,
+        to: NodeId,
+        ranges: &[(u64, u64)],
+    ) -> Result<(), CoreError> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        let elements = ranges.len() as u64;
+        let mut scratch = std::mem::take(&mut self.wire_scratch);
+        {
+            let layer = self.layer.borrow();
+            if let [(from_seq, upto_seq)] = ranges {
+                Envelope::encode_response_into(
+                    &mut scratch,
+                    *from_seq,
+                    layer.segment_ref(from.0, *from_seq, *upto_seq),
+                );
+            } else {
+                let parts: Vec<(u64, &[LogEntry])> = ranges
+                    .iter()
+                    .map(|&(f, u)| (f, layer.segment_ref(from.0, f, u)))
+                    .collect();
+                Envelope::encode_response_batch_into(&mut scratch, &parts);
+            }
+        }
+        let result = self.send_control_raw(cluster, from, to, &scratch, elements);
+        self.wire_scratch = scratch;
+        if elements >= 2 {
+            self.stats.response_batches += 1;
+            self.stats.batched_envelopes += elements;
+        }
+        result
     }
 
     /// Runs one protocol handler; a piggybacked envelope is the carried
@@ -2129,7 +2589,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         node: NodeId,
         from: u32,
         envelope: Envelope,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         if !matches!(envelope, Envelope::App(_)) {
             app.on_control(node.0, from, &envelope);
@@ -2159,6 +2619,20 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             }
             Envelope::Response { from_seq, entries } => {
                 self.handle_response(node.0, from, from_seq, &entries);
+            }
+            // Batch envelopes unroll into the per-element handlers: a batch
+            // is pure wire-level coalescing, with no protocol semantics of
+            // its own (a hostile batch is exactly as powerful as the same
+            // elements sent individually).
+            Envelope::ChallengeBatch { challenges } => {
+                for (from_seq, upto_seq) in challenges {
+                    self.handle_challenge(node.0, from, from_seq, upto_seq, outgoing);
+                }
+            }
+            Envelope::ResponseBatch { responses } => {
+                for (from_seq, entries) in responses {
+                    self.handle_response(node.0, from, from_seq, &entries);
+                }
             }
             Envelope::Evidence { a, b } => {
                 self.handle_evidence(node.0, from, &a, &b);
@@ -2199,7 +2673,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         witness: u32,
         from: u32,
         auth: Authenticator,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         if auth.node != from {
             return; // nobody announces a join on another node's behalf
@@ -2218,7 +2692,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         witness: u32,
         from: u32,
         auth: Authenticator,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         if auth.node != from {
             return; // only the recovering node speaks for itself
@@ -2241,7 +2715,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         from: u32,
         auth: Authenticator,
         entries: &[LogEntry],
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         if auth.node != from {
             return; // only the leaver seals its own farewell
@@ -2295,7 +2769,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         &mut self,
         witness: u32,
         mark: CheckpointMark,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         let node = mark.node;
         if !self.witnesses_of(node).contains(&witness)
@@ -2364,7 +2838,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         outgoing.push((
             NodeId(witness),
             NodeId(node),
-            Envelope::CheckpointCosign(cosig),
+            Envelope::CheckpointCosign(cosig).into(),
         ));
     }
 
@@ -2508,7 +2982,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         witness: u32,
         auth: Authenticator,
         direct: bool,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
         let accused = auth.node;
         if !self.witnesses_of(accused).contains(&witness) || !self.seal_verifies(witness, &auth) {
@@ -2549,7 +3023,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                         Envelope::Evidence {
                             a: (*a).clone(),
                             b: (*b).clone(),
-                        },
+                        }
+                        .into(),
                     ));
                 }
             }
@@ -2574,7 +3049,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                         outgoing.push((
                             NodeId(witness),
                             NodeId(fellow),
-                            Envelope::Gossip(auth.clone()),
+                            Envelope::Gossip(auth.clone()).into(),
                         ));
                     }
                 }
@@ -2588,9 +3063,15 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         witness: u32,
         from_seq: u64,
         upto_seq: u64,
-        outgoing: &mut Vec<(NodeId, NodeId, Envelope)>,
+        outgoing: &mut Vec<(NodeId, NodeId, Outbound)>,
     ) {
-        match self.faults.fault_of(node) {
+        // Fault-free fast path mirroring `issue_challenges`: skip the fault
+        // lookup (and its RNG draw arm) when the plan is empty.
+        match if self.faults.is_all_correct() {
+            NodeFault::Correct
+        } else {
+            self.faults.fault_of(node)
+        } {
             NodeFault::SuppressAudits { probability } if self.rng.chance(probability) => {
                 return; // the node stays silent
             }
@@ -2625,17 +3106,20 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                         Envelope::CheckpointCommit {
                             mark: mark.clone(),
                             cosigs: cosigs.clone(),
-                        },
+                        }
+                        .into(),
                     ));
                     return;
                 }
             }
         }
-        let entries = self.layer.borrow().segment(node, from_seq, upto_seq);
+        // Defer the response body: the send path borrows the log segment
+        // and encodes it straight into the reused wire buffer (and batches
+        // consecutive responses to the same witness).
         outgoing.push((
             NodeId(node),
             NodeId(witness),
-            Envelope::Response { from_seq, entries },
+            Outbound::Segment { from_seq, upto_seq },
         ));
     }
 
@@ -2758,11 +3242,35 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         to: NodeId,
         envelope: &Envelope,
     ) -> Result<(), CoreError> {
+        let audit_elements = match envelope {
+            Envelope::Challenge { .. } | Envelope::Response { .. } => 1,
+            Envelope::ChallengeBatch { challenges } => challenges.len() as u64,
+            Envelope::ResponseBatch { responses } => responses.len() as u64,
+            _ => 0,
+        };
         let payload = envelope.encode();
-        match cluster.auth_send(from, to, &payload) {
+        self.send_control_raw(cluster, from, to, &payload, audit_elements)
+    }
+
+    /// Sends pre-encoded control bytes; `audit_elements` is the number of
+    /// individual challenges/responses the payload carries (0 for
+    /// non-audit traffic), folded into the audit-traffic counters.
+    fn send_control_raw(
+        &mut self,
+        cluster: &mut Cluster,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+        audit_elements: u64,
+    ) -> Result<(), CoreError> {
+        match cluster.auth_send(from, to, payload) {
             Ok(msg) => {
                 self.stats.control_messages += 1;
                 self.stats.control_bytes += msg.wire_len() as u64;
+                if audit_elements > 0 {
+                    self.stats.audit_messages += 1;
+                    cluster.note_audit_message(1, audit_elements);
+                }
                 Ok(())
             }
             // A departed/crashed/partitioned peer is not an engine error:
@@ -3213,6 +3721,9 @@ mod tests {
         assert_eq!(engine.stats().certificate_responses, 1);
         let (_, to, answer) = outgoing.pop().expect("an answer was produced");
         assert_eq!(to, NodeId(0));
+        let Outbound::Env(answer) = answer else {
+            panic!("a certificate answer is a ready envelope, not a deferred segment");
+        };
         let Envelope::CheckpointCommit { ref mark, .. } = answer else {
             panic!("below-base challenge must be answered with the certificate");
         };
@@ -3265,5 +3776,287 @@ mod tests {
             engine.layer.borrow().pending_rides(),
             queued - MAX_PIGGYBACK_RIDERS
         );
+    }
+
+    // ---- sampled auditing, batching, sharding, event-driven core -------
+
+    fn sized_deployment(
+        n: u32,
+        config: EngineConfig,
+        faults: FaultPlan,
+    ) -> (Cluster, CounterApp, AccountabilityEngine<CounterApp>) {
+        let mut cluster = Cluster::fully_connected(n, Baseline::Tnic, NetworkStackKind::Tnic, 42);
+        let app = CounterApp::new(&cluster.nodes());
+        let engine = AccountabilityEngine::attach(&mut cluster, &app, config, faults);
+        (cluster, app, engine)
+    }
+
+    fn run_rounds_n(
+        cluster: &mut Cluster,
+        app: &mut CounterApp,
+        engine: &mut AccountabilityEngine<CounterApp>,
+        n: u32,
+        rounds: u64,
+    ) {
+        let payload = crate::workload::app_payload();
+        for _ in 0..rounds {
+            for i in 0..(2 * n) {
+                let from = NodeId(i % n);
+                let to = NodeId((i + 1) % n);
+                cluster.auth_send(from, to, &payload).unwrap();
+                engine.poll(cluster, app, to).unwrap();
+            }
+            engine.run_audit_round(cluster, app).unwrap();
+        }
+    }
+
+    #[test]
+    fn sampled_auditing_cuts_challenges_and_never_manufactures_suspicion() {
+        let sampled_config = EngineConfig {
+            audit_sample_size: Some(1),
+            audit_coverage_window: 4,
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(sampled_config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 6);
+        let sampled = engine.stats();
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(EngineConfig::default(), FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 6);
+        let full = engine.stats();
+        assert!(
+            sampled.audits_sampled_out > 0,
+            "pairs were actually skipped"
+        );
+        assert!(
+            sampled.challenges < full.challenges,
+            "sampling must cut audit traffic: {} vs {}",
+            sampled.challenges,
+            full.challenges
+        );
+        assert_eq!(sampled.unanswered_challenges, 0);
+        assert_eq!(full.audits_sampled_out, 0, "full audit samples nothing out");
+    }
+
+    #[test]
+    fn sampled_run_keeps_every_verdict_trusted() {
+        let config = EngineConfig {
+            audit_sample_size: Some(1),
+            audit_coverage_window: 3,
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 8);
+        assert_accuracy(&engine);
+        // The rotating window plus backstop audited every pair at least once.
+        for (&pair, record) in &engine.records {
+            assert!(
+                engine.last_audit_round.contains_key(&pair) || record.audited_seq > 0,
+                "pair {pair:?} was never selected"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_covering_all_charges_degenerates_to_full_auditing() {
+        let config = EngineConfig {
+            audit_sample_size: Some(3), // n = 4 all-to-all: 3 charges each
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 4);
+        let sampled = engine.stats();
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(EngineConfig::default(), FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 4);
+        let full = engine.stats();
+        assert_eq!(sampled.audits_sampled_out, 0);
+        assert_eq!(sampled.challenges, full.challenges);
+        assert_eq!(sampled.responses, full.responses);
+    }
+
+    #[test]
+    fn sampled_auditing_still_exposes_a_tamperer() {
+        for window in [0u64, 3] {
+            let config = EngineConfig {
+                audit_sample_size: Some(1),
+                audit_coverage_window: window,
+                ..EngineConfig::default()
+            };
+            let (mut cluster, mut app, mut engine) = engine_deployment(
+                config,
+                FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+            );
+            run_rounds(&mut cluster, &mut app, &mut engine, 8);
+            for w in engine.correct_witnesses_of(1) {
+                assert_eq!(
+                    engine.verdict_of(w, 1),
+                    Verdict::Exposed,
+                    "window {window}, witness {w}: the rotation reaches every pair"
+                );
+            }
+            assert_accuracy(&engine);
+        }
+    }
+
+    #[test]
+    fn challenge_batch_unrolls_and_is_answered_with_one_response_batch() {
+        let (mut cluster, mut app, mut engine) = counter_deployment(FaultPlan::all_correct());
+        let payload = crate::workload::app_payload();
+        for i in 0..8u32 {
+            let from = NodeId(i % 4);
+            let to = NodeId((i + 1) % 4);
+            cluster.auth_send(from, to, &payload).unwrap();
+            engine.poll(&mut cluster, &mut app, to).unwrap();
+        }
+        let len = engine.layer.borrow().log_len(0);
+        assert!(len >= 4, "node 0 accumulated log entries");
+        // Witness 1 coalesced two challenges at node 0; the node answers
+        // both with one batched envelope encoded from borrowed segments.
+        let batch = Envelope::ChallengeBatch {
+            challenges: vec![(0, len / 2), (len / 2, len)],
+        };
+        let mut outgoing = Vec::new();
+        engine.handle_envelope(&mut app, NodeId(0), 1, batch, &mut outgoing);
+        assert_eq!(outgoing.len(), 2, "one deferred segment per challenge");
+        assert!(outgoing.iter().all(|(from, to, out)| *from == NodeId(0)
+            && *to == NodeId(1)
+            && matches!(out, Outbound::Segment { .. })));
+        engine.send_outgoing(&mut cluster, outgoing).unwrap();
+        assert_eq!(engine.stats().response_batches, 1);
+        assert_eq!(engine.stats().batched_envelopes, 2);
+        assert_eq!(engine.stats().audit_messages, 1);
+        assert_eq!(cluster.stats().messages_audit, 1);
+        assert_eq!(cluster.stats().messages_batched, 1, "one envelope saved");
+        let delivered = cluster.poll(NodeId(1)).unwrap();
+        assert_eq!(delivered.len(), 1, "both answers share one wire message");
+        let Envelope::ResponseBatch { responses } =
+            Envelope::decode(&delivered[0].message.payload).unwrap()
+        else {
+            panic!("coalesced answers travel as a response batch");
+        };
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].0, 0);
+        assert_eq!(responses[1].0, len / 2);
+        assert_eq!(
+            responses[0].1.len() as u64 + responses[1].1.len() as u64,
+            len,
+            "the two segments cover the challenged span"
+        );
+    }
+
+    #[test]
+    fn hostile_batch_envelopes_never_panic_and_convict_nobody() {
+        for piggyback in [false, true] {
+            let config = EngineConfig {
+                piggyback,
+                ..EngineConfig::default()
+            };
+            let (mut cluster, mut app, mut engine) =
+                engine_deployment(config, FaultPlan::all_correct());
+            run_rounds(&mut cluster, &mut app, &mut engine, 2);
+            let hostile: Vec<Envelope> = vec![
+                // Nonsense ranges: inverted, huge, and below-base claims.
+                Envelope::ChallengeBatch {
+                    challenges: vec![(u64::MAX, 0), (0, u64::MAX), (7, 3)],
+                },
+                // Forged responses nobody asked for, with stale ranges.
+                Envelope::ResponseBatch {
+                    responses: vec![(0, Vec::new()), (u64::MAX, Vec::new())],
+                },
+            ];
+            // Node 3 plays the hostile sender; everyone else is a target
+            // (a self-addressed answer has no session to travel on).
+            for target in 0..3u32 {
+                for env in &hostile {
+                    let mut outgoing = Vec::new();
+                    engine.handle_envelope(&mut app, NodeId(target), 3, env.clone(), &mut outgoing);
+                    engine.send_outgoing(&mut cluster, outgoing).unwrap();
+                }
+            }
+            engine.sweep_until_quiet(&mut cluster, &mut app).unwrap();
+            run_rounds(&mut cluster, &mut app, &mut engine, 2);
+            assert_accuracy(&engine);
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_witness_sets() {
+        let config = EngineConfig {
+            shards: 1,
+            witness_count: Some(2),
+            ..EngineConfig::default()
+        };
+        let (_c1, _a1, sharded) = sized_deployment(8, config, FaultPlan::all_correct());
+        let config = EngineConfig {
+            witness_count: Some(2),
+            ..EngineConfig::default()
+        };
+        let (_c2, _a2, unsharded) = sized_deployment(8, config, FaultPlan::all_correct());
+        assert_eq!(sharded.witnesses, unsharded.witnesses);
+    }
+
+    #[test]
+    fn sharded_witnesses_stay_inside_their_shard() {
+        let config = EngineConfig {
+            shards: 2,
+            witness_count: Some(2),
+            ..EngineConfig::default()
+        };
+        let (_cluster, _app, engine) = sized_deployment(8, config, FaultPlan::all_correct());
+        let ids: Vec<u32> = (0..8).collect();
+        let groups = shard_members(&ids, 2, EngineConfig::default().seed);
+        let shard_of = |n: u32| groups.iter().position(|g| g.contains(&n)).unwrap();
+        for &(witness, node) in engine.records.keys() {
+            assert_eq!(
+                shard_of(witness),
+                shard_of(node),
+                "witness {witness} tracks {node} outside its shard"
+            );
+        }
+        // Sharding actually shrinks the per-witness charge list.
+        let max_charges = (0..8u32)
+            .map(|w| engine.records.keys().filter(|(x, _)| *x == w).count())
+            .max()
+            .unwrap();
+        assert!(
+            max_charges < 7,
+            "a sharded witness must track fewer than n-1 charges, got {max_charges}"
+        );
+    }
+
+    #[test]
+    fn sharded_engine_exposes_tamperer_and_keeps_correct_nodes_clean() {
+        let config = EngineConfig {
+            shards: 2,
+            witness_count: Some(3),
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) = sized_deployment(
+            8,
+            config,
+            FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+        );
+        run_rounds_n(&mut cluster, &mut app, &mut engine, 8, 4);
+        let witnesses = engine.correct_witnesses_of(1);
+        assert!(!witnesses.is_empty(), "the tamperer has co-shard witnesses");
+        for w in witnesses {
+            assert_eq!(engine.verdict_of(w, 1), Verdict::Exposed, "witness {w}");
+        }
+        for node in 0..8u32 {
+            if node == 1 {
+                continue;
+            }
+            for w in engine.correct_witnesses_of(node) {
+                assert_eq!(
+                    engine.verdict_of(w, node),
+                    Verdict::Trusted,
+                    "witness {w} of correct node {node}"
+                );
+            }
+        }
     }
 }

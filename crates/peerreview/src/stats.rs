@@ -98,6 +98,22 @@ pub struct AccountabilityStats {
     pub witness_rotations: u64,
     /// Incoming-witness records created by rotation (state handovers).
     pub witness_handovers: u64,
+    /// Audit wire messages actually sent (challenges, responses and their
+    /// batched forms — the scalable-audit headline; announces/gossip are
+    /// commitment traffic and counted separately).
+    pub audit_messages: u64,
+    /// (witness, auditee) pairs a sampling witness deliberately left out of
+    /// a round (sampled auditing; they are *not* suspected — only a pair
+    /// with an outstanding challenge can time out).
+    pub audits_sampled_out: u64,
+    /// `ChallengeBatch` envelopes sent (each coalesces ≥ 2 challenges).
+    pub challenge_batches: u64,
+    /// `ResponseBatch` envelopes sent (each coalesces ≥ 2 responses).
+    pub response_batches: u64,
+    /// Individual challenges/responses that travelled inside a batch
+    /// envelope instead of their own message; the wire savings is
+    /// `batched_envelopes - (challenge_batches + response_batches)`.
+    pub batched_envelopes: u64,
     /// Virtual-time latency of one complete audit (challenge sent → verdict),
     /// in microseconds.
     pub audit_latency: Histogram,

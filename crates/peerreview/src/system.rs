@@ -68,6 +68,25 @@ pub struct PeerReviewConfig {
     /// Base backoff between challenge retries in audit rounds (doubles per
     /// attempt; clamped to at least 1).
     pub retry_backoff_rounds: u64,
+    /// Sampled auditing: each witness challenges only this many of its
+    /// charges per round, on a seeded rotating schedule (`None` = every
+    /// charge every round). See [`EngineConfig::audit_sample_size`].
+    pub audit_sample_size: Option<u32>,
+    /// Seed of the sampling schedule (independent of the fault RNG).
+    pub audit_sample_seed: u64,
+    /// With sampling: force-audit any pair not sampled for this many rounds
+    /// (0 = rely on the rotation alone). See
+    /// [`EngineConfig::audit_coverage_window`].
+    pub audit_coverage_window: u64,
+    /// Witness-set shards (consistent hashing); each witness then tracks
+    /// only its co-shard members, O(n/shards) charges. `<= 1` = unsharded.
+    /// See [`EngineConfig::shards`].
+    pub shards: u32,
+    /// Event-driven simulation core: sparse lazily-connected cluster plus
+    /// an active-set dispatch scheduler instead of dense n×n scans —
+    /// identical verdicts and message counts, CI-speed at n ≥ 1000. See
+    /// [`EngineConfig::event_driven`].
+    pub event_driven: bool,
 }
 
 impl Default for PeerReviewConfig {
@@ -84,6 +103,11 @@ impl Default for PeerReviewConfig {
             rotate_witnesses: false,
             challenge_retries: 0,
             retry_backoff_rounds: 1,
+            audit_sample_size: None,
+            audit_sample_seed: 0,
+            audit_coverage_window: 0,
+            shards: 1,
+            event_driven: false,
         }
     }
 }
@@ -101,6 +125,11 @@ impl PeerReviewConfig {
             rotate_witnesses: self.rotate_witnesses,
             challenge_retries: self.challenge_retries,
             retry_backoff_rounds: self.retry_backoff_rounds,
+            audit_sample_size: self.audit_sample_size,
+            audit_sample_seed: self.audit_sample_seed,
+            audit_coverage_window: self.audit_coverage_window,
+            shards: self.shards,
+            event_driven: self.event_driven,
         }
     }
 }
@@ -136,8 +165,14 @@ impl PeerReview {
     ///
     /// Propagates cluster connection errors.
     pub fn new(config: PeerReviewConfig, faults: FaultPlan) -> Result<Self, CoreError> {
-        let mut cluster =
-            Cluster::fully_connected(config.nodes, config.baseline, config.stack, config.seed);
+        // Event-driven deployments start sparse: links come up lazily on
+        // first use instead of eagerly materialising all n·(n-1) pairs
+        // (at n = 1000 the dense setup alone dwarfs the run).
+        let mut cluster = if config.event_driven {
+            Cluster::sparse(config.nodes, config.baseline, config.stack, config.seed)
+        } else {
+            Cluster::fully_connected(config.nodes, config.baseline, config.stack, config.seed)
+        };
         let clock = cluster.clock();
         let nodes: Vec<NodeId> = cluster.nodes();
         let app = CounterApp::new(&nodes);
@@ -848,6 +883,81 @@ mod tests {
                     "witness {w} of node {node} after heal"
                 );
             }
+        }
+    }
+
+    // ---- scaling: sampling, sharding, event-driven parity --------------
+
+    fn fault_suite() -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::all_correct(),
+            FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+            FaultPlan::single(2, NodeFault::SuppressAudits { probability: 1.0 }),
+            FaultPlan::single(3, NodeFault::TruncateLog { drop_tail: 4 }),
+        ]
+    }
+
+    #[test]
+    fn event_driven_mode_matches_dense_verdicts_and_message_counts() {
+        for piggyback in [false, true] {
+            for faults in fault_suite() {
+                let base = PeerReviewConfig {
+                    piggyback,
+                    witness_count: if piggyback { Some(2) } else { None },
+                    ..PeerReviewConfig::default()
+                };
+                let mut dense = PeerReview::new(base, faults.clone()).unwrap();
+                dense.run_scenario(3, 8).unwrap();
+                dense.drain_audits().unwrap();
+                let sparse_config = PeerReviewConfig {
+                    event_driven: true,
+                    ..base
+                };
+                let mut sparse = PeerReview::new(sparse_config, faults.clone()).unwrap();
+                sparse.run_scenario(3, 8).unwrap();
+                sparse.drain_audits().unwrap();
+                assert_eq!(
+                    dense.verdict_census(),
+                    sparse.verdict_census(),
+                    "verdict parity broken: piggyback={piggyback} faults={faults:?}"
+                );
+                let (d, s) = (dense.stats(), sparse.stats());
+                assert_eq!(d.challenges, s.challenges, "faults={faults:?}");
+                assert_eq!(d.responses, s.responses, "faults={faults:?}");
+                assert_eq!(d.control_messages, s.control_messages, "faults={faults:?}");
+                assert_eq!(d.app_messages, s.app_messages, "faults={faults:?}");
+                assert_eq!(
+                    dense.cluster().stats().messages_sent,
+                    sparse.cluster().stats().messages_sent,
+                    "wire parity broken: piggyback={piggyback} faults={faults:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_auditing_matches_full_verdicts_on_the_fault_suite() {
+        for faults in fault_suite() {
+            let mut full = PeerReview::new(PeerReviewConfig::default(), faults.clone()).unwrap();
+            full.run_scenario(8, 8).unwrap();
+            full.drain_audits().unwrap();
+            let sampled_config = PeerReviewConfig {
+                audit_sample_size: Some(1),
+                audit_coverage_window: 3,
+                ..PeerReviewConfig::default()
+            };
+            let mut sampled = PeerReview::new(sampled_config, faults.clone()).unwrap();
+            sampled.run_scenario(8, 8).unwrap();
+            sampled.drain_audits().unwrap();
+            assert_eq!(
+                full.verdict_census(),
+                sampled.verdict_census(),
+                "sampling changed final verdicts: faults={faults:?}"
+            );
+            assert!(
+                sampled.stats().challenges < full.stats().challenges,
+                "sampling must send fewer challenges: faults={faults:?}"
+            );
         }
     }
 

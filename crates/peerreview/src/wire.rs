@@ -79,6 +79,8 @@ const TAG_CKPT_COMMIT: u8 = 9;
 const TAG_JOIN: u8 = 10;
 const TAG_LEAVE: u8 = 11;
 const TAG_RECOVER: u8 = 12;
+const TAG_CHALLENGE_BATCH: u8 = 13;
+const TAG_RESPONSE_BATCH: u8 = 14;
 
 /// A typed accountability-protocol payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +162,23 @@ pub enum Envelope {
         /// The recovering node's sealed current log commitment.
         Authenticator,
     ),
+    /// A coalesced round batch of audit challenges from one witness to the
+    /// same peer (the scaled audit path: the engine merges every challenge
+    /// it owes a peer this round into one envelope instead of one message
+    /// per challenge). Each element is a `(from_seq, upto_seq)` range with
+    /// [`Envelope::Challenge`] semantics.
+    ChallengeBatch {
+        /// The challenged ranges (1 or more).
+        challenges: Vec<(u64, u64)>,
+    },
+    /// The audited node's coalesced answer to a [`Envelope::ChallengeBatch`]:
+    /// one `(from_seq, entries)` log segment per answered challenge, each
+    /// with [`Envelope::Response`] semantics and verified independently by
+    /// the receiving witness.
+    ResponseBatch {
+        /// The returned segments (1 or more).
+        responses: Vec<(u64, Vec<LogEntry>)>,
+    },
 }
 
 /// One commitment riding on a piggybacked envelope.
@@ -186,6 +205,46 @@ fn read_block(bytes: &[u8]) -> Option<(&[u8], usize)> {
         return None;
     }
     Some((&bytes[4..4 + len], 4 + len))
+}
+
+/// The shared body format of [`Envelope::Response`] and each element of
+/// [`Envelope::ResponseBatch`]: `from_seq` (8 bytes LE), entry count (4 bytes
+/// LE), then one length-prefixed block per entry.
+fn encode_response_body(out: &mut Vec<u8>, from_seq: u64, entries: &[LogEntry]) {
+    out.extend_from_slice(&from_seq.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for entry in entries {
+        push_block(out, &entry.encode());
+    }
+}
+
+/// Strictly decodes one response body (see [`encode_response_body`]); the
+/// whole slice must be consumed.
+fn decode_response_body(rest: &[u8]) -> Result<(u64, Vec<LogEntry>), DeviceError> {
+    let malformed = || DeviceError::MalformedMessage("malformed envelope");
+    if rest.len() < 12 {
+        return Err(malformed());
+    }
+    let from_seq = u64::from_le_bytes(rest[..8].try_into().expect("sized"));
+    let count = u32::from_le_bytes(rest[8..12].try_into().expect("sized")) as usize;
+    let mut off = 12;
+    // `count` is untrusted wire data (a Byzantine node may claim u32::MAX
+    // entries); cap the preallocation by what the buffer could possibly
+    // hold — each entry block needs ≥ 4 + 49 bytes.
+    let mut entries = Vec::with_capacity(count.min(rest.len() / 53));
+    for _ in 0..count {
+        let (block, used) = read_block(&rest[off..]).ok_or_else(malformed)?;
+        let (entry, entry_used) = LogEntry::decode(block).ok_or_else(malformed)?;
+        if entry_used != block.len() {
+            return Err(malformed());
+        }
+        entries.push(entry);
+        off += used;
+    }
+    if off != rest.len() {
+        return Err(malformed());
+    }
+    Ok((from_seq, entries))
 }
 
 impl Envelope {
@@ -268,8 +327,75 @@ impl Envelope {
                 out.push(TAG_RECOVER);
                 out.extend_from_slice(&auth.encode());
             }
+            Envelope::ChallengeBatch { challenges } => {
+                let mut batched = Vec::new();
+                Envelope::encode_challenge_batch_into(&mut batched, challenges);
+                return batched;
+            }
+            Envelope::ResponseBatch { responses } => {
+                let parts: Vec<(u64, &[LogEntry])> = responses
+                    .iter()
+                    .map(|(from_seq, entries)| (*from_seq, entries.as_slice()))
+                    .collect();
+                let mut batched = Vec::new();
+                Envelope::encode_response_batch_into(&mut batched, &parts);
+                return batched;
+            }
         }
         out
+    }
+
+    /// Encodes a [`Envelope::Response`] over a *borrowed* log segment directly
+    /// into `out` (cleared first). The audit hot loop answers challenges with
+    /// this plus a reused scratch buffer instead of cloning the segment into
+    /// an owned envelope; the bytes are identical to `encode()`.
+    pub fn encode_response_into(out: &mut Vec<u8>, from_seq: u64, entries: &[LogEntry]) {
+        out.clear();
+        out.extend_from_slice(&ENVELOPE_MAGIC);
+        out.push(TAG_RESPONSE);
+        encode_response_body(out, from_seq, entries);
+    }
+
+    /// Encodes a [`Envelope::ChallengeBatch`] directly into `out` (cleared
+    /// first); the bytes are identical to `encode()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `challenges` is empty — the engine never coalesces zero
+    /// challenges, and decode rejects an empty batch.
+    pub fn encode_challenge_batch_into(out: &mut Vec<u8>, challenges: &[(u64, u64)]) {
+        assert!(!challenges.is_empty(), "a batch carries >= 1 challenge");
+        out.clear();
+        out.extend_from_slice(&ENVELOPE_MAGIC);
+        out.push(TAG_CHALLENGE_BATCH);
+        out.extend_from_slice(&(challenges.len() as u32).to_le_bytes());
+        for (from_seq, upto_seq) in challenges {
+            out.extend_from_slice(&from_seq.to_le_bytes());
+            out.extend_from_slice(&upto_seq.to_le_bytes());
+        }
+    }
+
+    /// Encodes a [`Envelope::ResponseBatch`] over *borrowed* log segments
+    /// directly into `out` (cleared first); the bytes are identical to
+    /// `encode()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty — the engine never coalesces zero segments,
+    /// and decode rejects an empty batch.
+    pub fn encode_response_batch_into(out: &mut Vec<u8>, parts: &[(u64, &[LogEntry])]) {
+        assert!(!parts.is_empty(), "a batch carries >= 1 response");
+        out.clear();
+        out.extend_from_slice(&ENVELOPE_MAGIC);
+        out.push(TAG_RESPONSE_BATCH);
+        out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+        for (from_seq, entries) in parts {
+            let start = out.len();
+            out.extend_from_slice(&0u32.to_le_bytes());
+            encode_response_body(out, *from_seq, entries);
+            let body_len = (out.len() - start - 4) as u32;
+            out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+        }
     }
 
     /// Builds the wire form of a [`Envelope::Piggyback`] directly over the
@@ -341,28 +467,7 @@ impl Envelope {
                 })
             }
             TAG_RESPONSE => {
-                if rest.len() < 12 {
-                    return Err(malformed());
-                }
-                let from_seq = u64::from_le_bytes(rest[..8].try_into().expect("sized"));
-                let count = u32::from_le_bytes(rest[8..12].try_into().expect("sized")) as usize;
-                let mut off = 12;
-                // `count` is untrusted wire data (a Byzantine node may claim
-                // u32::MAX entries); cap the preallocation by what the buffer
-                // could possibly hold — each entry block needs ≥ 4 + 49 bytes.
-                let mut entries = Vec::with_capacity(count.min(rest.len() / 53));
-                for _ in 0..count {
-                    let (block, used) = read_block(&rest[off..]).ok_or_else(malformed)?;
-                    let (entry, entry_used) = LogEntry::decode(block).ok_or_else(malformed)?;
-                    if entry_used != block.len() {
-                        return Err(malformed());
-                    }
-                    entries.push(entry);
-                    off += used;
-                }
-                if off != rest.len() {
-                    return Err(malformed());
-                }
+                let (from_seq, entries) = decode_response_body(rest)?;
                 Ok(Envelope::Response { from_seq, entries })
             }
             TAG_EVIDENCE => {
@@ -455,6 +560,49 @@ impl Envelope {
                 Ok(Envelope::Leave { auth, entries })
             }
             TAG_RECOVER => Ok(Envelope::Recover(Authenticator::decode(rest)?)),
+            TAG_CHALLENGE_BATCH => {
+                if rest.len() < 4 {
+                    return Err(malformed());
+                }
+                let count = u32::from_le_bytes(rest[..4].try_into().expect("sized")) as usize;
+                let body = &rest[4..];
+                // `count` is untrusted: the strict length equality both
+                // rejects forged counts and bounds the preallocation below
+                // (count <= body.len() / 16 once it holds).
+                if count == 0 || Some(body.len()) != count.checked_mul(16) {
+                    return Err(DeviceError::MalformedMessage("bad challenge batch"));
+                }
+                let mut challenges = Vec::with_capacity(count);
+                for chunk in body.chunks_exact(16) {
+                    challenges.push((
+                        u64::from_le_bytes(chunk[..8].try_into().expect("sized")),
+                        u64::from_le_bytes(chunk[8..].try_into().expect("sized")),
+                    ));
+                }
+                Ok(Envelope::ChallengeBatch { challenges })
+            }
+            TAG_RESPONSE_BATCH => {
+                if rest.len() < 4 {
+                    return Err(malformed());
+                }
+                let count = u32::from_le_bytes(rest[..4].try_into().expect("sized")) as usize;
+                if count == 0 {
+                    return Err(DeviceError::MalformedMessage("empty response batch"));
+                }
+                let mut off = 4;
+                // Untrusted `count`: each element needs at least a 4-byte
+                // block prefix plus a 12-byte response header.
+                let mut responses = Vec::with_capacity(count.min(rest.len() / 16));
+                for _ in 0..count {
+                    let (block, used) = read_block(&rest[off..]).ok_or_else(malformed)?;
+                    responses.push(decode_response_body(block)?);
+                    off += used;
+                }
+                if off != rest.len() {
+                    return Err(malformed());
+                }
+                Ok(Envelope::ResponseBatch { responses })
+            }
             _ => Err(DeviceError::MalformedMessage("unknown envelope tag")),
         }
     }
@@ -1171,6 +1319,167 @@ mod tests {
                         "piggyback={piggyback}: node {node} exposed at witness {w}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_envelopes_round_trip() {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Recv { from: 1 }, b"cmd".to_vec());
+        log.append(EntryKind::Exec, b"out".to_vec());
+        log.append(EntryKind::Send { to: 2 }, b"fwd".to_vec());
+        for width in 1..=4usize {
+            let batch = Envelope::ChallengeBatch {
+                challenges: (0..width as u64).map(|i| (i, i + 3)).collect(),
+            };
+            assert_eq!(Envelope::decode(&batch.encode()).unwrap(), batch, "{width}");
+            let responses = Envelope::ResponseBatch {
+                responses: (0..width)
+                    .map(|i| (i as u64, log.entries()[..=i.min(2)].to_vec()))
+                    .collect(),
+            };
+            assert_eq!(
+                Envelope::decode(&responses.encode()).unwrap(),
+                responses,
+                "{width}"
+            );
+        }
+        // A batch element with an empty segment (an unanswerable challenge)
+        // still round-trips — verification, not the wire, judges it.
+        let empty_segment = Envelope::ResponseBatch {
+            responses: vec![(7, Vec::new())],
+        };
+        assert_eq!(
+            Envelope::decode(&empty_segment.encode()).unwrap(),
+            empty_segment
+        );
+        // Batches are control traffic: never app commands, ride-capable.
+        let batch = Envelope::ChallengeBatch {
+            challenges: vec![(0, 4)],
+        };
+        assert_eq!(Envelope::app_command(&batch.encode()), None);
+        let ridden = Envelope::Piggyback {
+            riders: vec![rider(3, true)],
+            inner: Box::new(batch),
+        };
+        assert_eq!(Envelope::decode(&ridden.encode()).unwrap(), ridden);
+    }
+
+    #[test]
+    fn batch_raw_encoders_match_enum_encoding() {
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Exec, b"out".to_vec());
+        log.append(EntryKind::Send { to: 1 }, b"fwd".to_vec());
+        let challenges = vec![(0u64, 2u64), (5, 9)];
+        let mut scratch = Vec::new();
+        Envelope::encode_challenge_batch_into(&mut scratch, &challenges);
+        assert_eq!(scratch, Envelope::ChallengeBatch { challenges }.encode());
+
+        let parts: Vec<(u64, &[LogEntry])> =
+            vec![(0, &log.entries()[..1]), (1, &log.entries()[1..])];
+        Envelope::encode_response_batch_into(&mut scratch, &parts);
+        let owned = Envelope::ResponseBatch {
+            responses: parts
+                .iter()
+                .map(|(s, e)| (*s, e.to_vec()))
+                .collect::<Vec<_>>(),
+        };
+        assert_eq!(scratch, owned.encode());
+
+        Envelope::encode_response_into(&mut scratch, 3, log.entries());
+        let single = Envelope::Response {
+            from_seq: 3,
+            entries: log.entries().to_vec(),
+        };
+        assert_eq!(scratch, single.encode());
+        // The scratch is cleared, not appended to, on reuse.
+        Envelope::encode_response_into(&mut scratch, 3, log.entries());
+        assert_eq!(scratch, single.encode());
+    }
+
+    #[test]
+    fn empty_batches_rejected() {
+        for tag in [TAG_CHALLENGE_BATCH, TAG_RESPONSE_BATCH] {
+            let mut bytes = ENVELOPE_MAGIC.to_vec();
+            bytes.push(tag);
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            assert!(Envelope::decode(&bytes).is_err(), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn batch_with_huge_claimed_count_rejected_without_allocation() {
+        // A Byzantine batch claiming u32::MAX elements with a tiny body must
+        // fail fast instead of preallocating gigabytes.
+        for tag in [TAG_CHALLENGE_BATCH, TAG_RESPONSE_BATCH] {
+            let mut bytes = ENVELOPE_MAGIC.to_vec();
+            bytes.push(tag);
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]);
+            assert!(Envelope::decode(&bytes).is_err(), "tag {tag}");
+        }
+        // Trailing garbage after a well-formed batch is rejected.
+        let mut padded = Envelope::ChallengeBatch {
+            challenges: vec![(1, 2)],
+        }
+        .encode();
+        padded.push(0);
+        assert!(Envelope::decode(&padded).is_err());
+        let mut padded = Envelope::ResponseBatch {
+            responses: vec![(0, Vec::new())],
+        }
+        .encode();
+        padded.push(0);
+        assert!(Envelope::decode(&padded).is_err());
+        // Forging the element count on otherwise valid bytes is rejected.
+        let mut forged = Envelope::ChallengeBatch {
+            challenges: vec![(1, 2), (3, 4)],
+        }
+        .encode();
+        forged[3..7].copy_from_slice(&3u32.to_le_bytes());
+        assert!(Envelope::decode(&forged).is_err());
+    }
+
+    #[test]
+    fn batch_truncation_and_bitflip_fuzz_never_panics() {
+        use tnic_sim::rng::DetRng;
+        let mut rng = DetRng::new(0xBA7C4);
+        let mut log = SecureLog::new();
+        log.append(EntryKind::Recv { from: 1 }, b"payload".to_vec());
+        log.append(EntryKind::Exec, b"out".to_vec());
+        let samples = [
+            Envelope::ChallengeBatch {
+                challenges: vec![(0, 2), (2, 5), (5, 9)],
+            }
+            .encode(),
+            Envelope::ResponseBatch {
+                responses: vec![(0, log.entries().to_vec()), (2, log.entries().to_vec())],
+            }
+            .encode(),
+            Envelope::Piggyback {
+                riders: vec![rider(2, true)],
+                inner: Box::new(Envelope::ChallengeBatch {
+                    challenges: vec![(0, 1)],
+                }),
+            }
+            .encode(),
+        ];
+        for bytes in &samples {
+            for cut in 0..bytes.len() {
+                if let Ok(env) = Envelope::decode(&bytes[..cut]) {
+                    assert_eq!(env.encode(), &bytes[..cut], "prefix of len {cut}");
+                }
+                let _ = Envelope::app_command(&bytes[..cut]);
+            }
+            for _ in 0..300 {
+                let mut mutated = bytes.clone();
+                let idx = rng.next_below(mutated.len() as u64) as usize;
+                mutated[idx] ^= 1 << rng.next_below(8);
+                if let Ok(env) = Envelope::decode(&mutated) {
+                    let _ = env.encode();
+                }
+                let _ = Envelope::app_command(&mutated);
             }
         }
     }
