@@ -7,7 +7,21 @@
 //! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
 //! [--max-retained-entries N] [--max-exposure-latency-rounds N]
 //! [--max-verdict-delay-rounds N] [--max-audit-msgs-per-node-round RATE]
-//! [--report PATH]`
+//! [--max-trace-overhead-pct PCT] [--trace-out DIR] [--report PATH]`
+//!
+//! With `--trace-out DIR` the traced scenarios additionally export their
+//! assembled cross-node timeline as Chrome trace-event JSON
+//! (`DIR/trace-<scenario>.chrome.json`, loadable at
+//! <https://ui.perfetto.dev>) and compact JSONL
+//! (`DIR/trace-<scenario>.jsonl`). A wall-clock probe compares the traced
+//! and untraced exec-tampering runs; `--max-trace-overhead-pct` (default
+//! 150) bounds the enabled-recorder slowdown under `--check`. Alongside
+//! the markdown report the run emits a machine-readable
+//! `BENCH_report.json` (gate outcomes, per-scenario numbers, the metrics
+//! registry), and **any** failing gate writes a bounded flight-recorder
+//! dump to `reports/flightrec-reproduce.json` — trace tail, metrics
+//! snapshot and log-composition breakdown — so a red CI run carries its
+//! own post-mortem.
 //!
 //! Every PeerReview scenario runs a 4-node accountable deployment (3 rounds
 //! × 8 application messages) with one Byzantine behaviour injected through
@@ -151,6 +165,8 @@ fn main() {
     let mut max_exposure_latency_rounds = 6u64;
     let mut max_verdict_delay_rounds = 6u64;
     let mut max_audit_msgs_per_node_round = 4.0f64;
+    let mut max_trace_overhead_pct = 150.0f64;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut report_path = std::path::PathBuf::from("reports/reproduce.md");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -197,6 +213,20 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--max-trace-overhead-pct" => {
+                max_trace_overhead_pct =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-trace-overhead-pct requires a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-out requires a directory");
+                    std::process::exit(2);
+                }
+            },
             "--report" => match args.next() {
                 Some(path) => report_path = std::path::PathBuf::from(path),
                 None => {
@@ -210,7 +240,8 @@ fn main() {
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
                      [--max-acct-ctl-app RATIO] [--max-retained-entries N] \
                      [--max-exposure-latency-rounds N] [--max-verdict-delay-rounds N] \
-                     [--max-audit-msgs-per-node-round RATE] [--report PATH]"
+                     [--max-audit-msgs-per-node-round RATE] [--max-trace-overhead-pct PCT] \
+                     [--trace-out DIR] [--report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -282,14 +313,23 @@ fn main() {
     let trace_mode = CommitMode::Piggyback { witnesses: 2 };
     let mut registry = MetricsRegistry::new();
     let mut timeline_sections: Vec<String> = Vec::new();
+    // The traced snapshots, kept for the exporters and the flight recorder
+    // (first entry = exec-tampering, the exposure chain a post-mortem wants).
+    let mut traces: Vec<(&'static str, Vec<tnic_obs::Event>, u64)> = Vec::new();
     for scenario in Scenario::suite() {
         if scenario.name != "exec-tampering" && scenario.name != "forge-evidence" {
             continue;
         }
         match run_scenario_traced(&scenario, Baseline::Tnic, trace_mode, TRACE_CAPACITY) {
-            Ok((_, events, dropped)) => {
+            Ok((_, events, dropped, dropped_by_node)) => {
                 report::accumulate_events(&mut registry, scenario.name, &events);
+                let scope = registry.scope(scenario.name);
+                scope.inc("events_dropped", dropped);
+                for (node, count) in &dropped_by_node {
+                    scope.set_node_gauge("events_dropped", *node, *count as f64);
+                }
                 timeline_sections.push(report::timeline_section(scenario.name, &events, dropped));
+                traces.push((scenario.name, events, dropped));
             }
             Err(err) => {
                 let line = format!("traced scenario {}: {err}", scenario.name);
@@ -297,6 +337,72 @@ fn main() {
                 failed_runs.push(line);
             }
         }
+    }
+    if let Some(dir) = &trace_out {
+        for (name, events, _) in &traces {
+            let assembler = tnic_obs::assemble::TraceAssembler::new(events.clone());
+            let chrome = tnic_obs::export::chrome_trace(&assembler);
+            let jsonl = tnic_obs::export::jsonl(&assembler.ordered());
+            if let Err(err) = std::fs::create_dir_all(dir)
+                .and_then(|()| {
+                    std::fs::write(dir.join(format!("trace-{name}.chrome.json")), chrome)
+                })
+                .and_then(|()| std::fs::write(dir.join(format!("trace-{name}.jsonl")), jsonl))
+            {
+                let line = format!("trace export {name}: {err}");
+                eprintln!("{line}");
+                failed_runs.push(line);
+            } else {
+                println!(
+                    "trace exported: {} (Chrome/Perfetto + JSONL)",
+                    dir.join(format!("trace-{name}.chrome.json")).display()
+                );
+            }
+        }
+    }
+
+    // ---- enabled-recorder overhead probe ---------------------------------
+
+    // Min-of-N wall clock of the identical scenario with and without the
+    // ring recorder installed: min (not mean) sheds scheduler noise; the
+    // remaining delta is the per-event recording cost the `trace-overhead`
+    // gate bounds.
+    let trace_overhead_pct = {
+        let probe = Scenario::suite()
+            .into_iter()
+            .find(|s| s.name == "exec-tampering");
+        probe.and_then(|scenario| {
+            const PROBE_ITERS: u32 = 5;
+            let mut untraced_us = u128::MAX;
+            let mut traced_us = u128::MAX;
+            for _ in 0..PROBE_ITERS {
+                let start = std::time::Instant::now();
+                if run_scenario_mode(&scenario, Baseline::Tnic, trace_mode).is_err() {
+                    return None;
+                }
+                untraced_us = untraced_us.min(start.elapsed().as_micros());
+                let start = std::time::Instant::now();
+                if run_scenario_traced(&scenario, Baseline::Tnic, trace_mode, TRACE_CAPACITY)
+                    .is_err()
+                {
+                    return None;
+                }
+                traced_us = traced_us.min(start.elapsed().as_micros());
+            }
+            if untraced_us == 0 {
+                return None;
+            }
+            Some((traced_us as f64 / untraced_us as f64 - 1.0) * 100.0)
+        })
+    };
+    if let Some(pct) = trace_overhead_pct {
+        println!(
+            "\nenabled-recorder overhead: {pct:.1}% wall clock on exec-tampering \
+             (gate: <= {max_trace_overhead_pct:.0}%)"
+        );
+        registry
+            .scope("tracing")
+            .set_gauge("trace_overhead_pct", pct);
     }
 
     // ---- accountability stacked on the BFT / CR transforms --------------
@@ -511,6 +617,7 @@ fn main() {
             &sampled_cases,
             max_exposure_latency_rounds + SAMPLED_COVERAGE_WINDOW,
         ),
+        gates::trace_overhead_gate(trace_overhead_pct, max_trace_overhead_pct),
     ];
     if let Some(retention) = &retention {
         deviation_gates.push(gates::retention_verdict_gate(retention));
@@ -536,6 +643,7 @@ fn main() {
         report::scenario_section(&results),
         report::acct_section(&acct_results),
         report::churn_section(&churn_results),
+        report::log_composition_section(&results),
     ];
     sections.extend(timeline_sections);
     sections.push(report::scaling_section(&probe_rows));
@@ -553,6 +661,15 @@ fn main() {
         }
     }
 
+    // Machine-readable twin of the markdown report, diffable across PRs.
+    let headline = [("total_app_messages", total_app_messages.to_string())];
+    let json = report::report_json(&all_gates, &results, &registry, &headline);
+    let json_path = std::path::Path::new("BENCH_report.json");
+    match std::fs::write(json_path, json) {
+        Ok(()) => println!("machine-readable report written to {}", json_path.display()),
+        Err(err) => eprintln!("cannot write {}: {err}", json_path.display()),
+    }
+
     let deviations_ok = deviation_gates.iter().all(|g| g.passed);
     let bounds_ok = bound_gates.iter().all(|g| g.passed);
     if deviations_ok && (bounds_ok || !check) {
@@ -564,6 +681,39 @@ fn main() {
             .map(|g| g.name)
             .collect();
         println!("FAILED gates: {}", broken.join(", "));
+        // Flight recorder: every red run carries its own post-mortem — the
+        // exec-tampering trace tail, the metrics snapshot and the
+        // log-composition breakdown, bounded and CI-artifacted.
+        let reason = format!("failing gates: {}", broken.join(", "));
+        let (events, dropped) = traces
+            .first()
+            .map_or((&[] as &[tnic_obs::Event], 0), |(_, e, d)| {
+                (e.as_slice(), *d)
+            });
+        let composition = report::log_composition_json(&results);
+        let sections = [
+            ("metrics", registry.render_json()),
+            ("log_composition", composition),
+        ];
+        let flight_dir = report_path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or_else(
+                || std::path::PathBuf::from("reports"),
+                std::path::Path::to_path_buf,
+            );
+        match tnic_obs::flight::write_flight_record(
+            &flight_dir,
+            "reproduce",
+            &reason,
+            events,
+            dropped,
+            4096,
+            &sections,
+        ) {
+            Ok(path) => println!("flight record written to {}", path.display()),
+            Err(err) => eprintln!("cannot write flight record: {err}"),
+        }
         std::process::exit(1);
     }
 }

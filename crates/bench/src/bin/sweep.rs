@@ -239,7 +239,7 @@ fn main() {
 
     let mut rows = vec![SWEEP_CSV_HEADER.to_string()];
     let mut measured = Vec::new();
-    let mut failures = 0u32;
+    let mut failure_lines: Vec<String> = Vec::new();
     for point in grid(full) {
         let started = std::time::Instant::now();
         match run_sweep_point(point) {
@@ -248,8 +248,9 @@ fn main() {
                 measured.push(row);
             }
             Err(err) => {
-                failures += 1;
-                eprintln!("sweep point {point:?}: {err}");
+                let line = format!("sweep point {point:?}: {err}");
+                eprintln!("{line}");
+                failure_lines.push(line);
             }
         }
         // The wall-clock budget of the event-driven core: an n >= 1000 row
@@ -257,17 +258,18 @@ fn main() {
         // included).
         let elapsed = started.elapsed().as_secs_f64();
         if point.nodes >= 1000 && elapsed > max_large_n_seconds {
-            failures += 1;
-            eprintln!(
+            let line = format!(
                 "sweep point n={} took {elapsed:.1}s, over the \
                  --max-large-n-seconds budget of {max_large_n_seconds:.1}s",
                 point.nodes
             );
+            eprintln!("{line}");
+            failure_lines.push(line);
         }
     }
     if let Err(err) = check_frontier(&measured) {
-        failures += 1;
         eprintln!("ERROR: {err}");
+        failure_lines.push(format!("frontier check: {err}"));
     }
     let csv = rows.join("\n") + "\n";
 
@@ -295,8 +297,42 @@ fn main() {
         None => print!("{csv}"),
     }
 
-    if failures > 0 {
-        eprintln!("ERROR: {failures} sweep point(s) failed");
+    if !failure_lines.is_empty() {
+        let failures = failure_lines.len();
+        // The sweep installs no recorder (tracing would skew the timing
+        // rows), so the flight record carries the failure details and the
+        // measured rows instead of an event tail.
+        let failures_json = format!(
+            "[{}]",
+            failure_lines
+                .iter()
+                .map(|l| format!("\"{}\"", tnic_obs::export::json_escape(l)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let rows_json = format!(
+            "[{}]",
+            measured
+                .iter()
+                .map(|r| format!("\"{}\"", tnic_obs::export::json_escape(&r.to_csv())))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let sections = [("failures", failures_json), ("sweep_rows", rows_json)];
+        let reason = format!("{failures} sweep point(s) failed");
+        match tnic_obs::flight::write_flight_record(
+            std::path::Path::new("reports"),
+            "sweep",
+            &reason,
+            &[],
+            0,
+            4096,
+            &sections,
+        ) {
+            Ok(path) => eprintln!("flight record written to {}", path.display()),
+            Err(err) => eprintln!("cannot write flight record: {err}"),
+        }
+        eprintln!("ERROR: {reason}");
         std::process::exit(1);
     }
 }

@@ -410,6 +410,24 @@ pub fn execution_gate(failed_runs: &[String]) -> GateOutcome {
     GateOutcome::from_violations("execution", failed_runs.to_vec())
 }
 
+/// Recording with the event ring enabled stays within the named wall-clock
+/// budget over the identical untraced run (a bound, enforced under
+/// `--check` via `--max-trace-overhead-pct`). `measured_pct` is the
+/// relative slowdown in percent (`(traced/untraced - 1) * 100`, min-of-N
+/// on both sides to shed scheduler noise); `None` — the measurement could
+/// not run — passes, the gate bounds a measured regression rather than
+/// requiring the measurement.
+#[must_use]
+pub fn trace_overhead_gate(measured_pct: Option<f64>, max_pct: f64) -> GateOutcome {
+    let violations = match measured_pct {
+        Some(pct) if pct > max_pct => vec![format!(
+            "enabled-recorder overhead {pct:.1}% exceeds {max_pct:.1}%"
+        )],
+        _ => Vec::new(),
+    };
+    GateOutcome::from_violations("trace-overhead", violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,7 +456,20 @@ mod tests {
             audit_p50_us: 0.0,
             audit_p99_us: 0.0,
             virtual_time_us: 1,
+            log_app_entries: 0,
+            log_ctl_entries: 0,
+            log_audit_entries: 0,
+            entries_replayed: 0,
         }
+    }
+
+    #[test]
+    fn trace_overhead_gate_bounds_the_measured_slowdown() {
+        assert!(trace_overhead_gate(Some(12.0), 50.0).passed);
+        assert!(trace_overhead_gate(None, 50.0).passed, "unmeasured passes");
+        let gate = trace_overhead_gate(Some(80.0), 50.0);
+        assert!(!gate.passed);
+        assert!(gate.violations[0].contains("80.0% exceeds 50.0%"));
     }
 
     #[test]

@@ -296,6 +296,16 @@ pub struct ScenarioResult {
     pub audit_p99_us: f64,
     /// Total virtual time of the run in microseconds.
     pub virtual_time_us: u64,
+    /// Log entries holding a full application payload (see
+    /// [`tnic_peerreview::log::LogComposition`]).
+    pub log_app_entries: u64,
+    /// Log entries holding an ordinary control-traffic digest.
+    pub log_ctl_entries: u64,
+    /// Log entries holding an audit-protocol (challenge/response) digest.
+    pub log_audit_entries: u64,
+    /// Log entries fed through audit replay across all witnesses — the
+    /// replay-work side of the full-audit O(w²) wall.
+    pub entries_replayed: u64,
 }
 
 /// Runs `scenario` on a 4-node deployment over `baseline` with dedicated
@@ -392,13 +402,22 @@ pub fn run_scenario_mode(
         audit_p50_us: stats.audit_latency.percentile_us(0.5),
         audit_p99_us: stats.audit_latency.percentile_us(0.99),
         virtual_time_us: pr.now().as_micros(),
+        log_app_entries: stats.log_app_payload_entries,
+        log_ctl_entries: stats.log_control_digest_entries,
+        log_audit_entries: stats.log_audit_digest_entries,
+        entries_replayed: stats.entries_replayed,
     })
 }
 
+/// A traced scenario run: the summary, the captured event snapshot, the
+/// ring's total drop count, and the per-node drop attribution.
+pub type TracedScenarioRun = (ScenarioResult, Vec<tnic_obs::Event>, u64, Vec<(u32, u64)>);
+
 /// Runs a scenario with the [`tnic_obs`] event recorder installed and
-/// returns the result together with the captured snapshot and the ring's
-/// drop count — the input for [`report::timeline_section`] and the causal
-/// verdict chains.
+/// returns the result together with the captured snapshot, the ring's
+/// total drop count, and the per-node drop attribution — the input for
+/// [`report::timeline_section`], the causal verdict chains and the
+/// trace exporters.
 ///
 /// # Errors
 ///
@@ -408,13 +427,14 @@ pub fn run_scenario_traced(
     baseline: Baseline,
     mode: CommitMode,
     capacity: usize,
-) -> Result<(ScenarioResult, Vec<tnic_obs::Event>, u64), CoreError> {
+) -> Result<TracedScenarioRun, CoreError> {
     let guard = tnic_obs::RecorderGuard::install(capacity);
     let result = run_scenario_mode(scenario, baseline, mode)?;
     let events = guard.snapshot();
     let dropped = guard.dropped();
+    let dropped_by_node = guard.dropped_by_node();
     drop(guard);
-    Ok((result, events, dropped))
+    Ok((result, events, dropped, dropped_by_node))
 }
 
 /// Formats scenario results as an aligned terminal table.
@@ -1122,6 +1142,15 @@ pub struct SweepRow {
     /// [`SweepRow::exposure_latency_rounds`] when sampling is off; the gap
     /// between the two is the latency price of sampling.
     pub detection_latency_rounds: Option<u64>,
+    /// Log entries holding a full application payload.
+    pub log_app_entries: u64,
+    /// Log entries holding an ordinary control-traffic digest.
+    pub log_ctl_entries: u64,
+    /// Log entries holding an audit-protocol digest — log growth the audit
+    /// machinery inflicts on itself.
+    pub log_audit_entries: u64,
+    /// Log entries fed through audit replay across all witnesses.
+    pub entries_replayed: u64,
 }
 
 /// Header line of the sweep CSV.
@@ -1129,7 +1158,8 @@ pub const SWEEP_CSV_HEADER: &str = "app,mode,payload_bytes,nodes,witnesses,audit
 checkpoint_interval,rounds,messages_per_round,app_msgs,ctl_msgs,ctl_per_app,piggybacked,\
 challenges,log_entries,retained_entries,retained_bytes,audit_p50_us,audit_p99_us,app_p50_us,\
 virt_time_us,exposure_latency_rounds,churn_rate,partition_rounds,audit_sample_size,shards,\
-audit_msgs_per_node_round,detection_latency_rounds";
+audit_msgs_per_node_round,detection_latency_rounds,log_app_entries,log_ctl_entries,\
+log_audit_entries,replayed_entries,replayed_per_node_round";
 
 impl SweepRow {
     /// Control messages per application message.
@@ -1166,11 +1196,27 @@ impl SweepRow {
         }
     }
 
+    /// Log entries fed through audit replay per node per audit round — the
+    /// replay-work companion of [`SweepRow::audit_msgs_per_node_round`]:
+    /// under full auditing it grows with the per-round traffic times the
+    /// witness count (the O(w²) replay wall); sampling cuts it in
+    /// proportion.
+    #[must_use]
+    pub fn replayed_per_node_round(&self) -> f64 {
+        let audit_rounds = self.point.rounds / self.point.audit_period.max(1) + 1;
+        let node_rounds = u64::from(self.point.nodes) * audit_rounds;
+        if node_rounds == 0 {
+            0.0
+        } else {
+            self.entries_replayed as f64 / node_rounds as f64
+        }
+    }
+
     /// The CSV record for this row (matches [`SWEEP_CSV_HEADER`]).
     #[must_use]
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{},{:.2},{},{},{},{:.2},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.1},{:.1},{:.1},{},{},{:.2},{},{},{},{:.2},{},{},{},{},{},{:.2}",
             self.point.app.label(),
             self.point.mode.label(),
             self.point.payload,
@@ -1203,7 +1249,12 @@ impl SweepRow {
             self.point.shards.max(1),
             self.audit_msgs_per_node_round(),
             self.detection_latency_rounds
-                .map_or_else(|| "-".to_string(), |r| r.to_string())
+                .map_or_else(|| "-".to_string(), |r| r.to_string()),
+            self.log_app_entries,
+            self.log_ctl_entries,
+            self.log_audit_entries,
+            self.entries_replayed,
+            self.replayed_per_node_round()
         )
     }
 }
@@ -1247,6 +1298,10 @@ fn sweep_row(
         exposure_latency_rounds,
         audit_messages: stats.audit_messages,
         detection_latency_rounds,
+        log_app_entries: stats.log_app_payload_entries,
+        log_ctl_entries: stats.log_control_digest_entries,
+        log_audit_entries: stats.log_audit_digest_entries,
+        entries_replayed: stats.entries_replayed,
     }
 }
 

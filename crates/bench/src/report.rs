@@ -212,6 +212,77 @@ pub fn scaling_section(rows: &[SampledProbeRow]) -> String {
     out
 }
 
+/// The log-composition and replay-work section: what the per-node logs
+/// actually hold (app payloads vs control digests vs audit-protocol
+/// digests) and how many entries audit replay ground through — the
+/// measured face of the O(w²) full-audit wall: every audit-protocol
+/// message a witness sends becomes a log entry the *next* audit round must
+/// cover, and under full auditing every witness replays every audited
+/// node's whole window.
+#[must_use]
+pub fn log_composition_section(results: &[ScenarioResult]) -> String {
+    let mut out = String::from(
+        "## Log composition and replay work\n\n\
+         Entry classes across all node logs (everything ever appended) and \
+         the entries fed through audit replay. The audit-digest column is \
+         the log growth the audit machinery inflicts on itself; replayed/app \
+         is the replay-work amplification of full auditing.\n\n\
+         | scenario | baseline | mode | app payload | ctl digest | audit digest | \
+         audit share | replayed | replayed/app |\n\
+         |---|---|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in results {
+        let total = r.log_app_entries + r.log_ctl_entries + r.log_audit_entries;
+        let audit_share = if total == 0 {
+            0.0
+        } else {
+            100.0 * r.log_audit_entries as f64 / total as f64
+        };
+        let replayed_per_app = if r.app_messages == 0 {
+            0.0
+        } else {
+            r.entries_replayed as f64 / r.app_messages as f64
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {:.1}% | {} | {:.2} |",
+            r.name,
+            r.baseline.label(),
+            r.mode.label(),
+            r.log_app_entries,
+            r.log_ctl_entries,
+            r.log_audit_entries,
+            audit_share,
+            r.entries_replayed,
+            replayed_per_app,
+        );
+    }
+    out
+}
+
+/// The log-composition breakdown as a JSON array (one object per scenario
+/// row) — the flight recorder's `log_composition` section.
+#[must_use]
+pub fn log_composition_json(results: &[ScenarioResult]) -> String {
+    use tnic_obs::export::json_escape;
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"mode\":\"{}\",\"app_payload\":{},\
+                 \"control_digest\":{},\"audit_digest\":{},\"replayed\":{}}}",
+                json_escape(r.name),
+                json_escape(&r.mode.label()),
+                r.log_app_entries,
+                r.log_ctl_entries,
+                r.log_audit_entries,
+                r.entries_replayed,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
 /// The gate outcomes as a markdown checklist.
 #[must_use]
 pub fn gates_section(gates: &[GateOutcome]) -> String {
@@ -293,6 +364,15 @@ pub fn timeline_section(scenario: &str, events: &[Event], dropped: u64) -> Strin
         events.len(),
         dropped
     );
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "**Warning:** the event ring wrapped during this run — {dropped} \
+             early events were overwritten, so assembled timelines and \
+             verdict chains may be truncated at the front. Raise the trace \
+             capacity to record the full run.\n"
+        );
+    }
     let chains = final_chains(events);
     if chains.is_empty() {
         out.push_str("No verdict transitions recorded.\n");
@@ -340,6 +420,82 @@ pub fn timeline_section(scenario: &str, events: &[Event], dropped: u64) -> Strin
             );
         }
     }
+    out
+}
+
+/// The machine-readable run summary (`BENCH_report.json`): gate outcomes,
+/// per-scenario numbers and the full metrics-registry snapshot in one JSON
+/// document, so the perf trajectory is diffable across PRs alongside the
+/// markdown report. `headline` entries are `(key, json_value)` pairs
+/// embedded verbatim (the values must already be valid JSON).
+#[must_use]
+pub fn report_json(
+    gates: &[GateOutcome],
+    results: &[ScenarioResult],
+    registry: &MetricsRegistry,
+    headline: &[(&str, String)],
+) -> String {
+    use tnic_obs::export::json_escape;
+    let gates_json: Vec<String> = gates
+        .iter()
+        .map(|g| {
+            let violations: Vec<String> = g
+                .violations
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(v)))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"passed\":{},\"violations\":[{}]}}",
+                json_escape(g.name),
+                g.passed,
+                violations.join(",")
+            )
+        })
+        .collect();
+    let scenarios_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"baseline\":\"{}\",\"mode\":\"{}\",\
+                 \"verdict\":\"{}\",\"expected\":\"{}\",\"unanimous\":{},\
+                 \"accuracy\":{},\"app_messages\":{},\"control_messages\":{},\
+                 \"ctl_per_app\":{:.4},\"piggybacked\":{},\"audit_p50_us\":{:.1},\
+                 \"audit_p99_us\":{:.1},\"virtual_time_us\":{},\
+                 \"log_app_entries\":{},\"log_ctl_entries\":{},\
+                 \"log_audit_entries\":{},\"entries_replayed\":{}}}",
+                json_escape(r.name),
+                json_escape(r.baseline.label()),
+                json_escape(&r.mode.label()),
+                json_escape(r.verdict),
+                json_escape(r.expected),
+                r.unanimous,
+                r.accuracy,
+                r.app_messages,
+                r.control_messages,
+                r.overhead_ratio,
+                r.piggybacked,
+                r.audit_p50_us,
+                r.audit_p99_us,
+                r.virtual_time_us,
+                r.log_app_entries,
+                r.log_ctl_entries,
+                r.log_audit_entries,
+                r.entries_replayed,
+            )
+        })
+        .collect();
+    let mut out = String::from("{\n");
+    for (key, value) in headline {
+        let _ = writeln!(out, "  \"{}\": {value},", json_escape(key));
+    }
+    let _ = writeln!(out, "  \"gates\": [{}],", gates_json.join(","));
+    let _ = writeln!(
+        out,
+        "  \"scenarios\": [\n    {}\n  ],",
+        scenarios_json.join(",\n    ")
+    );
+    let _ = writeln!(out, "  \"metrics\": {}", registry.render_json());
+    out.push_str("}\n");
     out
 }
 

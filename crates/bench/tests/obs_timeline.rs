@@ -24,7 +24,7 @@ fn scenario(name: &str) -> Scenario {
 fn forged_accusation_counter_conviction_chain_is_recorded_end_to_end() {
     let scenario = scenario("forge-evidence");
     let forger = scenario.faulty_node;
-    let (result, events, dropped) = run_scenario_traced(
+    let (result, events, dropped, _) = run_scenario_traced(
         &scenario,
         Baseline::Tnic,
         CommitMode::Piggyback { witnesses: 2 },
@@ -95,7 +95,7 @@ fn forged_accusation_counter_conviction_chain_is_recorded_end_to_end() {
 fn exec_tampering_chain_carries_the_audit_phases() {
     let scenario = scenario("exec-tampering");
     let tamperer = scenario.faulty_node;
-    let (result, events, _) = run_scenario_traced(
+    let (result, events, _, _) = run_scenario_traced(
         &scenario,
         Baseline::Tnic,
         CommitMode::Piggyback { witnesses: 2 },

@@ -675,6 +675,11 @@ impl Cluster {
         self.record_sent(from, &msg);
         self.notify_sent(from, to, &msg);
         self.stats.messages_sent += 1;
+        // The (sender, attestation counter) pair recorded as (node, seq) is
+        // the message's cross-node trace identity: the matching Recv event on
+        // the receiver carries the same counter, so trace assembly joins the
+        // two into one causal edge without any extra wire field (see
+        // `tnic_obs::assemble::trace_id`).
         tnic_obs::trace_event!(
             tnic_obs::EventKind::Send,
             at_us: self.clock.now().as_micros(),
@@ -769,6 +774,18 @@ impl Cluster {
         to: NodeId,
         message: AttestedMessage,
     ) -> Result<(), CoreError> {
+        // The wire hop: the message reached the receiver's NIC (network
+        // latency already charged by the sender path). The subsequent Recv
+        // event records the verification outcome; this one records arrival,
+        // mirroring the fabric-level NetDeliver on the same trace identity.
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::NetDeliver,
+            at_us: self.clock.now().as_micros(),
+            node: to.0,
+            peer: from.0,
+            seq: message.counter,
+            aux: message.payload.len() as u64
+        );
         let verify_result = {
             let endpoint = self.endpoint_mut(to)?;
             endpoint.provider.verify(&message)

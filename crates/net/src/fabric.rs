@@ -228,7 +228,8 @@ impl NetworkFabric {
                 at_us: at.as_micros(),
                 node: u32::from_be_bytes(flight.dst.0),
                 peer: u32::from_be_bytes(flight.packet.header.src_ip.0),
-                seq: u64::from(flight.packet.header.psn)
+                seq: u64::from(flight.packet.header.psn),
+                aux: flight.packet.payload.len() as u64
             );
             out.push((at, flight));
         }

@@ -1,0 +1,260 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-viewable) and
+//! compact JSONL.
+//!
+//! Both exporters are hand-rolled (no serde dependency) over the fixed
+//! [`Event`] struct, so the JSON vocabulary is exactly the recorded fields
+//! plus the decoded labels from [`crate::codes`].
+//!
+//! The Chrome form follows the trace-event format Perfetto ingests:
+//! one thread (`tid`) per node under a single `pid`, an instant (`"ph":
+//! "i"`) per recorded event, flow arrows (`"ph": "s"`/`"f"`) along every
+//! matched send→recv edge (id = [`crate::assemble::trace_id`]), and one
+//! complete span (`"ph": "X"`) per protocol phase of every audited pair —
+//! load the file at <https://ui.perfetto.dev> and follow the arrows from a
+//! tampered send to the exposing verdict.
+
+use crate::assemble::TraceAssembler;
+use crate::{codes, Event, EventKind};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The kind-specific human-readable detail of an event (verdict names,
+/// membership phases, drop reasons, log classes), or `None` when `aux` is
+/// a plain number.
+fn aux_detail(event: &Event) -> Option<String> {
+    match event.kind {
+        EventKind::VerdictTransition => {
+            let (old, new, mis) = codes::unpack_verdict(event.aux);
+            Some(format!(
+                "{}→{} ({})",
+                codes::verdict_name(old),
+                codes::verdict_name(new),
+                codes::misbehavior_name(mis)
+            ))
+        }
+        EventKind::Membership => Some(codes::member_phase_name(event.aux).to_string()),
+        EventKind::NetDrop => Some(codes::drop_reason_name(event.aux).to_string()),
+        EventKind::LogAppend => Some(codes::log_class_name(event.aux).to_string()),
+        EventKind::Evidence => Some(
+            if event.aux == 0 {
+                "verified"
+            } else {
+                "rejected"
+            }
+            .to_string(),
+        ),
+        _ => None,
+    }
+}
+
+/// One event as a JSON object (shared by the JSONL exporter and the flight
+/// recorder).
+#[must_use]
+pub fn event_json(event: &Event) -> String {
+    let mut out = format!(
+        "{{\"kind\":\"{}\",\"at_us\":{},\"node\":{},\"peer\":{},\"seq\":{},\"round\":{},\"aux\":{}",
+        event.kind.label(),
+        event.at_us,
+        i64::from(event.node as i32), // NONE renders as -1, not 4294967295
+        i64::from(event.peer as i32),
+        event.seq,
+        event.round,
+        event.aux
+    );
+    if let Some(detail) = aux_detail(event) {
+        let _ = write!(out, ",\"detail\":\"{}\"", json_escape(&detail));
+    }
+    out.push('}');
+    out
+}
+
+/// Compact JSONL export: one JSON object per line, in the given order
+/// (pass [`TraceAssembler::ordered`] output for a causal file).
+#[must_use]
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_json(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome trace-event JSON of an assembled cluster timeline: one track per
+/// node, instants per event, flow arrows per message edge, and complete
+/// spans per audited-pair protocol phase. Returns a self-contained JSON
+/// document (`{"traceEvents": [...]}`).
+#[must_use]
+pub fn chrome_trace(assembler: &TraceAssembler) -> String {
+    let mut entries: Vec<String> = Vec::new();
+
+    // Track naming: one process for the cluster, one thread per node.
+    entries.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"tnic-cluster\"}}"
+            .to_string(),
+    );
+    for node in assembler.nodes() {
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{node},\
+             \"args\":{{\"name\":\"node {node}\"}}}}"
+        ));
+    }
+
+    // Instants: every recorded event on its node's track.
+    for event in assembler.ordered() {
+        let tid = if event.node == crate::NONE {
+            0
+        } else {
+            event.node
+        };
+        let mut args = format!(
+            "\"peer\":{},\"seq\":{},\"round\":{},\"aux\":{}",
+            i64::from(event.peer as i32),
+            event.seq,
+            event.round,
+            event.aux
+        );
+        if let Some(detail) = aux_detail(&event) {
+            let _ = write!(args, ",\"detail\":\"{}\"", json_escape(&detail));
+        }
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+             \"args\":{{{args}}}}}",
+            event.kind.label(),
+            event.at_us
+        ));
+    }
+
+    // Flow arrows: one s/f pair per matched cross-node message edge. The
+    // flow id is the packed (origin, counter) trace id the wire already
+    // carries.
+    let events = assembler.events();
+    for edge in assembler.message_edges() {
+        let send = &events[edge.send_idx];
+        let recv = &events[edge.recv_idx];
+        let id = edge.trace_id();
+        entries.push(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{id},\"ts\":{},\
+             \"pid\":0,\"tid\":{}}}",
+            send.at_us, edge.from
+        ));
+        entries.push(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{},\
+             \"pid\":0,\"tid\":{}}}",
+            recv.at_us.max(send.at_us),
+            edge.to
+        ));
+    }
+
+    // Protocol-phase spans on the witness's track.
+    for span in assembler.pair_spans() {
+        entries.push(format!(
+            "{{\"name\":\"{} (node {})\",\"cat\":\"audit\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"node\":{},\"round\":{}}}}}",
+            json_escape(span.span.phase),
+            span.node,
+            span.span.from_us,
+            span.span.duration_us().max(1),
+            span.witness,
+            span.node,
+            span.round
+        ));
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NONE;
+
+    fn event(kind: EventKind, at_us: u64, node: u32, peer: u32, seq: u64) -> Event {
+        Event {
+            kind,
+            at_us,
+            node,
+            peer,
+            seq,
+            ..Event::EMPTY
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_decoded_detail() {
+        let aux = codes::pack_verdict(
+            codes::VERDICT_TRUSTED,
+            codes::VERDICT_EXPOSED,
+            codes::MIS_EXEC_DIVERGENCE,
+        );
+        let events = vec![
+            event(EventKind::Send, 1, 0, 1, 5),
+            Event {
+                kind: EventKind::VerdictTransition,
+                at_us: 9,
+                node: 2,
+                peer: 0,
+                aux,
+                ..Event::EMPTY
+            },
+        ];
+        let out = jsonl(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"send\""));
+        assert!(lines[1].contains("execution-divergence"));
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_flows_and_spans() {
+        let events = vec![
+            event(EventKind::Send, 1, 0, 2, 5),
+            event(EventKind::Recv, 3, 2, 0, 5),
+            event(EventKind::Challenge, 10, 2, 0, 7),
+            event(EventKind::Response, 20, 2, 0, 7),
+        ];
+        let out = chrome_trace(&TraceAssembler::new(events));
+        assert!(out.contains("\"name\":\"thread_name\""));
+        assert!(out.contains("\"name\":\"node 2\""));
+        assert!(out.contains("\"ph\":\"s\""), "flow start for the edge");
+        assert!(out.contains("\"ph\":\"f\""), "flow finish for the edge");
+        assert!(
+            out.contains("challenge→response"),
+            "per-pair phase span present"
+        );
+        // Well-formedness smoke check: braces balance.
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn none_ids_render_as_minus_one() {
+        let out = event_json(&event(EventKind::Attest, 1, 3, NONE, 1));
+        assert!(out.contains("\"peer\":-1"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The flight recorder: automatic bounded post-mortem dumps.
+//!
+//! When a named CI gate fails, a verdict comes out unexpected, or an
+//! accuracy assertion trips, the bench harness calls [`write_flight_record`]
+//! to drop everything a post-mortem needs into one bounded JSON file under
+//! `reports/` (which CI uploads as an artifact, so every red run carries
+//! its own black box):
+//!
+//! - the failure `reason` (the failing gate names and their violations),
+//! - the **tail** of the assembled event trace (bounded by `max_events` so
+//!   dumps stay artifact-sized; the tail is where the failure is),
+//! - caller-provided JSON `sections` — typically the metrics-registry
+//!   snapshot ([`crate::metrics::MetricsRegistry::render_json`]) and the
+//!   log-composition breakdown.
+//!
+//! See the crate-level "Debugging a verdict" guide for the workflow from a
+//! red gate to a Perfetto timeline.
+
+use crate::export::{event_json, json_escape};
+use crate::Event;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `flightrec-<tag>.json` under `dir` (creating it) and returns the
+/// path. `sections` are `(key, json_value)` pairs embedded verbatim — the
+/// values must already be valid JSON. At most `max_events` trailing events
+/// are embedded; the dump records how many were truncated.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing the
+/// file.
+pub fn write_flight_record(
+    dir: &Path,
+    tag: &str,
+    reason: &str,
+    events: &[Event],
+    dropped_by_ring: u64,
+    max_events: usize,
+    sections: &[(&str, String)],
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("flightrec-{tag}.json"));
+
+    let tail_start = events.len().saturating_sub(max_events);
+    let tail: Vec<String> = events[tail_start..].iter().map(event_json).collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"tag\": \"{}\",\n", json_escape(tag)));
+    out.push_str(&format!("  \"reason\": \"{}\",\n", json_escape(reason)));
+    out.push_str(&format!("  \"events_recorded\": {},\n", events.len()));
+    out.push_str(&format!("  \"events_truncated\": {tail_start},\n"));
+    out.push_str(&format!(
+        "  \"events_dropped_by_ring\": {dropped_by_ring},\n"
+    ));
+    for (key, value) in sections {
+        out.push_str(&format!("  \"{}\": {value},\n", json_escape(key)));
+    }
+    out.push_str("  \"events\": [\n    ");
+    out.push_str(&tail.join(",\n    "));
+    out.push_str("\n  ]\n}\n");
+
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[test]
+    fn dump_is_bounded_and_names_the_reason() {
+        let dir = std::env::temp_dir().join("tnic-obs-flight-test");
+        let events: Vec<Event> = (0..100)
+            .map(|seq| Event {
+                kind: EventKind::Send,
+                seq,
+                ..Event::EMPTY
+            })
+            .collect();
+        let path = write_flight_record(
+            &dir,
+            "unit",
+            "gate verdicts failed: 1 violation",
+            &events,
+            7,
+            16,
+            &[("metrics", "{\"scope\":{}}".to_string())],
+        )
+        .expect("dump written");
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert!(body.contains("\"reason\": \"gate verdicts failed: 1 violation\""));
+        assert!(body.contains("\"events_recorded\": 100"));
+        assert!(body.contains("\"events_truncated\": 84"));
+        assert!(body.contains("\"events_dropped_by_ring\": 7"));
+        assert!(body.contains("\"metrics\": {\"scope\":{}}"));
+        // Only the 16-event tail is embedded.
+        assert_eq!(body.matches("\"kind\":\"send\"").count(), 16);
+        assert!(body.contains("\"seq\":99"), "tail keeps the latest events");
+        assert!(!body.contains("\"seq\":83"), "head is truncated");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -49,7 +49,11 @@
 //! # Adding an event kind
 //!
 //! 1. Add a variant to [`EventKind`] (append — keep existing discriminants
-//!    stable so recorded streams stay comparable across runs).
+//!    stable so recorded streams stay comparable across runs) and extend
+//!    [`EventKind::ALL`] and [`EventKind::label`]. The
+//!    `all_covers_every_variant` test holds an exhaustive `match` over the
+//!    enum, so forgetting `ALL` is a compile error in `cargo test`, not a
+//!    silently unaggregated kind.
 //! 2. Document the field conventions for the new kind on the variant: what
 //!    `node`/`peer`/`seq`/`round`/`aux` mean. Every kind uses the same
 //!    fixed struct; `aux` carries the kind-specific code.
@@ -58,7 +62,53 @@
 //!    fields default to [`Event::EMPTY`].
 //! 4. If reports should aggregate it, teach `tnic_bench`'s report generator
 //!    (and, for protocol steps, [`timeline`]) about the new kind.
+//!
+//! # Cross-node trace identity
+//!
+//! A message's trace id is not an extra wire field: the attested header
+//! every message already carries — the **(sender, attestation counter)**
+//! pair — uniquely names one send, and both the sender's [`EventKind::Send`]
+//! and the receiver's [`EventKind::Recv`] record it (`node`/`peer` are the
+//! endpoints, `seq` is the counter). [`assemble::TraceAssembler`] joins the
+//! two sides on that key into happens-before edges, so the whole
+//! send → attest → net-deliver → verify → log-append → commitment →
+//! challenge → audit-replay → verdict lifecycle is one causally linked
+//! cross-node trace with **zero bytes added to any envelope** (and the
+//! 0 allocs/message datapath untouched). [`assemble::trace_id`] packs the
+//! pair into the single `u64` exporters use as the flow id.
+//!
+//! # Debugging a verdict
+//!
+//! The intended post-mortem workflow when a CI gate fails or a verdict
+//! comes out wrong:
+//!
+//! 1. **Start from the flight-recorder dump.** `reproduce`/`sweep` write
+//!    `reports/flightrec-*.json` automatically whenever a named gate fails
+//!    (the `reports/` directory is uploaded as a CI artifact, so every red
+//!    run carries its own post-mortem). The dump names the failing gates
+//!    and embeds a bounded event trace, the metrics registry snapshot and
+//!    the log-composition breakdown — see [`flight`].
+//! 2. **Assemble the timeline.** Feed the recorded events to
+//!    [`assemble::TraceAssembler`]: [`assemble::TraceAssembler::ordered`]
+//!    returns the cluster-wide causally ordered timeline (every recv after
+//!    its send, per-node order preserved), and
+//!    [`assemble::TraceAssembler::pair_spans`] the per-(witness, node)
+//!    protocol-phase spans generalizing [`timeline::explain_verdict`].
+//! 3. **Open it in Perfetto.** `reproduce --trace-out DIR` (or
+//!    [`export::chrome_trace`] on any snapshot) writes Chrome trace-event
+//!    JSON: one track per node, an instant per protocol event, flow arrows
+//!    for every cross-node message edge and one span per audit phase. Load
+//!    it at <https://ui.perfetto.dev> and follow the flow arrows from the
+//!    tampered send to the exposing verdict. [`export::jsonl`] is the same
+//!    data in grep-friendly JSONL.
+//! 4. **Check for truncation.** If the ring wrapped during the run the
+//!    report warns and [`Recorder::dropped_by_node`] says whose history is
+//!    incomplete — re-run with a larger ring before trusting a partial
+//!    timeline.
 
+pub mod assemble;
+pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod timeline;
 
@@ -111,7 +161,7 @@ pub enum EventKind {
     /// cut sequence, `aux` entries dropped.
     Prune = 11,
     /// Fabric delivered a packet: `node` destination address,
-    /// `peer` source address, `seq` PSN.
+    /// `peer` source address, `seq` PSN, `aux` payload bytes.
     NetDeliver = 12,
     /// Fabric dropped a packet (link loss or adversary): `node` destination
     /// address, `peer` source address, `seq` PSN. Cluster-level drops to an
@@ -137,11 +187,20 @@ pub enum EventKind {
     /// into one batch envelope: `node` sender, `peer` receiver, `round`
     /// audit round, `aux` elements in the batch.
     ChallengeBatch = 18,
+    /// A node appended an entry to its tamper-evident log: `node` the
+    /// appender, `peer` the message counterpart (`NONE` for exec/checkpoint
+    /// entries), `seq` the absolute log sequence of the new entry, `aux`
+    /// the entry class ([`codes::LOG_APP_PAYLOAD`],
+    /// [`codes::LOG_CONTROL_DIGEST`] or [`codes::LOG_AUDIT_DIGEST`]).
+    LogAppend = 19,
 }
 
 impl EventKind {
-    /// All kinds, in discriminant order (for per-kind aggregation).
-    pub const ALL: [EventKind; 19] = [
+    /// All kinds, in discriminant order (for per-kind aggregation). The
+    /// `all_covers_every_variant` test pins this list to the enum with an
+    /// exhaustive `match`, so a new variant that is not added here fails to
+    /// compile the test suite instead of silently missing aggregation.
+    pub const ALL: [EventKind; 20] = [
         EventKind::Send,
         EventKind::Recv,
         EventKind::Attest,
@@ -161,6 +220,7 @@ impl EventKind {
         EventKind::Retry,
         EventKind::AuditSample,
         EventKind::ChallengeBatch,
+        EventKind::LogAppend,
     ];
 
     /// Short stable label used in reports.
@@ -186,6 +246,7 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::AuditSample => "audit-sample",
             EventKind::ChallengeBatch => "challenge-batch",
+            EventKind::LogAppend => "log-append",
         }
     }
 }
@@ -306,6 +367,28 @@ pub mod codes {
         }
     }
 
+    /// Log-entry class: application payload logged in full (witnesses
+    /// replay it against the reference machine).
+    pub const LOG_APP_PAYLOAD: u64 = 0;
+    /// Log-entry class: non-audit control message logged by digest
+    /// (commitments, checkpoint traffic, membership, evidence).
+    pub const LOG_CONTROL_DIGEST: u64 = 1;
+    /// Log-entry class: audit-protocol message (challenge/response,
+    /// batched or not) logged by digest — the class behind the O(w²)
+    /// audit-log-inflation feedback.
+    pub const LOG_AUDIT_DIGEST: u64 = 2;
+
+    /// Human-readable log-entry-class label.
+    #[must_use]
+    pub fn log_class_name(code: u64) -> &'static str {
+        match code {
+            LOG_APP_PAYLOAD => "app-payload",
+            LOG_CONTROL_DIGEST => "control-digest",
+            LOG_AUDIT_DIGEST => "audit-digest",
+            _ => "unknown",
+        }
+    }
+
     /// Checkpoint phase: proposal sealed/announced.
     pub const CKPT_PROPOSE: u64 = 0;
     /// Checkpoint phase: cosignature issued.
@@ -367,7 +450,18 @@ pub trait Recorder {
     fn dropped(&self) -> u64 {
         0
     }
+    /// Discarded events broken down by the `node` field of the lost event
+    /// (`(node, count)` pairs, ascending by node) — which node's history a
+    /// wrapped ring truncated. May allocate (cold path).
+    fn dropped_by_node(&self) -> Vec<(u32, u64)> {
+        Vec::new()
+    }
 }
+
+/// Per-node drop slots preallocated by [`RingRecorder`]: node ids at or
+/// above the last slot share it, so counting a drop stays a plain indexed
+/// increment (no allocation on the record path).
+const NODE_DROP_SLOTS: usize = 1024;
 
 /// The default recorder: a ring buffer preallocated at install time.
 ///
@@ -380,6 +474,7 @@ pub struct RingRecorder {
     next: usize,
     len: usize,
     dropped: u64,
+    node_drops: Vec<u64>,
 }
 
 impl RingRecorder {
@@ -393,6 +488,7 @@ impl RingRecorder {
             next: 0,
             len: 0,
             dropped: 0,
+            node_drops: vec![0; NODE_DROP_SLOTS],
         }
     }
 
@@ -417,13 +513,19 @@ impl RingRecorder {
 
 impl Recorder for RingRecorder {
     fn record(&mut self, event: Event) {
-        self.buf[self.next] = event;
-        self.next = (self.next + 1) % self.buf.len();
         if self.len == self.buf.len() {
+            // The ring wraps: the oldest event is about to be overwritten.
+            // Attribute the loss to the *discarded* event's node — that is
+            // whose timeline just got truncated.
             self.dropped += 1;
+            let node = self.buf[self.next].node as usize;
+            let slot = node.min(NODE_DROP_SLOTS - 1);
+            self.node_drops[slot] += 1;
         } else {
             self.len += 1;
         }
+        self.buf[self.next] = event;
+        self.next = (self.next + 1) % self.buf.len();
     }
 
     fn snapshot(&self) -> Vec<Event> {
@@ -434,6 +536,15 @@ impl Recorder for RingRecorder {
 
     fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn dropped_by_node(&self) -> Vec<(u32, u64)> {
+        self.node_drops
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(node, &n)| (node as u32, n))
+            .collect()
     }
 }
 
@@ -487,6 +598,17 @@ pub fn dropped() -> u64 {
     RECORDER.with(|slot| slot.borrow().as_ref().map_or(0, |r| r.dropped()))
 }
 
+/// Per-node drop counts of the installed recorder (empty if none
+/// installed or nothing was dropped) — see [`Recorder::dropped_by_node`].
+#[must_use]
+pub fn dropped_by_node() -> Vec<(u32, u64)> {
+    RECORDER.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.dropped_by_node())
+    })
+}
+
 /// Records one event into the installed recorder. Prefer [`trace_event!`],
 /// which skips field evaluation when tracing is disabled.
 #[inline]
@@ -529,6 +651,12 @@ impl RecorderGuard {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         dropped()
+    }
+
+    /// Overwritten events broken down by the lost event's node.
+    #[must_use]
+    pub fn dropped_by_node(&self) -> Vec<(u32, u64)> {
+        dropped_by_node()
     }
 }
 
@@ -610,6 +738,73 @@ mod tests {
         assert_eq!(ring.dropped(), 6);
         let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_attributes_drops_to_the_discarded_events_node() {
+        let mut ring = RingRecorder::with_capacity(2);
+        for node in [7u32, 7, 9, 9, 9] {
+            ring.record(Event {
+                kind: EventKind::Send,
+                node,
+                ..Event::EMPTY
+            });
+        }
+        // Ring of 2: the two node-7 events and the first node-9 event were
+        // overwritten.
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.dropped_by_node(), vec![(7, 2), (9, 1)]);
+    }
+
+    /// `ALL` must cover every variant, in discriminant order. The closure
+    /// holds a wildcard-free `match` over the enum: adding a variant makes
+    /// it non-exhaustive (a compile error right here), and the arm it then
+    /// forces you to write pins the variant's expected position in `ALL`.
+    #[test]
+    fn all_covers_every_variant() {
+        let index_of = |kind: EventKind| -> usize {
+            match kind {
+                EventKind::Send => 0,
+                EventKind::Recv => 1,
+                EventKind::Attest => 2,
+                EventKind::Verify => 3,
+                EventKind::Commitment => 4,
+                EventKind::Challenge => 5,
+                EventKind::Response => 6,
+                EventKind::AuditReplay => 7,
+                EventKind::Evidence => 8,
+                EventKind::VerdictTransition => 9,
+                EventKind::Checkpoint => 10,
+                EventKind::Prune => 11,
+                EventKind::NetDeliver => 12,
+                EventKind::NetDrop => 13,
+                EventKind::Membership => 14,
+                EventKind::Partition => 15,
+                EventKind::Retry => 16,
+                EventKind::AuditSample => 17,
+                EventKind::ChallengeBatch => 18,
+                EventKind::LogAppend => 19,
+            }
+        };
+        for (position, &kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(
+                index_of(kind),
+                position,
+                "ALL out of order at position {position} ({})",
+                kind.label()
+            );
+            assert_eq!(
+                kind as usize, position,
+                "discriminants must stay contiguous and match the ALL order"
+            );
+        }
+        // Every match arm's index lands inside ALL, so together with the
+        // order check above, ALL contains each variant exactly once.
+        assert_eq!(EventKind::ALL.len(), index_of(EventKind::LogAppend) + 1);
+        let mut labels: Vec<&str> = EventKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EventKind::ALL.len(), "labels must be unique");
     }
 
     #[test]

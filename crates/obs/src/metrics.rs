@@ -168,6 +168,52 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Renders the whole registry as one JSON object — `{scope: {counters,
+    /// gauges, histograms}}` with histogram summaries (count/mean/p50/p99/
+    /// max in µs). Hand-rolled (no serde); used by `BENCH_report.json` and
+    /// the flight recorder.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use crate::export::json_escape;
+        let mut scopes = Vec::new();
+        for (label, scope) in self.scopes() {
+            let counters: Vec<String> = scope
+                .counters()
+                .map(|(name, value)| format!("\"{}\":{value}", json_escape(name)))
+                .collect();
+            let gauges: Vec<String> = scope
+                .gauges()
+                .map(|(name, value)| {
+                    let value = if value.is_finite() { value } else { -1.0 };
+                    format!("\"{}\":{value}", json_escape(name))
+                })
+                .collect();
+            let histograms: Vec<String> = scope
+                .histograms()
+                .map(|(name, h)| {
+                    format!(
+                        "\"{}\":{{\"count\":{},\"mean_us\":{:.2},\"p50_us\":{:.2},\
+                         \"p99_us\":{:.2},\"max_us\":{:.2}}}",
+                        json_escape(name),
+                        h.len(),
+                        h.mean_us(),
+                        h.median_us(),
+                        h.percentile_us(0.99),
+                        h.max_us()
+                    )
+                })
+                .collect();
+            scopes.push(format!(
+                "\"{}\":{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+                json_escape(label),
+                counters.join(","),
+                gauges.join(","),
+                histograms.join(",")
+            ));
+        }
+        format!("{{{}}}", scopes.join(","))
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +251,21 @@ mod tests {
             registry.get("s").unwrap().histogram("lat").unwrap().len(),
             3
         );
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_complete() {
+        let mut registry = MetricsRegistry::new();
+        let scope = registry.scope("peerreview/x/y");
+        scope.inc("events_dropped", 3);
+        scope.set_gauge("ratio", 1.5);
+        scope.record_us("lat", 10.0);
+        let json = registry.render_json();
+        assert!(json.contains("\"peerreview/x/y\""));
+        assert!(json.contains("\"events_dropped\":3"));
+        assert!(json.contains("\"ratio\":1.5"));
+        assert!(json.contains("\"p99_us\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -74,7 +74,12 @@ pub fn verdict_transitions(events: &[Event]) -> Vec<Event> {
         .collect()
 }
 
-fn phase_label(from: EventKind, to: EventKind) -> &'static str {
+/// The canonical label of the protocol phase between two causally adjacent
+/// step kinds (`"→"` for pairs that are not a named phase). Shared by the
+/// single-verdict chains here and the whole-run pair spans in
+/// [`crate::assemble`].
+#[must_use]
+pub fn phase_label(from: EventKind, to: EventKind) -> &'static str {
     match (from, to) {
         (EventKind::Commitment, EventKind::Challenge) => "commitment→challenge",
         (EventKind::Commitment, EventKind::Evidence) => "commitment→evidence",

@@ -551,8 +551,36 @@ impl CommitmentLayer {
     /// Appends the claimed output of an application execution to `node`'s
     /// log as an `Exec` entry — the record witnesses replay against the
     /// reference machine.
-    pub fn record_exec(&mut self, node: u32, output: Vec<u8>) {
-        self.state_mut(node).log.append(EntryKind::Exec, output);
+    pub fn record_exec(&mut self, node: u32, output: Vec<u8>, at_us: u64) {
+        self.append_traced(node, tnic_obs::NONE, EntryKind::Exec, output, false, at_us);
+    }
+
+    /// Appends an entry via [`crate::log::SecureLog::append_classified`] and
+    /// emits the [`tnic_obs::EventKind::LogAppend`] trace event that links
+    /// the append into the message's cross-node trace (aux = the entry
+    /// class). Allocation-free beyond the log append itself.
+    fn append_traced(
+        &mut self,
+        node: u32,
+        peer: u32,
+        kind: EntryKind,
+        content: Vec<u8>,
+        audit_protocol: bool,
+        at_us: u64,
+    ) {
+        let (entry, class) =
+            self.state_mut(node)
+                .log
+                .append_classified(kind, content, audit_protocol);
+        let seq = entry.seq;
+        tnic_obs::trace_event!(
+            tnic_obs::EventKind::LogAppend,
+            at_us: at_us,
+            node: node,
+            peer: peer,
+            seq: seq,
+            aux: class.code()
+        );
     }
 
     /// `(seq, head, forked_head)` of `node`'s log — the data a commitment
@@ -597,10 +625,15 @@ impl CommitmentLayer {
     /// Appends a checkpoint mark to `node`'s log (the retained root-to-be):
     /// the entry content is the mark's canonical payload, so witnesses
     /// replaying it re-verify the embedded state digest.
-    pub fn record_checkpoint(&mut self, node: u32, mark_payload: Vec<u8>) {
-        self.state_mut(node)
-            .log
-            .append(EntryKind::Checkpoint, mark_payload);
+    pub fn record_checkpoint(&mut self, node: u32, mark_payload: Vec<u8>, at_us: u64) {
+        self.append_traced(
+            node,
+            tnic_obs::NONE,
+            EntryKind::Checkpoint,
+            mark_payload,
+            false,
+            at_us,
+        );
     }
 
     /// Garbage-collects `node`'s log prefix below `upto_seq` (covered by a
@@ -667,6 +700,18 @@ impl CommitmentLayer {
     #[must_use]
     pub fn total_entries(&self) -> u64 {
         self.states.values().map(|s| s.log.len()).sum()
+    }
+
+    /// Per-class log composition summed across all logs — what the entries
+    /// ever appended actually hold (app payloads vs control digests vs
+    /// audit-protocol digests); see [`crate::log::LogComposition`].
+    #[must_use]
+    pub fn composition(&self) -> crate::log::LogComposition {
+        let mut total = crate::log::LogComposition::default();
+        for state in self.states.values() {
+            total.merge(&state.log.composition());
+        }
+        total
     }
 
     /// Queues `auth` for a piggyback ride on the next outbound message
@@ -781,20 +826,28 @@ impl AccountabilityLayer for CommitmentLayer {
         from: NodeId,
         to: NodeId,
         message: &tnic_device::attestation::AttestedMessage,
-        _at: SimInstant,
+        at: SimInstant,
     ) {
-        self.state_mut(from.0).log.append(
+        self.append_traced(
+            from.0,
+            to.0,
             EntryKind::Send { to: to.0 },
             logged_content(&message.payload),
+            Envelope::is_audit_traffic(&message.payload),
+            at.as_micros(),
         );
     }
 
     fn on_delivered(&mut self, to: NodeId, delivered: &Delivered) {
-        self.state_mut(to.0).log.append(
+        self.append_traced(
+            to.0,
+            delivered.from.0,
             EntryKind::Recv {
                 from: delivered.from.0,
             },
             logged_content(&delivered.message.payload),
+            Envelope::is_audit_traffic(&delivered.message.payload),
+            delivered.at.as_micros(),
         );
     }
 
@@ -1203,6 +1256,10 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         stats.piggybacked_commitments = layer.piggybacked();
         stats.retained_log_entries = layer.retained_entries();
         stats.retained_log_bytes = layer.retained_bytes();
+        let composition = layer.composition();
+        stats.log_app_payload_entries = composition.app_payload_entries;
+        stats.log_control_digest_entries = composition.control_digest_entries;
+        stats.log_audit_digest_entries = composition.audit_digest_entries;
         stats.retained_commitments = self
             .records
             .values()
@@ -1689,9 +1746,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 &head,
                 &self.shadows[&node.0].state_digest(),
             );
-            self.layer
-                .borrow_mut()
-                .record_checkpoint(node.0, entry_payload);
+            self.layer.borrow_mut().record_checkpoint(
+                node.0,
+                entry_payload,
+                self.clock.now().as_micros(),
+            );
             let payload = CheckpointMark::payload(node.0, epoch, cut, &head, &state_digest);
             let (attestation, cost) = self.layer.borrow_mut().seal_payload(node.0, &payload);
             self.clock.advance(cost);
@@ -2601,7 +2660,11 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                     .get_mut(&node.0)
                     .expect("shadow registered")
                     .execute(&command);
-                self.layer.borrow_mut().record_exec(node.0, output.clone());
+                self.layer.borrow_mut().record_exec(
+                    node.0,
+                    output.clone(),
+                    self.clock.now().as_micros(),
+                );
                 self.app_inbox.entry(node.0).or_default().push(AppDelivery {
                     from: NodeId(from),
                     command,
@@ -2744,6 +2807,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                     round,
                 };
                 self.stats.leave_audits += 1;
+                self.stats.audit_replays += 1;
+                self.stats.entries_replayed += tail.len() as u64;
                 let _ = record.check_response(&auth, &tail);
             }
         }
@@ -3142,6 +3207,8 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
             return;
         };
         self.stats.responses += 1;
+        self.stats.audit_replays += 1;
+        self.stats.entries_replayed += entries.len() as u64;
         record.trace = TraceCtx {
             witness,
             node,

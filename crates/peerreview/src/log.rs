@@ -124,6 +124,116 @@ pub fn content_payload(content: &[u8]) -> Option<&[u8]> {
     }
 }
 
+/// The composition class of one log entry — what kind of work it represents
+/// for the audit protocol. Full app payloads are the entries witnesses
+/// *replay*; digest entries are hashed-through bookkeeping, split into
+/// ordinary control traffic and the audit protocol's own
+/// challenge/response traffic (the class that feeds the O(w²)
+/// audit-log-inflation loop: auditing creates messages, messages create
+/// entries, entries make the next audit bigger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryClass {
+    /// Full application payload (or a claimed `Exec` output) — replayed by
+    /// witnesses against the reference machine.
+    AppPayload,
+    /// Non-audit control message logged by digest (commitments, checkpoint,
+    /// membership, evidence traffic) or a checkpoint mark.
+    ControlDigest,
+    /// Audit-protocol message (challenge/response, batched or not) logged
+    /// by digest.
+    AuditDigest,
+}
+
+impl EntryClass {
+    /// Classifies an entry from its kind, its encoded content and whether
+    /// the logged wire payload was audit-protocol traffic (the log cannot
+    /// tell a control digest from an audit digest on its own — the caller
+    /// saw the envelope tag; see `Envelope::is_audit_traffic`).
+    #[must_use]
+    pub fn of(kind: EntryKind, content: &[u8], audit_protocol: bool) -> Self {
+        match kind {
+            EntryKind::Exec => EntryClass::AppPayload,
+            EntryKind::Checkpoint => EntryClass::ControlDigest,
+            EntryKind::Send { .. } | EntryKind::Recv { .. } => {
+                if content.first() == Some(&CONTENT_FULL) {
+                    EntryClass::AppPayload
+                } else if audit_protocol {
+                    EntryClass::AuditDigest
+                } else {
+                    EntryClass::ControlDigest
+                }
+            }
+        }
+    }
+
+    /// The stable numeric code of this class (matches
+    /// `tnic_obs::codes::LOG_APP_PAYLOAD` etc., carried in `LogAppend`
+    /// events).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            EntryClass::AppPayload => 0,
+            EntryClass::ControlDigest => 1,
+            EntryClass::AuditDigest => 2,
+        }
+    }
+}
+
+/// Per-class composition counters of one log. Monotonic over the log's
+/// lifetime: pruning drops entries from memory but not from the
+/// composition account (the account answers "what did the protocol put in
+/// the log", not "what is retained" — retention has its own counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogComposition {
+    /// Entries carrying a full app payload or exec output.
+    pub app_payload_entries: u64,
+    /// Content bytes of those entries.
+    pub app_payload_bytes: u64,
+    /// Non-audit control entries logged by digest.
+    pub control_digest_entries: u64,
+    /// Content bytes of those entries.
+    pub control_digest_bytes: u64,
+    /// Audit-protocol entries logged by digest.
+    pub audit_digest_entries: u64,
+    /// Content bytes of those entries.
+    pub audit_digest_bytes: u64,
+}
+
+impl LogComposition {
+    /// Folds another account into this one (for cluster-wide sums).
+    pub fn merge(&mut self, other: &LogComposition) {
+        self.app_payload_entries += other.app_payload_entries;
+        self.app_payload_bytes += other.app_payload_bytes;
+        self.control_digest_entries += other.control_digest_entries;
+        self.control_digest_bytes += other.control_digest_bytes;
+        self.audit_digest_entries += other.audit_digest_entries;
+        self.audit_digest_bytes += other.audit_digest_bytes;
+    }
+
+    /// Total classified entries (equals the log's `len`).
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        self.app_payload_entries + self.control_digest_entries + self.audit_digest_entries
+    }
+
+    fn count(&mut self, class: EntryClass, content_len: u64) {
+        match class {
+            EntryClass::AppPayload => {
+                self.app_payload_entries += 1;
+                self.app_payload_bytes += content_len;
+            }
+            EntryClass::ControlDigest => {
+                self.control_digest_entries += 1;
+                self.control_digest_bytes += content_len;
+            }
+            EntryClass::AuditDigest => {
+                self.audit_digest_entries += 1;
+                self.audit_digest_bytes += content_len;
+            }
+        }
+    }
+}
+
 /// Computes the chained hash of an entry.
 #[must_use]
 pub fn chain_hash(prev: &[u8; 32], seq: u64, kind: EntryKind, content: &[u8]) -> [u8; 32] {
@@ -227,6 +337,8 @@ pub struct SecureLog {
     /// Total entries dropped by [`SecureLog::prune_to`] over the log's
     /// lifetime (equal to `base_seq`; kept separate for clarity in stats).
     pruned: u64,
+    /// Per-class composition account of everything ever appended.
+    composition: LogComposition,
 }
 
 impl SecureLog {
@@ -284,8 +396,25 @@ impl SecureLog {
         self.entries.last().map_or(self.base_head, |e| e.hash)
     }
 
-    /// Appends an entry and returns a reference to it.
+    /// Appends an entry and returns a reference to it. Equivalent to
+    /// [`SecureLog::append_classified`] with `audit_protocol = false` —
+    /// callers that logged an audit-protocol payload must say so there, or
+    /// the composition account files it under control traffic.
     pub fn append(&mut self, kind: EntryKind, content: Vec<u8>) -> &LogEntry {
+        self.append_classified(kind, content, false).0
+    }
+
+    /// Appends an entry, classifying it for the composition account
+    /// ([`SecureLog::composition`]); `audit_protocol` marks digest entries
+    /// of audit-protocol wire traffic. Returns the entry and its class.
+    pub fn append_classified(
+        &mut self,
+        kind: EntryKind,
+        content: Vec<u8>,
+        audit_protocol: bool,
+    ) -> (&LogEntry, EntryClass) {
+        let class = EntryClass::of(kind, &content, audit_protocol);
+        self.composition.count(class, content.len() as u64);
         let seq = self.len();
         let prev = self.head();
         let hash = chain_hash(&prev, seq, kind, &content);
@@ -296,7 +425,14 @@ impl SecureLog {
             prev,
             hash,
         });
-        self.entries.last().expect("just pushed")
+        (self.entries.last().expect("just pushed"), class)
+    }
+
+    /// The per-class composition account of everything ever appended
+    /// (monotonic; unaffected by pruning or tail truncation).
+    #[must_use]
+    pub fn composition(&self) -> LogComposition {
+        self.composition
     }
 
     /// The retained entries (absolute sequence numbers start at
@@ -512,6 +648,34 @@ mod tests {
         // happen to resemble one.
         assert_eq!(content_payload(&content_digest(&payload)), None);
         assert_eq!(content_digest(&payload).len(), 33);
+    }
+
+    #[test]
+    fn composition_classifies_and_survives_pruning() {
+        let mut log = SecureLog::new();
+        log.append_classified(EntryKind::Send { to: 1 }, content_full(b"app"), false);
+        log.append_classified(EntryKind::Recv { from: 1 }, content_digest(b"ctl"), false);
+        log.append_classified(EntryKind::Send { to: 2 }, content_digest(b"chal"), true);
+        log.append(EntryKind::Exec, b"output".to_vec());
+        log.append(EntryKind::Checkpoint, b"mark".to_vec());
+        let composition = log.composition();
+        assert_eq!(composition.app_payload_entries, 2); // full send + exec
+        assert_eq!(composition.control_digest_entries, 2); // digest recv + checkpoint
+        assert_eq!(composition.audit_digest_entries, 1);
+        assert_eq!(composition.total_entries(), log.len());
+        // A full-payload entry is app even when flagged audit (the flag only
+        // disambiguates digests).
+        assert_eq!(
+            EntryClass::of(EntryKind::Send { to: 3 }, &content_full(b"x"), true),
+            EntryClass::AppPayload
+        );
+        // Pruning does not rewrite history.
+        log.prune_to(3);
+        assert_eq!(log.composition(), composition);
+        let mut sum = LogComposition::default();
+        sum.merge(&composition);
+        sum.merge(&composition);
+        assert_eq!(sum.total_entries(), 2 * composition.total_entries());
     }
 
     #[test]

@@ -114,6 +114,23 @@ pub struct AccountabilityStats {
     /// envelope instead of their own message; the wire savings is
     /// `batched_envelopes - (challenge_batches + response_batches)`.
     pub batched_envelopes: u64,
+    /// Audit replays performed by witnesses (each `check_response` over a
+    /// received log segment, including departure-tail replays).
+    pub audit_replays: u64,
+    /// Log entries fed through audit replay across all witnesses — the
+    /// replay-work wall: with full (unsampled) audits every witness replays
+    /// every audited node's whole window, so this grows as O(w²) in the
+    /// per-round traffic (see the log-composition report section).
+    pub entries_replayed: u64,
+    /// Log entries holding a full application payload (replayed by audits).
+    pub log_app_payload_entries: u64,
+    /// Log entries holding only a digest of ordinary control traffic
+    /// (announce/gossip/checkpoint/membership — hashed, not replayed).
+    pub log_control_digest_entries: u64,
+    /// Log entries holding only a digest of audit-protocol traffic
+    /// (challenges/responses, batched or not) — the log-growth cost the
+    /// audit machinery inflicts on itself.
+    pub log_audit_digest_entries: u64,
     /// Virtual-time latency of one complete audit (challenge sent → verdict),
     /// in microseconds.
     pub audit_latency: Histogram,

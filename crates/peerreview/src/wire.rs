@@ -640,6 +640,52 @@ impl Envelope {
             _ => None,
         }
     }
+
+    /// Whether `raw` is audit-protocol traffic — a challenge or response
+    /// (batched or not), directly or under one [`Envelope::Piggyback`]
+    /// wrapper. Used to classify `Send`/`Recv` log entries by what they
+    /// cost the auditor: audit-protocol digests are self-inflicted
+    /// accountability load, distinct from app payloads (replayed) and
+    /// ordinary control digests. Allocation-free (the same single-level
+    /// peel as [`Envelope::app_command`]) so the hot append path can call
+    /// it per message.
+    #[must_use]
+    pub fn is_audit_traffic(raw: &[u8]) -> bool {
+        const AUDIT_TAGS: [u8; 4] = [
+            TAG_CHALLENGE,
+            TAG_RESPONSE,
+            TAG_CHALLENGE_BATCH,
+            TAG_RESPONSE_BATCH,
+        ];
+        match raw
+            .strip_prefix(&ENVELOPE_MAGIC)
+            .and_then(<[u8]>::split_first)
+        {
+            Some((tag, _)) if AUDIT_TAGS.contains(tag) => true,
+            Some((&TAG_PIGGYBACK, rest)) => {
+                let Some((&count, mut rest)) = rest.split_first() else {
+                    return false;
+                };
+                if count == 0 || count as usize > MAX_PIGGYBACK_RIDERS {
+                    return false;
+                }
+                for _ in 0..count {
+                    let Some((_, after_flag)) = rest.split_first() else {
+                        return false;
+                    };
+                    let Some((_, used)) = read_block(after_flag) else {
+                        return false;
+                    };
+                    rest = &after_flag[used..];
+                }
+                if Envelope::is_piggyback(rest) {
+                    return false;
+                }
+                Envelope::is_audit_traffic(rest)
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -965,6 +1011,42 @@ mod tests {
             .encode(),
         );
         assert_eq!(Envelope::app_command(&ctl), None);
+    }
+
+    #[test]
+    fn audit_traffic_classification_sees_through_one_piggyback_level() {
+        // Bare audit envelopes.
+        let challenge = Envelope::Challenge {
+            from_seq: 0,
+            upto_seq: 4,
+        };
+        assert!(Envelope::is_audit_traffic(&challenge.encode()));
+        let response = Envelope::Response {
+            from_seq: 0,
+            entries: Vec::new(),
+        };
+        assert!(Envelope::is_audit_traffic(&response.encode()));
+        let batch = Envelope::ChallengeBatch {
+            challenges: vec![(0, 4)],
+        };
+        assert!(Envelope::is_audit_traffic(&batch.encode()));
+        // Non-audit envelopes, bare and wrapped.
+        assert!(!Envelope::is_audit_traffic(
+            &Envelope::App(b"incr".to_vec()).encode()
+        ));
+        assert!(!Envelope::is_audit_traffic(
+            &Envelope::Announce(sealed_auth(1)).encode()
+        ));
+        assert!(!Envelope::is_audit_traffic(&[0u8, 0, 0, 42]));
+        // One piggyback level is peeled; classification follows the inner.
+        let riders = vec![rider(2, false)];
+        let ridden_challenge = Envelope::piggyback_raw(&riders, &challenge.encode());
+        assert!(Envelope::is_audit_traffic(&ridden_challenge));
+        let ridden_app = Envelope::piggyback_raw(&riders, &Envelope::App(b"x".to_vec()).encode());
+        assert!(!Envelope::is_audit_traffic(&ridden_app));
+        // Nesting is invalid on decode, so it is not audit traffic either.
+        let twice = Envelope::piggyback_raw(&riders, &ridden_challenge);
+        assert!(!Envelope::is_audit_traffic(&twice));
     }
 
     #[test]
