@@ -7,7 +7,14 @@
 //! [--all-baselines] [--check] [--max-ctl-app RATIO] [--max-acct-ctl-app RATIO]
 //! [--max-retained-entries N] [--max-exposure-latency-rounds N]
 //! [--max-verdict-delay-rounds N] [--max-audit-msgs-per-node-round RATE]
-//! [--max-trace-overhead-pct PCT] [--trace-out DIR] [--report PATH]`
+//! [--max-audit-log-fraction F] [--max-trace-overhead-pct PCT]
+//! [--trace-out DIR] [--report PATH]`
+//!
+//! The `audit-log-share` gate bounds the fraction of every scenario's log
+//! taken by audit-protocol digest entries (`--max-audit-log-fraction`,
+//! default 0.5): with round-digest batching one `AuditRound` entry per
+//! audit round replaces the per-envelope digest flood, so audit metadata
+//! can no longer dominate the very logs being audited.
 //!
 //! With `--trace-out DIR` the traced scenarios additionally export their
 //! assembled cross-node timeline as Chrome trace-event JSON
@@ -165,6 +172,7 @@ fn main() {
     let mut max_exposure_latency_rounds = 6u64;
     let mut max_verdict_delay_rounds = 6u64;
     let mut max_audit_msgs_per_node_round = 4.0f64;
+    let mut max_audit_log_fraction = 0.5f64;
     let mut max_trace_overhead_pct = 150.0f64;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut report_path = std::path::PathBuf::from("reports/reproduce.md");
@@ -213,6 +221,13 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--max-audit-log-fraction" => {
+                max_audit_log_fraction =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-audit-log-fraction requires a number in [0, 1]");
+                        std::process::exit(2);
+                    });
+            }
             "--max-trace-overhead-pct" => {
                 max_trace_overhead_pct =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -240,8 +255,8 @@ fn main() {
                      usage: reproduce [--all-baselines] [--check] [--max-ctl-app RATIO] \
                      [--max-acct-ctl-app RATIO] [--max-retained-entries N] \
                      [--max-exposure-latency-rounds N] [--max-verdict-delay-rounds N] \
-                     [--max-audit-msgs-per-node-round RATE] [--max-trace-overhead-pct PCT] \
-                     [--trace-out DIR] [--report PATH]"
+                     [--max-audit-msgs-per-node-round RATE] [--max-audit-log-fraction F] \
+                     [--max-trace-overhead-pct PCT] [--trace-out DIR] [--report PATH]"
                 );
                 std::process::exit(2);
             }
@@ -613,6 +628,7 @@ fn main() {
         gates::exposure_latency_gate(&latency_cases, max_exposure_latency_rounds),
         gates::churn_delay_gate(&churn_results, max_verdict_delay_rounds),
         gates::audit_traffic_gate(&audit_cases, max_audit_msgs_per_node_round),
+        gates::audit_log_share_gate(&results, max_audit_log_fraction),
         gates::sampled_detection_latency_gate(
             &sampled_cases,
             max_exposure_latency_rounds + SAMPLED_COVERAGE_WINDOW,

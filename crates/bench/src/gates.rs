@@ -347,6 +347,40 @@ pub fn audit_traffic_gate(cases: &[(String, f64)], max_per_node_round: f64) -> G
     GateOutcome::from_violations("audit-traffic", violations)
 }
 
+/// Every scenario's logs keep their audit-protocol share under
+/// `max_fraction` — the storage axis of the audit-log inflation feedback:
+/// without round-digest batching, every challenge/response envelope lands
+/// a per-message control digest in both endpoint logs, the next audit
+/// replays those entries, and the audit share compounds with witness count
+/// (a bound, enforced under `--check` via `--max-audit-log-fraction`).
+#[must_use]
+pub fn audit_log_share_gate(results: &[ScenarioResult], max_fraction: f64) -> GateOutcome {
+    let violations = results
+        .iter()
+        .filter_map(|r| {
+            let total = r.log_app_entries + r.log_ctl_entries + r.log_audit_entries;
+            if total == 0 {
+                return None;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let share = r.log_audit_entries as f64 / total as f64;
+            (share > max_fraction).then(|| {
+                format!(
+                    "{} [{} / {}]: audit entries are {:.0}% of the log ({} of {}), bound is {:.0}%",
+                    r.name,
+                    r.baseline.label(),
+                    r.mode.label(),
+                    share * 100.0,
+                    r.log_audit_entries,
+                    total,
+                    max_fraction * 100.0
+                )
+            })
+        })
+        .collect();
+    GateOutcome::from_violations("audit-log-share", violations)
+}
+
 /// Every sampled-auditing case still detects its tamperer within the
 /// round bound — sampling trades detection latency for audit traffic but
 /// must never lose detection outright (`None` always violates).
@@ -580,6 +614,33 @@ mod tests {
             gate.violations
         );
         assert!(audit_traffic_gate(&cases[1..], 4.0).passed);
+    }
+
+    #[test]
+    fn audit_log_share_gate_bounds_the_storage_fraction() {
+        let mut inflated = row(
+            "fault-free",
+            CommitMode::Dedicated,
+            "trusted",
+            "trusted",
+            1.0,
+        );
+        inflated.log_app_entries = 100;
+        inflated.log_ctl_entries = 50;
+        inflated.log_audit_entries = 450; // 75% of the log is audit digests
+        let mut batched = inflated.clone();
+        batched.name = "fault-free-batched";
+        batched.log_audit_entries = 10; // ~6%
+        let empty = row("no-logs", CommitMode::Dedicated, "trusted", "trusted", 1.0);
+        let gate = audit_log_share_gate(&[inflated, batched.clone(), empty], 0.5);
+        assert!(!gate.passed);
+        assert_eq!(gate.violations.len(), 1, "{:?}", gate.violations);
+        assert!(
+            gate.violations[0].contains("75% of the log (450 of 600), bound is 50%"),
+            "{:?}",
+            gate.violations
+        );
+        assert!(audit_log_share_gate(&[batched], 0.5).passed);
     }
 
     #[test]

@@ -1477,7 +1477,16 @@ fn run_peerreview_sweep_point(point: SweepPoint) -> Result<SweepRow, CoreError> 
         pr.run_scenario_ext(point.rounds, point.messages_per_round, point.audit_period)?;
     }
     let stats = pr.stats();
-    let exposure_latency = sweep_exposure_probe(&point, true)?;
+    // The full-audit exposure twin is the baseline the sampled detection
+    // column is compared against — but at n >= 10 000 a full-audit run
+    // (every witness replaying every charge every round) is exactly the
+    // wall the sampled-only rows exist to avoid, so the column stays
+    // empty there instead of burning the row's wall-clock budget on it.
+    let exposure_latency = if point.audit_sample_size.is_some() && point.nodes >= 10_000 {
+        None
+    } else {
+        sweep_exposure_probe(&point, true)?
+    };
     // Under sampling the row's own detection latency differs from the
     // full-audit baseline; without it the twin would be identical, so the
     // second probe is skipped.
@@ -1738,6 +1747,10 @@ pub struct ParitySpec {
     /// (PeerReview substrate only; the other drivers build their clusters
     /// internally).
     pub event_driven: bool,
+    /// Round-digest batching of audit-protocol log entries (`false` =
+    /// classic per-envelope control digests — the measurement twin for
+    /// batching-parity runs).
+    pub round_audit_digests: bool,
 }
 
 impl ParitySpec {
@@ -1760,6 +1773,7 @@ impl ParitySpec {
             audit_sample_size: None,
             shards: 1,
             event_driven: false,
+            round_audit_digests: true,
         }
     }
 
@@ -1769,6 +1783,7 @@ impl ParitySpec {
         config.challenge_retries = self.challenge_retries;
         config.audit_sample_size = self.audit_sample_size;
         config.shards = self.shards.max(1);
+        config.round_audit_digests = self.round_audit_digests;
         config
     }
 }
@@ -1931,6 +1946,7 @@ pub fn run_verdict_matrix(spec: &ParitySpec) -> Result<ParityOutcome, CoreError>
                 audit_sample_size: spec.audit_sample_size,
                 shards: spec.shards.max(1),
                 event_driven: spec.event_driven,
+                round_audit_digests: spec.round_audit_digests,
                 ..PeerReviewConfig::default()
             };
             spec.mode.apply(&mut config);
@@ -3011,38 +3027,112 @@ mod tests {
     }
 
     #[test]
+    fn round_digest_batching_keeps_fault_suite_verdict_parity() {
+        // The acceptance matrix of the batching claim, fault half: every
+        // scenario of the fault suite classifies identically with round
+        // digests on (default) and off (the per-message twin), in both
+        // commit modes — and batching strictly shrinks the audit-protocol
+        // share of the logs.
+        let mut batched_total = 0u64;
+        let mut twin_total = 0u64;
+        for scenario in Scenario::suite() {
+            for mode in [
+                CommitMode::Dedicated,
+                CommitMode::Piggyback { witnesses: 2 },
+            ] {
+                let batched = ParitySpec::new(SweepApp::PeerReview, mode, scenario.fault_plan());
+                let mut twin = batched.clone();
+                twin.round_audit_digests = false;
+                let a = run_verdict_matrix(&batched).unwrap();
+                let b = run_verdict_matrix(&twin).unwrap();
+                let context = format!("round-digest {} [{}]", scenario.name, mode.label());
+                assert_verdict_parity(&a, &b, &context);
+                assert!(
+                    a.stats.log_audit_digest_entries <= b.stats.log_audit_digest_entries,
+                    "{context}: batching never inflates the audit share"
+                );
+                assert_eq!(
+                    a.stats.log_app_payload_entries, b.stats.log_app_payload_entries,
+                    "{context}: application entries are untouched"
+                );
+                batched_total += a.stats.log_audit_digest_entries;
+                twin_total += b.stats.log_audit_digest_entries;
+            }
+        }
+        assert!(
+            batched_total * 5 <= twin_total,
+            "round digests cut audit-protocol entries >= 5x across the suite: \
+             {batched_total} vs {twin_total}"
+        );
+    }
+
+    #[test]
+    fn round_digest_batching_keeps_churn_suite_verdict_parity() {
+        // The churn half: crash-rejoin, partition-heal, join, leave and
+        // chain fail-over classify identically with round digests on and
+        // off, in both commit modes.
+        for scenario in ChurnScenario::suite() {
+            for mode in [
+                CommitMode::Dedicated,
+                CommitMode::Piggyback { witnesses: 2 },
+            ] {
+                let rounds = scenario.settle_round + 4;
+                let batched = scenario.spec(mode, rounds);
+                let mut twin = batched.clone();
+                twin.round_audit_digests = false;
+                let a = run_verdict_matrix(&batched).unwrap();
+                let b = run_verdict_matrix(&twin).unwrap();
+                let context = format!("round-digest {} [{}]", scenario.name, mode.label());
+                assert_verdict_parity(&a, &b, &context);
+            }
+        }
+    }
+
+    #[test]
     fn sampled_detection_lands_within_the_coverage_bound() {
         // The sampled-auditing safety property, swept over sample sizes and
         // sample seeds: a tampering node is exposed within the coverage
         // window plus the full-audit exposure pipeline slack, never missed.
+        // The `rotate` axis runs the same bound across epoch witness
+        // rotations: the backstop's per-pair clock must carry through the
+        // handover (an incoming witness inheriting no offset would restart
+        // the stagger and stretch the worst case past the window).
         let window = 4u64;
         let slack = 4u64;
-        for sample_size in 1..=3u32 {
-            for sample_seed in [1u64, 42, 0xfeed] {
-                let config = PeerReviewConfig {
-                    nodes: 6,
-                    seed: 42,
-                    audit_sample_size: Some(sample_size),
-                    audit_sample_seed: sample_seed,
-                    audit_coverage_window: window,
-                    ..PeerReviewConfig::default()
-                };
-                let pr = PeerReview::new(
-                    config,
-                    FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
-                )
-                .unwrap();
-                let latency = drive_until_exposed(pr, 1, 4 * (window + slack), 8, 1)
-                    .unwrap()
-                    .unwrap_or_else(|| {
-                        panic!("size {sample_size} seed {sample_seed:#x}: tamperer never exposed")
-                    });
-                assert!(
-                    latency <= window + slack,
-                    "size {sample_size} seed {sample_seed:#x}: \
-                     detection took {latency} > {} rounds",
-                    window + slack
-                );
+        for rotate in [false, true] {
+            for sample_size in 1..=3u32 {
+                for sample_seed in [1u64, 42, 0xfeed] {
+                    let config = PeerReviewConfig {
+                        nodes: 6,
+                        seed: 42,
+                        audit_sample_size: Some(sample_size),
+                        audit_sample_seed: sample_seed,
+                        audit_coverage_window: window,
+                        witness_count: if rotate { Some(3) } else { None },
+                        checkpoint_interval: if rotate { Some(2) } else { None },
+                        rotate_witnesses: rotate,
+                        ..PeerReviewConfig::default()
+                    };
+                    let pr = PeerReview::new(
+                        config,
+                        FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+                    )
+                    .unwrap();
+                    let latency = drive_until_exposed(pr, 1, 4 * (window + slack), 8, 1)
+                        .unwrap()
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "rotate {rotate} size {sample_size} seed {sample_seed:#x}: \
+                                 tamperer never exposed"
+                            )
+                        });
+                    assert!(
+                        latency <= window + slack,
+                        "rotate {rotate} size {sample_size} seed {sample_seed:#x}: \
+                         detection took {latency} > {} rounds",
+                        window + slack
+                    );
+                }
             }
         }
     }

@@ -105,6 +105,20 @@
 //!    report warns and [`Recorder::dropped_by_node`] says whose history is
 //!    incomplete — re-run with a larger ring before trusting a partial
 //!    timeline.
+//! 5. **Reading log-composition numbers.** `LogAppend` events carry the
+//!    entry class in `aux` ([`codes::LOG_APP_PAYLOAD`] /
+//!    [`codes::LOG_CONTROL_DIGEST`] / [`codes::LOG_AUDIT_DIGEST`]). Since
+//!    audit-protocol traffic is batched into one round-digest entry per
+//!    node per audit round (`EntryKind::AuditRound` in
+//!    `tnic_peerreview::log`), a *low* audit-digest count is the expected
+//!    shape; a run where audit digests grow with the per-round challenge
+//!    volume means batching is off (`round_audit_digests: false`) or the
+//!    classifier missed a carrier. A verdict labelled
+//!    `round-digest-mismatch` ([`codes::MIS_ROUND_DIGEST_MISMATCH`]) means
+//!    a replayed round-digest entry was internally inconsistent — the
+//!    node's accumulated digest did not match its own carried envelope
+//!    list; a *self-consistent* forgery of the same entry surfaces as
+//!    `head-mismatch` against the sealed commitment instead.
 
 pub mod assemble;
 pub mod export;
@@ -316,6 +330,9 @@ pub mod codes {
     pub const MIS_CHECKPOINT_MISMATCH: u64 = 7;
     /// Forged accusation turned against its accuser.
     pub const MIS_FORGED_ACCUSATION: u64 = 8;
+    /// Round-digest audit entry internally inconsistent (the accumulated
+    /// digest does not match the carried per-envelope digest list).
+    pub const MIS_ROUND_DIGEST_MISMATCH: u64 = 9;
 
     /// Membership phase: node is bootstrapping into the witness protocol.
     pub const MEMBER_JOINING: u64 = 0;
@@ -433,6 +450,7 @@ pub mod codes {
             MIS_EXEC_DIVERGENCE => "execution-divergence",
             MIS_CHECKPOINT_MISMATCH => "checkpoint-mismatch",
             MIS_FORGED_ACCUSATION => "forged-accusation",
+            MIS_ROUND_DIGEST_MISMATCH => "round-digest-mismatch",
             _ => "unknown",
         }
     }

@@ -190,6 +190,18 @@ pub enum Misbehavior {
         /// not a verified victim — the conviction is about the accuser.
         accused: u32,
     },
+    /// A replayed round-digest audit entry (`EntryKind::AuditRound`) is
+    /// malformed or internally inconsistent: its accumulated digest does
+    /// not match the accumulation recomputed from its own carried
+    /// per-envelope digest list. A *self-consistent* forgery of the same
+    /// entry (list and accumulator re-derived together after dropping,
+    /// reordering or substituting an envelope) instead diverges the chained
+    /// head from the sealed commitment and convicts as
+    /// [`Misbehavior::HeadMismatch`].
+    RoundDigestMismatch {
+        /// Sequence number of the inconsistent `AuditRound` entry.
+        at_seq: u64,
+    },
 }
 
 impl Misbehavior {
@@ -205,6 +217,7 @@ impl Misbehavior {
             Misbehavior::ExecDivergence { .. } => "exec-divergence",
             Misbehavior::CheckpointMismatch { .. } => "checkpoint-mismatch",
             Misbehavior::ForgedAccusation { .. } => "forged-accusation",
+            Misbehavior::RoundDigestMismatch { .. } => "round-digest-mismatch",
         }
     }
 
@@ -222,6 +235,7 @@ impl Misbehavior {
             Misbehavior::ExecDivergence { .. } => tnic_obs::codes::MIS_EXEC_DIVERGENCE,
             Misbehavior::CheckpointMismatch { .. } => tnic_obs::codes::MIS_CHECKPOINT_MISMATCH,
             Misbehavior::ForgedAccusation { .. } => tnic_obs::codes::MIS_FORGED_ACCUSATION,
+            Misbehavior::RoundDigestMismatch { .. } => tnic_obs::codes::MIS_ROUND_DIGEST_MISMATCH,
         }
     }
 }
@@ -533,6 +547,19 @@ impl<S: StateMachine> WitnessRecord<S> {
                         return Err(Misbehavior::CheckpointMismatch { at_seq: entry.seq });
                     }
                 }
+                crate::log::EntryKind::AuditRound => {
+                    // The batched audit-round entry must be internally
+                    // consistent: the accumulated digest recomputed from the
+                    // carried per-envelope digest list must match. A node
+                    // that dropped, reordered or substituted an audit
+                    // envelope and re-encoded the entry self-consistently
+                    // passes this check but diverges the chained head from
+                    // the sealed commitment below (HeadMismatch) — either
+                    // way the tampering convicts.
+                    if !crate::log::verify_audit_round_content(&entry.content) {
+                        return Err(Misbehavior::RoundDigestMismatch { at_seq: entry.seq });
+                    }
+                }
                 crate::log::EntryKind::Send { .. } => {}
             }
             head = entry.hash;
@@ -670,6 +697,104 @@ mod tests {
             .check_response(&auth, log.segment(0, auth.seq))
             .unwrap_err();
         assert!(matches!(err, Misbehavior::ExecDivergence { at_seq: 1 }));
+    }
+
+    /// An honest log that also closes one audit round over `digests`.
+    fn log_with_audit_round(machine: &mut CounterMachine, digests: &[[u8; 32]]) -> SecureLog {
+        let mut log = honest_log(machine);
+        log.append_classified(
+            EntryKind::AuditRound,
+            crate::log::audit_round_content(0, digests),
+            true,
+        );
+        log
+    }
+
+    #[test]
+    fn consistent_audit_round_entry_replays_clean() {
+        let mut kernel = node_kernel(1);
+        let mut machine = CounterMachine::new();
+        let digests: Vec<[u8; 32]> = (0u8..4).map(|i| [i + 1; 32]).collect();
+        let log = log_with_audit_round(&mut machine, &digests);
+        let auth = seal(&mut kernel, 1, log.len(), log.head());
+        let mut record = WitnessRecord::new(CounterMachine::new());
+        record.store_commitment(auth.clone());
+        record
+            .check_response(&auth, log.segment(0, auth.seq))
+            .unwrap();
+        assert_eq!(record.verdict, Verdict::Trusted);
+        assert_eq!(record.audited_seq, log.len());
+    }
+
+    #[test]
+    fn round_digest_replay_rejects_any_single_envelope_tamper() {
+        // The batching safety property: for EVERY envelope position and
+        // every tamper mode — drop, reorder, substitute — replay rejects
+        // the round. Two forgery strategies exist and both convict: leave
+        // the committed accumulator in place (the entry is internally
+        // inconsistent → RoundDigestMismatch), or re-encode the entry
+        // self-consistently (the re-chained head diverges from the sealed
+        // commitment → HeadMismatch). Batching therefore does not weaken
+        // per-envelope tamper-evidence.
+        let digests: Vec<[u8; 32]> = (0u8..5).map(|i| [i + 1; 32]).collect();
+        let committed_acc = crate::log::accumulate_audit_digests(&digests);
+        for pos in 0..digests.len() {
+            for tamper in ["drop", "reorder", "substitute"] {
+                let mut tampered = digests.clone();
+                match tamper {
+                    "drop" => {
+                        tampered.remove(pos);
+                    }
+                    "reorder" => {
+                        let other = (pos + 1) % digests.len();
+                        tampered.swap(pos, other);
+                    }
+                    _ => tampered[pos] = [0xAB; 32],
+                }
+
+                // (a) Self-consistent re-encode: digest list and
+                // accumulator both recomputed, log re-chained.
+                let mut kernel = node_kernel(1);
+                let mut machine = CounterMachine::new();
+                let mut log = log_with_audit_round(&mut machine, &digests);
+                let auth = seal(&mut kernel, 1, log.len(), log.head());
+                let entry_seq = log.len() - 1;
+                assert!(log
+                    .tamper_and_rechain(entry_seq, crate::log::audit_round_content(0, &tampered),));
+                let mut record = WitnessRecord::new(CounterMachine::new());
+                record.store_commitment(auth.clone());
+                let err = record
+                    .check_response(&auth, log.segment(0, auth.seq))
+                    .unwrap_err();
+                assert!(
+                    matches!(err, Misbehavior::HeadMismatch { .. }),
+                    "{tamper} at {pos}, self-consistent: got {err:?}"
+                );
+                assert_eq!(record.verdict, Verdict::Exposed);
+
+                // (b) Inconsistent forgery: the digest list is rewritten
+                // but the committed accumulator is kept.
+                let mut kernel = node_kernel(1);
+                let mut machine = CounterMachine::new();
+                let mut log = log_with_audit_round(&mut machine, &digests);
+                let auth = seal(&mut kernel, 1, log.len(), log.head());
+                let mut forged = crate::log::audit_round_content(0, &tampered);
+                let len = forged.len();
+                forged[len - 32..].copy_from_slice(&committed_acc);
+                assert!(log.tamper_and_rechain(entry_seq, forged));
+                let mut record = WitnessRecord::new(CounterMachine::new());
+                record.store_commitment(auth.clone());
+                let err = record
+                    .check_response(&auth, log.segment(0, auth.seq))
+                    .unwrap_err();
+                assert!(
+                    matches!(err, Misbehavior::RoundDigestMismatch { at_seq } if at_seq == entry_seq),
+                    "{tamper} at {pos}, inconsistent: got {err:?}"
+                );
+                assert_eq!(record.verdict, Verdict::Exposed);
+                assert_eq!(err.label(), "round-digest-mismatch");
+            }
+        }
     }
 
     #[test]

@@ -411,6 +411,16 @@ pub struct EngineConfig {
     /// and message counts are identical to the dense scan (both visit
     /// ready nodes in id order); only the per-round iteration cost changes.
     pub event_driven: bool,
+    /// **Round-digest batching** (scaling knob, on by default): accumulate
+    /// each node's audit-protocol traffic (challenges/responses, batched or
+    /// not) into a single per-round digest and log one
+    /// [`EntryKind::AuditRound`] entry per audit round, instead of one
+    /// control digest per envelope. Breaks the audit-log inflation
+    /// feedback — audit traffic no longer grows the logs whose replay the
+    /// next audit pays for — without weakening tamper-evidence (see
+    /// [`crate::log::audit_round_content`]). `false` restores the classic
+    /// per-envelope digests (the measurement twin).
+    pub round_audit_digests: bool,
 }
 
 impl Default for EngineConfig {
@@ -429,6 +439,7 @@ impl Default for EngineConfig {
             audit_coverage_window: 0,
             shards: 1,
             event_driven: false,
+            round_audit_digests: true,
         }
     }
 }
@@ -517,6 +528,16 @@ pub struct CommitmentLayer {
     pending: BTreeMap<(u32, u32), VecDeque<PendingRide>>,
     /// Commitments that found a ride on outbound traffic.
     piggybacked: u64,
+    /// Round-digest batching: per-node SHA-256 digests of the audit-protocol
+    /// envelopes sent/received since the last flush, in local order. Flushed
+    /// into one [`EntryKind::AuditRound`] entry per node per audit round by
+    /// [`CommitmentLayer::flush_audit_round_digests`]. Lives outside the
+    /// logs, so checkpoint pruning and witness rotation never disturb it.
+    audit_accum: BTreeMap<u32, Vec<[u8; 32]>>,
+    /// Whether audit-protocol traffic is accumulated per round instead of
+    /// logged one control digest per envelope
+    /// ([`EngineConfig::round_audit_digests`]).
+    round_audit_digests: bool,
 }
 
 impl CommitmentLayer {
@@ -690,6 +711,19 @@ impl CommitmentLayer {
         self.state(node).log.segment(from_seq, upto_seq)
     }
 
+    /// Like [`Self::segment_ref`], but surfaces a `from_seq` below the
+    /// pruned base as `Err(base_seq)` instead of silently clamping — the
+    /// audit send path uses this to detect a challenge range straddling a
+    /// concurrent prune (see [`crate::log::SecureLog::segment_checked`]).
+    pub fn segment_checked(
+        &self,
+        node: u32,
+        from_seq: u64,
+        upto_seq: u64,
+    ) -> Result<&[LogEntry], u64> {
+        self.state(node).log.segment_checked(from_seq, upto_seq)
+    }
+
     /// Current log length of `node`.
     #[must_use]
     pub fn log_len(&self, node: u32) -> u64 {
@@ -712,6 +746,59 @@ impl CommitmentLayer {
             total.merge(&state.log.composition());
         }
         total
+    }
+
+    /// Round-digest batching: absorbs an audit-protocol payload into the
+    /// node's running accumulator instead of appending a per-envelope
+    /// control digest. Returns `true` when the payload was diverted.
+    ///
+    /// Only digest-logged audit traffic is diverted: an envelope carrying an
+    /// application command (a piggyback ride on app traffic) is always logged
+    /// in full, because witnesses must replay the command.
+    fn divert_audit(&mut self, node: u32, payload: &[u8]) -> bool {
+        if !self.round_audit_digests
+            || !Envelope::is_audit_traffic(payload)
+            || Envelope::app_command(payload).is_some()
+        {
+            return false;
+        }
+        self.audit_accum
+            .entry(node)
+            .or_default()
+            .push(tnic_crypto::sha256::sha256(payload));
+        true
+    }
+
+    /// Flushes each non-empty per-node accumulator into a single
+    /// [`EntryKind::AuditRound`] entry recording the round's audit-protocol
+    /// traffic (see [`crate::log::audit_round_content`] for the format).
+    /// Nodes with no audit traffic this round append nothing, so a sampled
+    /// or sharded configuration pays only for the pairs actually audited.
+    pub fn flush_audit_round_digests(&mut self, round: u64, at_us: u64) {
+        let flushable: Vec<(u32, Vec<[u8; 32]>)> = self
+            .audit_accum
+            .iter_mut()
+            .filter(|(node, digests)| !digests.is_empty() && self.states.contains_key(node))
+            .map(|(&node, digests)| (node, std::mem::take(digests)))
+            .collect();
+        for (node, digests) in flushable {
+            let content = crate::log::audit_round_content(round, &digests);
+            self.append_traced(
+                node,
+                tnic_obs::NONE,
+                EntryKind::AuditRound,
+                content,
+                true,
+                at_us,
+            );
+        }
+    }
+
+    /// Digests currently accumulated towards `node`'s next round-digest
+    /// entry (test/diagnostic hook).
+    #[must_use]
+    pub fn pending_audit_digests(&self, node: u32) -> usize {
+        self.audit_accum.get(&node).map_or(0, Vec::len)
     }
 
     /// Queues `auth` for a piggyback ride on the next outbound message
@@ -828,6 +915,9 @@ impl AccountabilityLayer for CommitmentLayer {
         message: &tnic_device::attestation::AttestedMessage,
         at: SimInstant,
     ) {
+        if self.divert_audit(from.0, &message.payload) {
+            return;
+        }
         self.append_traced(
             from.0,
             to.0,
@@ -839,6 +929,9 @@ impl AccountabilityLayer for CommitmentLayer {
     }
 
     fn on_delivered(&mut self, to: NodeId, delivered: &Delivered) {
+        if self.divert_audit(to.0, &delivered.message.payload) {
+            return;
+        }
         self.append_traced(
             to.0,
             delivered.from.0,
@@ -1046,6 +1139,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         // verification kernel (the witnesses are exactly the parties
         // entitled to audit).
         let mut layer = CommitmentLayer::new();
+        layer.round_audit_digests = config.round_audit_digests;
         let mut audit_kernels: BTreeMap<u32, Provider> = nodes
             .iter()
             .map(|n| (n.0, Provider::new(config.baseline, n.device(), config.seed)))
@@ -1365,6 +1459,15 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.fabricate_evidence(cluster)?;
         self.issue_challenges(cluster)?;
         self.sweep_until_quiet(cluster, app)?;
+        // Round-digest batching: fold the round's accumulated audit-protocol
+        // digests into one AuditRound entry per node, *after* the audit
+        // traffic has quiesced (so the entry covers the whole round) and
+        // *before* the round counter advances (commitments sealed at the
+        // next round's start are the first to cover the flush entry).
+        let at_us = self.clock.now().as_micros();
+        self.layer
+            .borrow_mut()
+            .flush_audit_round_digests(self.audit_rounds_done, at_us);
         self.finish_round();
         self.audit_rounds_done += 1;
         // The audit round is the partition schedule's clock: advancing it
@@ -1681,6 +1784,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 };
                 self.records.insert((witness, node), record);
             }
+            self.carry_audit_offsets(node, &old_set, &new_set);
             self.witnesses.insert(node, new_set);
         }
         self.challenge_started
@@ -1690,6 +1794,26 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         self.last_audit_round
             .retain(|pair, _| self.records.contains_key(pair));
         self.provision_witness_keys();
+    }
+
+    /// Sampled-audit coverage across witness handover: the coverage-window
+    /// backstop keys off `last_audit_round`, so an incoming witness with no
+    /// entry would restart the never-sampled stagger and stretch a node's
+    /// worst-case unaudited stretch past the configured window. Incoming
+    /// pairs inherit the most recent audit round any outgoing witness
+    /// completed for the node; surviving pairs keep their own clock.
+    fn carry_audit_offsets(&mut self, node: u32, old_set: &[u32], new_set: &[u32]) {
+        let carried = old_set
+            .iter()
+            .filter_map(|&w| self.last_audit_round.get(&(w, node)).copied())
+            .max();
+        if let Some(carried) = carried {
+            for &witness in new_set {
+                self.last_audit_round
+                    .entry((witness, node))
+                    .or_insert(carried);
+            }
+        }
     }
 
     /// Runs one checkpoint round (see [`crate::checkpoint`] for the
@@ -1895,6 +2019,7 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
                 };
                 self.records.insert((witness, node), record);
             }
+            self.carry_audit_offsets(node, &old_set, &new_set);
             self.witnesses.insert(node, new_set);
         }
         self.challenge_started
@@ -2602,6 +2727,15 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
     /// path never materialises an owned copy of the challenged entries.
     /// Two or more segments to the same witness coalesce into one
     /// [`Envelope::ResponseBatch`].
+    ///
+    /// Prunability is re-checked here via
+    /// [`CommitmentLayer::segment_checked`]: the response is deferred from
+    /// `handle_challenge`, and a checkpoint commit processed in the same
+    /// sweep can prune the log underneath the deferred range. A straddled
+    /// range is answered with the checkpoint certificate (the witness
+    /// verifies the quorum and fast-forwards) — never with a silently
+    /// re-based segment, which the witness would misread as starting at the
+    /// challenged sequence.
     fn send_segments(
         &mut self,
         cluster: &mut Cluster,
@@ -2609,6 +2743,32 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         to: NodeId,
         ranges: &[(u64, u64)],
     ) -> Result<(), CoreError> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        let mut answerable: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        let mut straddled = false;
+        {
+            let layer = self.layer.borrow();
+            for &(f, u) in ranges {
+                if layer.segment_checked(from.0, f, u).is_ok() {
+                    answerable.push((f, u));
+                } else {
+                    straddled = true;
+                }
+            }
+        }
+        if straddled {
+            if let Some((mark, cosigs)) = self.certificates.get(&from.0) {
+                self.stats.certificate_responses += 1;
+                let env = Envelope::CheckpointCommit {
+                    mark: mark.clone(),
+                    cosigs: cosigs.clone(),
+                };
+                self.send_control(cluster, from, to, &env)?;
+            }
+        }
+        let ranges = answerable.as_slice();
         if ranges.is_empty() {
             return Ok(());
         }
@@ -3161,7 +3321,15 @@ impl<A: AccountedApp> AccountabilityEngine<A> {
         // challenge before the certificate; the honest answer is the
         // certificate itself, which the witness verifies (quorum of seals)
         // and fast-forwards from instead of suspecting.
-        if from_seq < self.layer.borrow().base_seq(node) {
+        // `segment_checked` makes the clamp explicit: `SecureLog::segment`
+        // would silently re-base the range and the response would start at
+        // the wrong sequence.
+        if self
+            .layer
+            .borrow()
+            .segment_checked(node, from_seq, upto_seq)
+            .is_err()
+        {
             if let Some((mark, cosigs)) = self.certificates.get(&node) {
                 if from_seq < mark.cut {
                     self.stats.certificate_responses += 1;
@@ -4125,5 +4293,171 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- round-digest batching ----------------------------------------
+
+    #[test]
+    fn round_digest_flush_appends_one_verified_entry_per_node_per_round() {
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(EngineConfig::default(), FaultPlan::all_correct());
+        let rounds = 3;
+        run_rounds(&mut cluster, &mut app, &mut engine, rounds);
+        for node in 0..4u32 {
+            assert_eq!(
+                engine.layer.borrow().pending_audit_digests(node),
+                0,
+                "node {node}: the accumulator drains at round end"
+            );
+            let len = engine.layer.borrow().log_len(node);
+            let entries = engine.layer.borrow().segment(node, 0, len);
+            let audit_rounds: Vec<&LogEntry> = entries
+                .iter()
+                .filter(|e| e.kind == EntryKind::AuditRound)
+                .collect();
+            assert!(
+                !audit_rounds.is_empty() && audit_rounds.len() as u64 <= rounds,
+                "node {node}: at most one AuditRound entry per round, got {}",
+                audit_rounds.len()
+            );
+            for entry in audit_rounds {
+                assert!(
+                    crate::log::verify_audit_round_content(&entry.content),
+                    "node {node}: flushed entry self-verifies"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_digest_batching_cuts_audit_entries_with_identical_verdicts() {
+        let run = |round_audit_digests: bool| {
+            let config = EngineConfig {
+                round_audit_digests,
+                ..EngineConfig::default()
+            };
+            let (mut cluster, mut app, mut engine) = engine_deployment(
+                config,
+                FaultPlan::single(1, NodeFault::TamperLogEntry { seq: 0 }),
+            );
+            run_rounds(&mut cluster, &mut app, &mut engine, 3);
+            engine.drain_audits(&mut cluster, &mut app).unwrap();
+            let composition = engine.layer.borrow().composition();
+            let verdicts: Vec<((u32, u32), Verdict)> = engine
+                .records
+                .keys()
+                .map(|&pair| (pair, engine.verdict_of(pair.0, pair.1)))
+                .collect();
+            (composition, verdicts)
+        };
+        let (batched, batched_verdicts) = run(true);
+        let (twin, twin_verdicts) = run(false);
+        assert_eq!(
+            batched_verdicts, twin_verdicts,
+            "batching must not change a single verdict"
+        );
+        assert!(batched.audit_digest_entries > 0, "the flush entries exist");
+        assert!(
+            batched.audit_digest_entries * 5 <= twin.audit_digest_entries,
+            "round digests cut audit-protocol entries >= 5x: {} vs {}",
+            batched.audit_digest_entries,
+            twin.audit_digest_entries
+        );
+        assert_eq!(
+            batched.app_payload_entries, twin.app_payload_entries,
+            "application entries are untouched"
+        );
+    }
+
+    #[test]
+    fn round_digest_entries_survive_pruning_and_rotation() {
+        let config = EngineConfig {
+            piggyback: true,
+            witness_count: Some(2),
+            checkpoint_interval: Some(1),
+            rotate_witnesses: true,
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 4);
+        assert!(engine.stats().witness_rotations > 0, "rotation happened");
+        assert!(
+            engine.layer.borrow().pruned_entries() > 0,
+            "checkpoints actually pruned"
+        );
+        let composition = engine.layer.borrow().composition();
+        assert!(
+            composition.audit_digest_entries > 0,
+            "round-digest entries survive checkpointed runs"
+        );
+        // Accuracy is the preservation property: a flush entry lost across
+        // pruning or handover would make some witness's replay diverge.
+        assert_accuracy(&engine);
+    }
+
+    #[test]
+    fn witness_rotation_carries_the_sampled_audit_clock_through_handover() {
+        // The coverage-window backstop keys off `last_audit_round`; an
+        // incoming witness starting with no entry restarts the never-sampled
+        // stagger, so a node's unaudited stretch can exceed the configured
+        // window across rotations. The handover must carry the outgoing
+        // set's most recent audit round into every incoming pair.
+        let config = EngineConfig {
+            witness_count: Some(2),
+            audit_sample_size: Some(1),
+            audit_coverage_window: 4,
+            checkpoint_interval: Some(2),
+            rotate_witnesses: true,
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            sized_deployment(6, config, FaultPlan::all_correct());
+        run_rounds_n(&mut cluster, &mut app, &mut engine, 6, 4);
+        assert!(engine.stats().witness_rotations > 0, "rotation happened");
+        // Every sampled pair carries an audit clock — including pairs whose
+        // witness joined at the last rotation and has not sampled the node
+        // itself yet (those must have inherited the outgoing set's offset).
+        for &(witness, node) in engine.records.keys() {
+            assert!(
+                engine.last_audit_round.contains_key(&(witness, node)),
+                "pair ({witness}, {node}) lost its audit clock across rotation"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_straddling_a_concurrent_prune_is_answered_with_the_certificate() {
+        // The deferred-response regression: `handle_challenge` vets the
+        // range against the base at challenge time, but the segment is
+        // encoded later — if a checkpoint commit pruned the log in between,
+        // `SecureLog::segment` used to silently clamp and the node answered
+        // with entries starting at the wrong sequence.
+        let config = EngineConfig {
+            checkpoint_interval: Some(1),
+            ..EngineConfig::default()
+        };
+        let (mut cluster, mut app, mut engine) =
+            engine_deployment(config, FaultPlan::all_correct());
+        run_rounds(&mut cluster, &mut app, &mut engine, 2);
+        let base = engine.layer.borrow().base_seq(1);
+        assert!(base > 0, "node 1 actually pruned");
+        let before = engine.stats().certificate_responses;
+        // A deferred segment whose range now straddles the pruned base.
+        engine
+            .send_segments(&mut cluster, NodeId(1), NodeId(0), &[(0, base + 1)])
+            .unwrap();
+        assert_eq!(
+            engine.stats().certificate_responses,
+            before + 1,
+            "the straddled range is answered with the certificate"
+        );
+        engine.poll(&mut cluster, &mut app, NodeId(0)).unwrap();
+        engine.finish_round();
+        assert_eq!(
+            engine.verdict_of(0, 1),
+            Verdict::Trusted,
+            "no silently re-based segment ever reaches the witness"
+        );
     }
 }

@@ -14,6 +14,14 @@
 //! monotonically increasing device counters and verify as authentic — the
 //! conflicting pair is transferable, independently verifiable proof of
 //! misbehaviour (see [`crate::audit`]).
+//!
+//! Audit-protocol traffic (challenges, responses and their batched forms)
+//! is *not* logged one digest per envelope — that would let auditing
+//! inflate the very logs being audited (the O(w²) replay wall). Each node
+//! instead accumulates the round's audit envelopes and appends a single
+//! [`EntryKind::AuditRound`] entry per audit round; see
+//! [`audit_round_content`] for the wire format and its tamper-evidence
+//! argument.
 
 use tnic_crypto::sha256::sha256;
 use tnic_device::attestation::AttestedMessage;
@@ -58,6 +66,14 @@ pub enum EntryKind {
     /// their reference machine, so a forged checkpoint is as detectable as a
     /// forged execution output.
     Checkpoint,
+    /// The node's accumulated audit-protocol traffic for one audit round,
+    /// batched into a single entry (see [`audit_round_content`] for the
+    /// format and the module docs for why). Witnesses replaying a segment
+    /// re-verify the accumulated digest against the carried per-envelope
+    /// digest list, so dropping, reordering or substituting any audit
+    /// envelope inside a round is as detectable as it was with one entry
+    /// per envelope.
+    AuditRound,
 }
 
 impl EntryKind {
@@ -67,6 +83,7 @@ impl EntryKind {
             EntryKind::Recv { .. } => 2,
             EntryKind::Exec => 3,
             EntryKind::Checkpoint => 4,
+            EntryKind::AuditRound => 5,
         }
     }
 
@@ -74,7 +91,7 @@ impl EntryKind {
         match self {
             EntryKind::Send { to } => to,
             EntryKind::Recv { from } => from,
-            EntryKind::Exec | EntryKind::Checkpoint => 0,
+            EntryKind::Exec | EntryKind::Checkpoint | EntryKind::AuditRound => 0,
         }
     }
 
@@ -84,6 +101,7 @@ impl EntryKind {
             2 => Some(EntryKind::Recv { from: peer }),
             3 => Some(EntryKind::Exec),
             4 => Some(EntryKind::Checkpoint),
+            5 => Some(EntryKind::AuditRound),
             _ => None,
         }
     }
@@ -124,6 +142,93 @@ pub fn content_payload(content: &[u8]) -> Option<&[u8]> {
     }
 }
 
+/// Domain-separation seed of the per-round audit-traffic accumulator.
+pub const AUDIT_ROUND_DOMAIN: &[u8; 12] = b"TNIC-PR-ARND";
+
+/// Folds an ordered list of per-envelope digests into the round's
+/// accumulated digest: `acc_0 = H(domain)`, `acc_i = H(acc_{i-1} ‖ d_i)`.
+/// The chain construction (rather than hashing the concatenation) makes
+/// the accumulator order- and membership-sensitive entry by entry, exactly
+/// like the log's own head chain.
+#[must_use]
+pub fn accumulate_audit_digests(digests: &[[u8; 32]]) -> [u8; 32] {
+    let mut acc = sha256(AUDIT_ROUND_DOMAIN);
+    let mut buf = [0u8; 64];
+    for d in digests {
+        buf[..32].copy_from_slice(&acc);
+        buf[32..].copy_from_slice(d);
+        acc = sha256(&buf);
+    }
+    acc
+}
+
+/// Encodes the content of an [`EntryKind::AuditRound`] entry.
+///
+/// # Round-digest entry format
+///
+/// Instead of appending one control digest per audit-protocol envelope
+/// (challenge, response, or their batched forms — the traffic class that
+/// feeds the audit-log inflation loop), a node accumulates the round's
+/// audit envelopes and appends **one** entry per audit round:
+///
+/// ```text
+/// round      u64 le   — the audit round the entry closes
+/// count      u32 le   — number of audit envelopes accumulated
+/// digests    count × 32 bytes — SHA-256 of each envelope, send order
+/// accumulated 32 bytes — accumulate_audit_digests(digests)
+/// ```
+///
+/// The entry is chained into the log head like any other, so it is covered
+/// by the node's sealed commitments. During replay a witness recomputes
+/// `accumulated` from the carried digest list
+/// ([`verify_audit_round_content`]); an internally inconsistent entry
+/// convicts the node directly (`RoundDigestMismatch`), while a
+/// *self-consistent* forgery — the node re-encoding the entry after
+/// dropping, reordering or substituting an envelope — diverges the chained
+/// head from the sealed commitment and convicts as `HeadMismatch`, exactly
+/// as tampering with a per-envelope digest entry would.
+#[must_use]
+pub fn audit_round_content(round: u64, digests: &[[u8; 32]]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + digests.len() * 32 + 32);
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&(digests.len() as u32).to_le_bytes());
+    for d in digests {
+        out.extend_from_slice(d);
+    }
+    out.extend_from_slice(&accumulate_audit_digests(digests));
+    out
+}
+
+/// Decodes an [`EntryKind::AuditRound`] content into
+/// `(round, digests, accumulated)` without verifying the accumulation.
+#[must_use]
+pub fn parse_audit_round_content(content: &[u8]) -> Option<(u64, Vec<[u8; 32]>, [u8; 32])> {
+    if content.len() < 8 + 4 + 32 {
+        return None;
+    }
+    let round = u64::from_le_bytes(content[..8].try_into().ok()?);
+    let count = u32::from_le_bytes(content[8..12].try_into().ok()?) as usize;
+    let rest = &content[12..];
+    if rest.len() != count * 32 + 32 {
+        return None;
+    }
+    let digests: Vec<[u8; 32]> = rest[..count * 32]
+        .chunks_exact(32)
+        .map(|c| c.try_into().expect("exact 32-byte chunk"))
+        .collect();
+    let accumulated = rest[count * 32..].try_into().ok()?;
+    Some((round, digests, accumulated))
+}
+
+/// Whether an [`EntryKind::AuditRound`] content is well-formed *and*
+/// internally consistent: the carried accumulated digest equals the
+/// recomputed accumulation of the carried per-envelope digests.
+#[must_use]
+pub fn verify_audit_round_content(content: &[u8]) -> bool {
+    parse_audit_round_content(content)
+        .is_some_and(|(_, digests, acc)| accumulate_audit_digests(&digests) == acc)
+}
+
 /// The composition class of one log entry — what kind of work it represents
 /// for the audit protocol. Full app payloads are the entries witnesses
 /// *replay*; digest entries are hashed-through bookkeeping, split into
@@ -154,6 +259,7 @@ impl EntryClass {
         match kind {
             EntryKind::Exec => EntryClass::AppPayload,
             EntryKind::Checkpoint => EntryClass::ControlDigest,
+            EntryKind::AuditRound => EntryClass::AuditDigest,
             EntryKind::Send { .. } | EntryKind::Recv { .. } => {
                 if content.first() == Some(&CONTENT_FULL) {
                     EntryClass::AppPayload
@@ -449,6 +555,26 @@ impl SecureLog {
         let lo = (from_seq.saturating_sub(self.base_seq) as usize).min(self.entries.len());
         let hi = (upto_seq.saturating_sub(self.base_seq) as usize).min(self.entries.len());
         &self.entries[lo..hi.max(lo)]
+    }
+
+    /// Like [`SecureLog::segment`], but signals a pruned lower bound
+    /// explicitly instead of clamping it silently: `Err(base_seq)` when
+    /// `from_seq` lies below the pruned boundary. A challenge straddling
+    /// the boundary must NOT be answered with the silently clamped range —
+    /// the witness would see a segment that does not start at its audited
+    /// head and convict an honest node of truncation; the caller has to
+    /// take the checkpoint-certificate path (or knowingly answer with the
+    /// clamped suffix) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(base_seq)` when `from_seq < base_seq`, i.e. the start
+    /// of the requested range has been pruned away.
+    pub fn segment_checked(&self, from_seq: u64, upto_seq: u64) -> Result<&[LogEntry], u64> {
+        if from_seq < self.base_seq {
+            return Err(self.base_seq);
+        }
+        Ok(self.segment(from_seq, upto_seq))
     }
 
     /// The head the log had after `seq` entries (its state at an earlier
@@ -780,6 +906,76 @@ mod tests {
         assert_ne!(log.head(), head_before);
         assert!(log.entries().iter().all(LogEntry::is_consistent));
         assert_eq!(log.entries()[0].prev, log.head_at(2).unwrap());
+    }
+
+    #[test]
+    fn segment_checked_signals_a_pruned_lower_bound() {
+        let mut log = sample_log();
+        assert_eq!(log.segment_checked(0, 3).unwrap().len(), 3);
+        log.prune_to(2);
+        // A range straddling the pruned boundary is an explicit error, not
+        // a silently truncated slice.
+        assert_eq!(log.segment_checked(0, 3), Err(2));
+        assert_eq!(log.segment_checked(1, 3), Err(2));
+        // From the base on, the checked view matches the clamped one.
+        assert_eq!(log.segment_checked(2, 3).unwrap().len(), 1);
+        assert_eq!(log.segment_checked(2, 3).unwrap()[0].seq, 2);
+        assert!(log.segment_checked(3, 9).unwrap().is_empty());
+    }
+
+    #[test]
+    fn audit_round_content_round_trips_and_verifies() {
+        let digests = [[1u8; 32], [2u8; 32], [3u8; 32]];
+        let content = audit_round_content(7, &digests);
+        let (round, parsed, acc) = parse_audit_round_content(&content).unwrap();
+        assert_eq!(round, 7);
+        assert_eq!(parsed, digests);
+        assert_eq!(acc, accumulate_audit_digests(&digests));
+        assert!(verify_audit_round_content(&content));
+        // The empty round is well-formed too (a node that saw no audit
+        // traffic still closes its round).
+        assert!(verify_audit_round_content(&audit_round_content(0, &[])));
+        // Truncated or length-inconsistent contents never parse.
+        assert!(parse_audit_round_content(&content[..content.len() - 1]).is_none());
+        assert!(parse_audit_round_content(&[]).is_none());
+        let mut wrong_count = content.clone();
+        wrong_count[8] = 9;
+        assert!(parse_audit_round_content(&wrong_count).is_none());
+    }
+
+    #[test]
+    fn audit_round_accumulator_is_order_and_membership_sensitive() {
+        let digests = [[1u8; 32], [2u8; 32], [3u8; 32]];
+        let acc = accumulate_audit_digests(&digests);
+        let reordered = [[2u8; 32], [1u8; 32], [3u8; 32]];
+        assert_ne!(acc, accumulate_audit_digests(&reordered));
+        assert_ne!(acc, accumulate_audit_digests(&digests[..2]));
+        let substituted = [[1u8; 32], [9u8; 32], [3u8; 32]];
+        assert_ne!(acc, accumulate_audit_digests(&substituted));
+        // An inconsistent accumulated digest fails verification.
+        let mut forged = audit_round_content(1, &digests);
+        let len = forged.len();
+        forged[len - 1] ^= 1;
+        assert!(!verify_audit_round_content(&forged));
+    }
+
+    #[test]
+    fn audit_round_entry_kind_round_trips_and_classifies() {
+        let mut log = SecureLog::new();
+        let content = audit_round_content(3, &[[5u8; 32]]);
+        let (_, class) = log.append_classified(EntryKind::AuditRound, content, true);
+        assert_eq!(class, EntryClass::AuditDigest);
+        assert_eq!(log.composition().audit_digest_entries, 1);
+        let entry = &log.entries()[0];
+        let (decoded, used) = LogEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(used, entry.encode().len());
+        assert_eq!(&decoded, entry);
+        assert_eq!(decoded.kind, EntryKind::AuditRound);
+        // The class holds regardless of the audit flag — the kind decides.
+        assert_eq!(
+            EntryClass::of(EntryKind::AuditRound, &decoded.content, false),
+            EntryClass::AuditDigest
+        );
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct PeerReviewConfig {
     /// identical verdicts and message counts, CI-speed at n ≥ 1000. See
     /// [`EngineConfig::event_driven`].
     pub event_driven: bool,
+    /// Round-digest batching: fold each round's audit-protocol control
+    /// digests into one `AuditRound` entry per node instead of one entry
+    /// per envelope (`false` = classic per-envelope digests, the
+    /// measurement twin). See [`EngineConfig::round_audit_digests`].
+    pub round_audit_digests: bool,
 }
 
 impl Default for PeerReviewConfig {
@@ -108,6 +113,7 @@ impl Default for PeerReviewConfig {
             audit_coverage_window: 0,
             shards: 1,
             event_driven: false,
+            round_audit_digests: true,
         }
     }
 }
@@ -130,6 +136,7 @@ impl PeerReviewConfig {
             audit_coverage_window: self.audit_coverage_window,
             shards: self.shards,
             event_driven: self.event_driven,
+            round_audit_digests: self.round_audit_digests,
         }
     }
 }

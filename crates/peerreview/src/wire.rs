@@ -642,13 +642,19 @@ impl Envelope {
     }
 
     /// Whether `raw` is audit-protocol traffic — a challenge or response
-    /// (batched or not), directly or under one [`Envelope::Piggyback`]
-    /// wrapper. Used to classify `Send`/`Recv` log entries by what they
-    /// cost the auditor: audit-protocol digests are self-inflicted
+    /// (batched or not), directly, under any number of
+    /// [`Envelope::Piggyback`] wrappers, or *riding* one as a relayed
+    /// block. Used to classify `Send`/`Recv` log entries by what they cost
+    /// the auditor: audit-protocol digests are self-inflicted
     /// accountability load, distinct from app payloads (replayed) and
-    /// ordinary control digests. Allocation-free (the same single-level
-    /// peel as [`Envelope::app_command`]) so the hot append path can call
-    /// it per message.
+    /// ordinary control digests. Unlike [`Envelope::app_command`] (which
+    /// mirrors `decode`'s one-level validation because replay must execute
+    /// exactly what dispatch would), the classifier is deliberately more
+    /// permissive than `decode`: a nested or rider-borne audit envelope is
+    /// still audit load even if the carrier would be rejected on delivery,
+    /// and undercounting it would hide the audit-log inflation this class
+    /// exists to measure. Allocation-free; recursion depth is bounded by
+    /// the payload length (every level consumes header bytes).
     #[must_use]
     pub fn is_audit_traffic(raw: &[u8]) -> bool {
         const AUDIT_TAGS: [u8; 4] = [
@@ -673,13 +679,16 @@ impl Envelope {
                     let Some((_, after_flag)) = rest.split_first() else {
                         return false;
                     };
-                    let Some((_, used)) = read_block(after_flag) else {
+                    let Some((block, used)) = read_block(after_flag) else {
                         return false;
                     };
+                    // A rider block that is itself an audit-protocol
+                    // envelope (e.g. a gossip-relayed challenge flush)
+                    // makes the whole carrier audit traffic.
+                    if Envelope::is_audit_traffic(block) {
+                        return true;
+                    }
                     rest = &after_flag[used..];
-                }
-                if Envelope::is_piggyback(rest) {
-                    return false;
                 }
                 Envelope::is_audit_traffic(rest)
             }
@@ -1038,15 +1047,64 @@ mod tests {
             &Envelope::Announce(sealed_auth(1)).encode()
         ));
         assert!(!Envelope::is_audit_traffic(&[0u8, 0, 0, 42]));
-        // One piggyback level is peeled; classification follows the inner.
+        // Piggyback levels are peeled; classification follows the inner.
         let riders = vec![rider(2, false)];
         let ridden_challenge = Envelope::piggyback_raw(&riders, &challenge.encode());
         assert!(Envelope::is_audit_traffic(&ridden_challenge));
         let ridden_app = Envelope::piggyback_raw(&riders, &Envelope::App(b"x".to_vec()).encode());
         assert!(!Envelope::is_audit_traffic(&ridden_app));
-        // Nesting is invalid on decode, so it is not audit traffic either.
+        // Nesting is invalid on decode, but the audit load inside is real:
+        // the classifier keeps peeling rather than miscounting it as an
+        // ordinary control digest.
         let twice = Envelope::piggyback_raw(&riders, &ridden_challenge);
-        assert!(!Envelope::is_audit_traffic(&twice));
+        assert!(Envelope::is_audit_traffic(&twice));
+        let twice_app = Envelope::piggyback_raw(&riders, &ridden_app);
+        assert!(!Envelope::is_audit_traffic(&twice_app));
+    }
+
+    /// Hand-builds a piggyback carrier whose rider *blocks* are arbitrary
+    /// bytes (the enum encoder only ever riders authenticators).
+    fn piggyback_with_rider_blocks(blocks: &[&[u8]], inner: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ENVELOPE_MAGIC);
+        out.push(TAG_PIGGYBACK);
+        out.push(blocks.len() as u8);
+        for block in blocks {
+            out.push(0); // gossip flag
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(block);
+        }
+        out.extend_from_slice(inner);
+        out
+    }
+
+    #[test]
+    fn audit_traffic_classification_sees_riders_and_nested_wrappers() {
+        let challenge = Envelope::Challenge {
+            from_seq: 0,
+            upto_seq: 4,
+        }
+        .encode();
+        let app = Envelope::App(b"incr".to_vec()).encode();
+        let auth_block = sealed_auth(2).encode();
+        // A gossip-relayed challenge flush riding a piggyback is audit
+        // traffic even though the carrier's inner payload is app traffic.
+        let relayed = piggyback_with_rider_blocks(&[&auth_block, &challenge], &app);
+        assert!(Envelope::is_audit_traffic(&relayed));
+        // Ordinary commitment riders stay control/app classified.
+        let commitments_only = piggyback_with_rider_blocks(&[&auth_block, &auth_block], &app);
+        assert!(!Envelope::is_audit_traffic(&commitments_only));
+        // An audit rider buried one piggyback level down is still found.
+        let nested = piggyback_with_rider_blocks(&[&auth_block], &relayed);
+        assert!(Envelope::is_audit_traffic(&nested));
+        // Malformed rider batches never classify as audit (or panic).
+        let mut truncated = relayed.clone();
+        truncated.truncate(6);
+        assert!(!Envelope::is_audit_traffic(&truncated));
+        assert!(!Envelope::is_audit_traffic(&piggyback_with_rider_blocks(
+            &[],
+            &challenge
+        )));
     }
 
     #[test]
